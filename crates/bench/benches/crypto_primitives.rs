@@ -1,0 +1,32 @@
+//! Crypto substrate micro-benchmarks: SHA-256 throughput, Schnorr
+//! sign/verify, and DS digest construction.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use lookaside_crypto::{ds_digest, hashed_dlv_label, sha256, KeyPair};
+use lookaside_wire::Name;
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xa5u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("{size}B"), |b| b.iter(|| sha256(black_box(&data))));
+    }
+    group.finish();
+
+    let key = KeyPair::generate_zsk(1);
+    let msg = vec![0x5au8; 256];
+    c.bench_function("schnorr/sign", |b| b.iter(|| key.sign(black_box(&msg))));
+    let sig = key.sign(&msg);
+    c.bench_function("schnorr/verify", |b| {
+        b.iter(|| key.public().verify(black_box(&msg), black_box(&sig)))
+    });
+
+    let owner = Name::parse("example.com.").unwrap();
+    let ksk = KeyPair::generate_ksk(2).public();
+    c.bench_function("ds_digest", |b| b.iter(|| ds_digest(black_box(&owner), black_box(&ksk))));
+    c.bench_function("hashed_dlv_label", |b| b.iter(|| hashed_dlv_label(black_box(&owner))));
+}
+
+criterion_group!(benches, bench_crypto);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! §6.2.4 dictionary-attack cost: how fast an adversary can hash candidate
+//! names, and what that implies for the 350M-name space the paper argues
+//! makes the attack impractical.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use lookaside_crypto::hashed_dlv_label;
+use lookaside_workload::{DomainPopulation, PopulationParams};
+
+fn bench_dictionary(c: &mut Criterion) {
+    let pop = DomainPopulation::new(PopulationParams { size: 100_000, ..PopulationParams::default() });
+    let candidates: Vec<_> = (1..=1000).map(|r| pop.domain(r)).collect();
+
+    let mut group = c.benchmark_group("dictionary");
+    group.throughput(Throughput::Elements(candidates.len() as u64));
+    group.bench_function("hash_1000_candidates", |b| {
+        b.iter(|| {
+            for name in &candidates {
+                black_box(hashed_dlv_label(name));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dictionary);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Remedy-overhead ablation (Table 5 / Fig. 11 at bench scale): per-domain
+//! cost of each §6.2 remedy against the DLV baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lookaside::internet::{Internet, InternetParams};
+use lookaside_resolver::{BindConfig, ResolverConfig};
+use lookaside_wire::ext::RemedyMode;
+use lookaside_wire::RrType;
+use lookaside_workload::PopulationParams;
+
+fn bench_remedies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("remedy/resolve_60_domains");
+    for remedy in RemedyMode::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(remedy.label()),
+            &remedy,
+            |b, &remedy| {
+                b.iter_with_setup(
+                    || {
+                        let population =
+                            PopulationParams { size: 1000, ..PopulationParams::default() };
+                        let internet =
+                            Internet::build(InternetParams::for_top(60, population, remedy));
+                        let resolver =
+                            internet.resolver(ResolverConfig::Bind(BindConfig::correct()), 1);
+                        (internet, resolver)
+                    },
+                    |(mut internet, mut resolver)| {
+                        for rank in 1..=60usize {
+                            let qname = internet.population.domain(rank);
+                            let _ = resolver.resolve(&mut internet.net, &qname, RrType::A);
+                        }
+                    },
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    // Each iteration builds a whole simulated Internet; keep samples small.
+    config = Criterion::default().sample_size(10);
+    targets = bench_remedies
+}
+criterion_main!(benches);

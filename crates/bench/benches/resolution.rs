@@ -1,0 +1,58 @@
+//! End-to-end resolution throughput: full simulated Internet, cold and
+//! warm caches — the cost that bounds how fast the table/figure sweeps run.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lookaside::internet::{Internet, InternetParams};
+use lookaside_resolver::{BindConfig, ResolverConfig};
+use lookaside_wire::ext::RemedyMode;
+use lookaside_wire::RrType;
+use lookaside_workload::PopulationParams;
+
+fn bench_resolution(c: &mut Criterion) {
+    c.bench_function("resolve/cold_100_domains", |b| {
+        b.iter_with_setup(
+            || {
+                let population =
+                    PopulationParams { size: 1000, ..PopulationParams::default() };
+                let internet =
+                    Internet::build(InternetParams::for_top(100, population, RemedyMode::None));
+                let resolver =
+                    internet.resolver(ResolverConfig::Bind(BindConfig::correct()), 1);
+                (internet, resolver)
+            },
+            |(mut internet, mut resolver)| {
+                for rank in 1..=100usize {
+                    let qname = internet.population.domain(rank);
+                    let _ = resolver.resolve(&mut internet.net, black_box(&qname), RrType::A);
+                }
+            },
+        )
+    });
+
+    c.bench_function("resolve/warm_repeat", |b| {
+        let population = PopulationParams { size: 1000, ..PopulationParams::default() };
+        let mut internet =
+            Internet::build(InternetParams::for_top(100, population, RemedyMode::None));
+        let mut resolver = internet.resolver(ResolverConfig::Bind(BindConfig::correct()), 1);
+        let qname = internet.population.domain(1);
+        let _ = resolver.resolve(&mut internet.net, &qname, RrType::A);
+        b.iter(|| {
+            resolver.resolve(&mut internet.net, black_box(&qname), RrType::A).unwrap()
+        })
+    });
+
+    c.bench_function("internet/build_1000_domains", |b| {
+        b.iter(|| {
+            let population = PopulationParams { size: 1000, ..PopulationParams::default() };
+            Internet::build(InternetParams::for_top(1000, population, RemedyMode::None))
+        })
+    });
+}
+
+criterion_group!{
+    name = benches;
+    // Each iteration builds a whole simulated Internet; keep samples small.
+    config = Criterion::default().sample_size(10);
+    targets = bench_resolution
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Wire codec micro-benchmarks: message encode/decode and name
+//! compression, the per-packet cost every simulated exchange pays.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lookaside_wire::{Message, MessageBuilder, Name, RData, Record, RrType};
+
+fn sample_response() -> Message {
+    let q = Message::dnssec_query(7, Name::parse("www.example.com.").unwrap(), RrType::A);
+    MessageBuilder::respond_to(&q)
+        .authoritative(true)
+        .answer(Record::new(
+            Name::parse("www.example.com.").unwrap(),
+            300,
+            RData::A("192.0.2.1".parse().unwrap()),
+        ))
+        .answer(Record::new(
+            Name::parse("www.example.com.").unwrap(),
+            300,
+            RData::Rrsig {
+                type_covered: RrType::A,
+                algorithm: 253,
+                labels: 3,
+                original_ttl: 300,
+                expiration: u32::MAX,
+                inception: 0,
+                key_tag: 4242,
+                signer_name: Name::parse("example.com.").unwrap(),
+                signature: vec![0xab; 64],
+            },
+        ))
+        .authority(Record::new(
+            Name::parse("example.com.").unwrap(),
+            3600,
+            RData::Ns(Name::parse("ns1.example.com.").unwrap()),
+        ))
+        .additional(Record::new(
+            Name::parse("ns1.example.com.").unwrap(),
+            3600,
+            RData::A("192.0.2.53".parse().unwrap()),
+        ))
+        .build()
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let msg = sample_response();
+    let bytes = msg.to_bytes();
+
+    c.bench_function("wire/encode_response", |b| {
+        b.iter(|| black_box(&msg).to_bytes())
+    });
+    c.bench_function("wire/decode_response", |b| {
+        b.iter(|| Message::from_bytes(black_box(&bytes)).unwrap())
+    });
+    c.bench_function("wire/roundtrip_query", |b| {
+        let q = Message::dnssec_query(
+            9,
+            Name::parse("d0000042.com.dlv.isc.org.").unwrap(),
+            RrType::Dlv,
+        );
+        b.iter(|| {
+            let bytes = black_box(&q).to_bytes();
+            Message::from_bytes(&bytes).unwrap()
+        })
+    });
+    c.bench_function("wire/name_canonical_cmp", |b| {
+        let a = Name::parse("alpha.example.com.").unwrap();
+        let z = Name::parse("zulu.example.com.").unwrap();
+        b.iter(|| black_box(&a).canonical_cmp(black_box(&z)))
+    });
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

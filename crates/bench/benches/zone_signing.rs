@@ -1,0 +1,46 @@
+//! Zone machinery benchmarks: signing throughput and NSEC lookups — the
+//! setup cost of materialising the DLV registry and the per-query cost of
+//! denial-of-existence proofs.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lookaside_wire::{Name, RData, RrType};
+use lookaside_zone::{PublishedZone, SigningKeys, Zone};
+
+fn build_zone(records: usize) -> Zone {
+    let apex = Name::parse("bench.example.").unwrap();
+    let mut zone = Zone::new(apex.clone(), apex.prepend("ns1").unwrap());
+    for i in 0..records {
+        zone.add(
+            apex.prepend(&format!("host{i:05}")).unwrap(),
+            300,
+            RData::A(std::net::Ipv4Addr::new(192, 0, 2, (i % 250) as u8 + 1)),
+        );
+    }
+    zone
+}
+
+fn bench_zone(c: &mut Criterion) {
+    let keys = SigningKeys::from_seed(1);
+
+    let mut group = c.benchmark_group("zone/sign");
+    for records in [10usize, 100, 1000] {
+        let zone = build_zone(records);
+        group.bench_with_input(BenchmarkId::from_parameter(records), &zone, |b, zone| {
+            b.iter(|| PublishedZone::signed(black_box(zone.clone()), &keys, 0, u32::MAX))
+        });
+    }
+    group.finish();
+
+    let published = PublishedZone::signed(build_zone(1000), &keys, 0, u32::MAX);
+    let hit = Name::parse("host00500.bench.example.").unwrap();
+    let miss = Name::parse("host99999x.bench.example.").unwrap();
+    c.bench_function("zone/lookup_hit", |b| {
+        b.iter(|| published.lookup(black_box(&hit), RrType::A))
+    });
+    c.bench_function("zone/lookup_nxdomain_with_proof", |b| {
+        b.iter(|| published.lookup(black_box(&miss), RrType::A))
+    });
+}
+
+criterion_group!(benches, bench_zone);
+criterion_main!(benches);

@@ -1,0 +1,233 @@
+//! `digsim` — a dig-like client for the simulated Internet.
+//!
+//! ```text
+//! digsim [options] <name> [<type>]
+//!
+//! options:
+//!   --install <apt-get|apt-get2|yum|manual>   BIND install preset (default yum)
+//!   --remedy  <none|txt|zbit|hashed>          §6.2 remedy (default none)
+//!   --population <N>                          ranked-domain universe (default 10000)
+//!   --qmin                                    enable QNAME minimisation
+//!   --trace                                   print every packet exchanged
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! digsim d0000001.com
+//! digsim --install apt-get2 --trace d0000007.net
+//! digsim --remedy zbit d0000042.com A
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+
+use lookaside::internet::{Internet, InternetParams};
+use lookaside_netsim::CaptureFilter;
+use lookaside_resolver::{FeatureModel, InstallMethod, ResolverConfig};
+use lookaside_wire::ext::RemedyMode;
+use lookaside_wire::{Name, RrType};
+use lookaside_workload::PopulationParams;
+
+struct Options {
+    install: InstallMethod,
+    remedy: RemedyMode,
+    population: usize,
+    qmin: bool,
+    trace: bool,
+    /// Resolve the rank-N population domain instead of a literal name.
+    rank: Option<usize>,
+    qname: Option<Name>,
+    qtype: RrType,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: digsim [--install apt-get|apt-get2|yum|manual] [--remedy none|txt|zbit|hashed]\n\
+         \u{20}             [--population N] [--qmin] [--trace] (<name> | --rank N) [A|AAAA|MX|TXT|NS|DNSKEY|DS]\n\
+         \u{20}      population names look like d0000001.com (use --rank to pick by rank)"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Options, ExitCode> {
+    let mut install = InstallMethod::Yum;
+    let mut remedy = RemedyMode::None;
+    let mut population = 10_000usize;
+    let mut qmin = false;
+    let mut trace = false;
+    let mut rank = None;
+    let mut positional: Vec<String> = Vec::new();
+
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--install" => {
+                install = match args.next().as_deref() {
+                    Some("apt-get") => InstallMethod::AptGet,
+                    Some("apt-get2") | Some("apt-get-compliant") => {
+                        InstallMethod::AptGetCompliant
+                    }
+                    Some("yum") => InstallMethod::Yum,
+                    Some("manual") => InstallMethod::Manual,
+                    _ => return Err(usage()),
+                };
+            }
+            "--remedy" => {
+                remedy = match args.next().as_deref() {
+                    Some("none") => RemedyMode::None,
+                    Some("txt") => RemedyMode::TxtSignal,
+                    Some("zbit") => RemedyMode::ZBit,
+                    Some("hashed") => RemedyMode::HashedDlv,
+                    _ => return Err(usage()),
+                };
+            }
+            "--population" => {
+                population = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(n) if n > 0 => n,
+                    _ => return Err(usage()),
+                };
+            }
+            "--qmin" => qmin = true,
+            "--trace" => trace = true,
+            "--rank" => {
+                rank = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(n) if n > 0 => Some(n),
+                    _ => return Err(usage()),
+                };
+            }
+            "--help" | "-h" => return Err(usage()),
+            other if !other.starts_with('-') => positional.push(other.to_string()),
+            _ => return Err(usage()),
+        }
+    }
+
+    // With --rank, every positional is a query type; otherwise the first is
+    // the name.
+    let qname = if rank.is_some() {
+        None
+    } else {
+        match positional.first() {
+            Some(name) => match Name::parse(name) {
+                Ok(qname) => Some(qname),
+                Err(_) => {
+                    eprintln!("digsim: invalid name {name:?}");
+                    return Err(ExitCode::from(2));
+                }
+            },
+            None => return Err(usage()),
+        }
+    };
+    let type_arg = if qname.is_some() { positional.get(1) } else { positional.first() };
+    let qtype = match type_arg.map(|s| s.to_uppercase()) {
+        None => RrType::A,
+        Some(t) => match t.as_str() {
+            "A" => RrType::A,
+            "AAAA" => RrType::Aaaa,
+            "MX" => RrType::Mx,
+            "TXT" => RrType::Txt,
+            "NS" => RrType::Ns,
+            "DNSKEY" => RrType::Dnskey,
+            "DS" => RrType::Ds,
+            _ => return Err(usage()),
+        },
+    };
+    Ok(Options { install, remedy, population, qmin, trace, rank, qname, qtype })
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+
+    let population =
+        PopulationParams { size: options.population, ..PopulationParams::default() };
+    let mut params =
+        InternetParams::for_top(options.population, population, options.remedy);
+    params.capture = CaptureFilter::All;
+    let mut internet = Internet::build(params);
+    let features =
+        FeatureModel { qname_minimization: options.qmin, ..FeatureModel::default() };
+    let mut resolver = internet.resolver_with_features(
+        ResolverConfig::Bind(options.install.bind_config()),
+        features,
+        0xd16,
+    );
+
+    let qname = match (&options.qname, options.rank) {
+        (Some(name), _) => name.clone(),
+        (None, Some(rank)) => {
+            if rank > options.population {
+                eprintln!("digsim: rank {rank} exceeds population {}", options.population);
+                return ExitCode::from(2);
+            }
+            internet.population.domain(rank)
+        }
+        _ => unreachable!("parse_args enforces one of name/rank"),
+    };
+
+    println!(
+        "; <<>> digsim <<>> {} {} (install {}, remedy {})",
+        qname,
+        options.qtype,
+        options.install.label(),
+        options.remedy.label()
+    );
+    match resolver.resolve(&mut internet.net, &qname, options.qtype) {
+        Ok(res) => {
+            println!(
+                ";; status: {}, security: {:?}{}",
+                res.rcode,
+                res.status,
+                if res.secured_via_dlv { " (via DLV)" } else { "" }
+            );
+            println!(";; ANSWER SECTION ({} records):", res.answers.len());
+            for rec in &res.answers {
+                println!("{rec}");
+            }
+        }
+        Err(e) => {
+            println!(";; resolution failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let stats = internet.net.stats();
+    println!(
+        "\n;; upstream: {} queries, {} bytes, {:.1} ms simulated",
+        stats.total_queries,
+        stats.total_bytes(),
+        stats.total_time_ns as f64 / 1e6
+    );
+
+    if options.trace {
+        println!(";; PACKET TRACE:");
+        for p in internet.net.capture().packets() {
+            let dir = match p.direction {
+                lookaside_netsim::Direction::Query => "->",
+                lookaside_netsim::Direction::Response => "<-",
+            };
+            let label = internet.net.label_of(p.dst).unwrap_or("?");
+            println!(
+                ";;  {:>9.3}ms {dir} {label:<14} {} {} {} ({}B)",
+                p.time_ns as f64 / 1e6,
+                p.qname,
+                p.qtype,
+                p.rcode,
+                p.size
+            );
+        }
+    }
+
+    let dlv_queries: Vec<_> = internet.net.capture().dlv_queries().collect();
+    if dlv_queries.is_empty() {
+        println!(";; the DLV registry observed nothing for this resolution");
+    } else {
+        println!(";; the DLV registry OBSERVED:");
+        for p in dlv_queries {
+            println!(";;   {}", p.qname);
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,99 @@
+//! `labrun` — run an experiment described by a `.lab` config file (see
+//! [`lookaside_bench::labconfig`] for the format).
+//!
+//! ```text
+//! labrun experiment.lab      # read from a file
+//! labrun -                   # read from stdin
+//! ```
+//!
+//! Prints the run outcome: validation statuses, DLV leakage, and traffic
+//! totals.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use lookaside::experiments::run;
+use lookaside::report::render_table;
+use lookaside_bench::labconfig::parse_lab_config;
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: labrun <experiment.lab | ->");
+        return ExitCode::from(2);
+    };
+    let text = if path == "-" {
+        let mut buf = String::new();
+        if std::io::stdin().read_to_string(&mut buf).is_err() {
+            eprintln!("labrun: failed to read stdin");
+            return ExitCode::FAILURE;
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("labrun: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let config = match parse_lab_config(&text) {
+        Ok(config) => config,
+        Err(e) => {
+            eprintln!("labrun: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    println!("running: {:?} queries over a {}-domain population, remedy {} …",
+        config.queries, config.population.size, config.remedy.label());
+    let outcome = run(&config);
+
+    println!("\n== validation statuses ==");
+    let s = &outcome.statuses;
+    print!(
+        "{}",
+        render_table(
+            &["secure", "via DLV", "insecure", "bogus", "indeterminate", "errors"],
+            &[vec![
+                s.secure.to_string(),
+                s.secure_via_dlv.to_string(),
+                s.insecure.to_string(),
+                s.bogus.to_string(),
+                s.indeterminate.to_string(),
+                s.errors.to_string(),
+            ]]
+        )
+    );
+
+    println!("\n== what the DLV registry observed ==");
+    let l = &outcome.leakage;
+    print!(
+        "{}",
+        render_table(
+            &["DLV queries", "case 1 (served)", "case 2 (leaked)", "leak %", "suppressed"],
+            &[vec![
+                l.dlv_queries.to_string(),
+                l.case1.to_string(),
+                l.case2.to_string(),
+                format!("{:.1}%", l.leak_fraction() * 100.0),
+                outcome.counters.dlv_suppressed_by_nsec.to_string(),
+            ]]
+        )
+    );
+
+    println!("\n== traffic ==");
+    print!(
+        "{}",
+        render_table(
+            &["upstream queries", "bytes", "sim time (s)"],
+            &[vec![
+                outcome.stats.total_queries.to_string(),
+                outcome.stats.total_bytes().to_string(),
+                format!("{:.2}", outcome.stats.total_seconds()),
+            ]]
+        )
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,521 @@
+//! Building the simulated Internet of the study.
+//!
+//! Topology (cf. DESIGN.md):
+//!
+//! ```text
+//!             root (signed, materialised)
+//!         ┌─────┴──────────────┬──────────────┐
+//!   com/net/… (15 synthetic   org             in-addr.arpa (answered
+//!   TLD authorities)           │               by the root: NXDOMAIN)
+//!         │               isc.org (real, signed)
+//!   d0000001.com …              │
+//!   h0042.net … (served by  dlv.isc.org — the DLV registry
+//!   the default-route        (signed; calibrated deposits)
+//!   synthetic authority)
+//! ```
+
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+use lookaside_crypto::{ds_rdata, KeyPair, PublicKey};
+use lookaside_netsim::{CaptureFilter, LatencyModel, Network};
+use lookaside_resolver::{
+    FeatureModel, RecursiveResolver, ResolverConfig, ResolverSetup,
+};
+use lookaside_server::{
+    AuthoritativeServer, DlvDeposit, DlvRegistry, SyntheticAuthority, SyntheticSpec, ZoneOracle,
+    DLV_SPAN_TTL,
+};
+use lookaside_wire::ext::RemedyMode;
+use lookaside_wire::{Name, RData};
+use lookaside_workload::{huque45, DomainPopulation, HuqueDomain, PopEntry, PopulationParams};
+use lookaside_zone::{PublishedZone, SigningKeys, Zone};
+
+/// Root server address (mirrors `a.root-servers.net`).
+pub const ROOT_ADDR: Ipv4Addr = Ipv4Addr::new(198, 41, 0, 4);
+/// `isc.org` server address.
+pub const ISC_ADDR: Ipv4Addr = Ipv4Addr::new(10, 2, 0, 1);
+/// DLV registry server address.
+pub const DLV_ADDR: Ipv4Addr = Ipv4Addr::new(10, 2, 0, 2);
+
+/// Signing epoch used by every zone (inception..expiration).
+pub const INCEPTION: u32 = 0;
+/// Signature expiration — far future; the study never exercises expiry.
+pub const EXPIRATION: u32 = u32::MAX;
+
+fn tld_addr(index: usize) -> Ipv4Addr {
+    Ipv4Addr::new(10, 0, 0, 10 + index as u8)
+}
+
+fn tld_key_seed(index: usize) -> u64 {
+    0x7464_0000 + index as u64
+}
+
+/// Measurement vantage point (§7.1 "Experiment Generality"): the paper ran
+/// from a campus network and from DigitalOcean/EC2 VPSes and found the
+/// findings identical. Each vantage only changes the latency profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VantagePoint {
+    /// On-campus host: moderate, stable latency.
+    #[default]
+    Campus,
+    /// DigitalOcean VPS: close to well-peered infrastructure.
+    DigitalOcean,
+    /// Amazon EC2 instance: similar, different jitter profile.
+    Ec2,
+}
+
+impl VantagePoint {
+    /// All vantage points, for sweeps.
+    pub const ALL: [VantagePoint; 3] =
+        [VantagePoint::Campus, VantagePoint::DigitalOcean, VantagePoint::Ec2];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            VantagePoint::Campus => "campus",
+            VantagePoint::DigitalOcean => "digitalocean",
+            VantagePoint::Ec2 => "ec2",
+        }
+    }
+
+    /// (base-min, base-max, jitter) milliseconds for SLD-class servers.
+    fn latency_profile(self) -> (u64, u64, u64) {
+        match self {
+            VantagePoint::Campus => (35, 75, 6),
+            VantagePoint::DigitalOcean => (20, 55, 3),
+            VantagePoint::Ec2 => (25, 60, 9),
+        }
+    }
+}
+
+/// Parameters for building an [`Internet`].
+#[derive(Debug, Clone)]
+pub struct InternetParams {
+    /// The ranked domain population.
+    pub population: PopulationParams,
+    /// Active remedy (affects published TXT records, Z-bit advertising, and
+    /// the registry's owner-name hashing).
+    pub remedy: RemedyMode,
+    /// Highest rank that will be queried; bounds how much of the DLV
+    /// repository is materialised.
+    pub query_limit: usize,
+    /// Negative-caching TTL of the registry's NSEC spans.
+    pub dlv_span_ttl: u32,
+    /// Denial-of-existence mechanism of the DLV registry (§7.3: NSEC3
+    /// forfeits aggressive negative caching).
+    pub dlv_denial: lookaside_zone::DenialMode,
+    /// Latency seed.
+    pub seed: u64,
+    /// Capture filter for the network.
+    pub capture: CaptureFilter,
+    /// Where the measurement runs from (latency profile only).
+    pub vantage: VantagePoint,
+}
+
+impl InternetParams {
+    /// Sensible defaults for a top-`limit` experiment.
+    pub fn for_top(limit: usize, population: PopulationParams, remedy: RemedyMode) -> Self {
+        InternetParams {
+            population,
+            remedy,
+            query_limit: limit,
+            dlv_span_ttl: DLV_SPAN_TTL,
+            dlv_denial: lookaside_zone::DenialMode::Nsec,
+            seed: 0x1ce,
+            capture: CaptureFilter::DlvOnly,
+            vantage: VantagePoint::Campus,
+        }
+    }
+}
+
+/// The oracle mapping names to synthetic zone attributes: ranked domains,
+/// hosting providers, the huque45 corpus, and `isc.org`'s delegation data.
+pub struct CoreOracle {
+    population: DomainPopulation,
+    remedy: RemedyMode,
+    huque: Vec<HuqueDomain>,
+    huque_addr: Ipv4Addr,
+    isc_key_seed: u64,
+}
+
+impl CoreOracle {
+    fn spec_for_domain(&self, attrs: &lookaside_workload::DomainAttrs) -> SyntheticSpec {
+        let ns_hosts = if attrs.self_hosted {
+            vec![
+                (attrs.name.prepend("ns1").expect("ns1"), attrs.server_addr),
+                (attrs.name.prepend("ns2").expect("ns2"), attrs.server_addr),
+            ]
+        } else {
+            let h = self.population.hoster(attrs.hoster.expect("hosted domain has hoster"));
+            vec![
+                (h.name.prepend("ns1").expect("ns1"), h.server_addr),
+                (h.name.prepend("ns2").expect("ns2"), h.server_addr),
+            ]
+        };
+        SyntheticSpec {
+            apex: attrs.name.clone(),
+            signed: attrs.signed,
+            ds_in_parent: attrs.ds_in_parent,
+            dlv_deposited: attrs.deposited,
+            key_seed: attrs.key_seed,
+            txt_signal: (self.remedy == RemedyMode::TxtSignal).then_some(attrs.deposited),
+            z_signal: self.remedy == RemedyMode::ZBit,
+            ns_hosts,
+            server_addr: attrs.server_addr,
+        }
+    }
+
+    fn spec_for_hoster(&self, attrs: &lookaside_workload::HosterAttrs) -> SyntheticSpec {
+        SyntheticSpec {
+            apex: attrs.name.clone(),
+            signed: attrs.signed,
+            ds_in_parent: attrs.ds_in_parent,
+            dlv_deposited: false,
+            key_seed: attrs.key_seed,
+            txt_signal: (self.remedy == RemedyMode::TxtSignal).then_some(false),
+            z_signal: self.remedy == RemedyMode::ZBit,
+            ns_hosts: vec![
+                (attrs.name.prepend("ns1").expect("ns1"), attrs.server_addr),
+                (attrs.name.prepend("ns2").expect("ns2"), attrs.server_addr),
+            ],
+            server_addr: attrs.server_addr,
+        }
+    }
+
+    fn spec_for_huque(&self, domain: &HuqueDomain) -> SyntheticSpec {
+        SyntheticSpec {
+            apex: domain.name.clone(),
+            signed: domain.signed,
+            ds_in_parent: domain.ds_in_parent,
+            dlv_deposited: domain.deposited,
+            key_seed: domain.key_seed,
+            txt_signal: (self.remedy == RemedyMode::TxtSignal).then_some(domain.deposited),
+            z_signal: self.remedy == RemedyMode::ZBit,
+            ns_hosts: vec![(domain.name.prepend("ns1").expect("ns1"), self.huque_addr)],
+            server_addr: self.huque_addr,
+        }
+    }
+
+    fn spec_for_isc(&self) -> SyntheticSpec {
+        let apex = Name::parse("isc.org.").expect("static name");
+        SyntheticSpec {
+            apex: apex.clone(),
+            signed: true,
+            ds_in_parent: true,
+            dlv_deposited: false,
+            key_seed: self.isc_key_seed,
+            txt_signal: (self.remedy == RemedyMode::TxtSignal).then_some(false),
+            z_signal: false,
+            ns_hosts: vec![(apex.prepend("ns1").expect("ns1"), ISC_ADDR)],
+            server_addr: ISC_ADDR,
+        }
+    }
+}
+
+impl ZoneOracle for CoreOracle {
+    fn sld_spec(&self, qname: &Name) -> Option<SyntheticSpec> {
+        if qname.label_count() < 2 {
+            return None;
+        }
+        let apex = qname.suffix(2);
+        if apex == Name::parse("isc.org.").expect("static name") {
+            return Some(self.spec_for_isc());
+        }
+        if let Some(d) = self.huque.iter().find(|d| d.name == apex) {
+            return Some(self.spec_for_huque(d));
+        }
+        match self.population.entry_of(qname)? {
+            PopEntry::Domain(attrs) => Some(self.spec_for_domain(&attrs)),
+            PopEntry::Hoster(attrs) => Some(self.spec_for_hoster(&attrs)),
+        }
+    }
+}
+
+/// A fully built simulated Internet plus the data the experiments need to
+/// interpret traffic.
+pub struct Internet {
+    /// The network carrying all traffic.
+    pub net: Network,
+    /// Root zone KSK — the trust anchor a correctly configured resolver
+    /// loads.
+    pub root_anchor: PublicKey,
+    /// DLV registry KSK — the `bind.keys` DLV anchor.
+    pub dlv_anchor: PublicKey,
+    /// Registry apex (`dlv.isc.org.`).
+    pub dlv_apex: Name,
+    /// Domains with deposits, for ground-truth classification.
+    pub deposits: BTreeSet<Name>,
+    /// The population behind the oracle.
+    pub population: DomainPopulation,
+    /// Parameters the Internet was built with.
+    pub params: InternetParams,
+}
+
+impl Internet {
+    /// Builds the whole topology.
+    pub fn build(params: InternetParams) -> Self {
+        let population = DomainPopulation::new(params.population);
+        let huque = huque45();
+        let huque_addr = Ipv4Addr::new(10, 3, 0, 1);
+        let isc_key_seed = 0x15c_0000;
+
+        let oracle: Rc<CoreOracle> = Rc::new(CoreOracle {
+            population: population.clone(),
+            remedy: params.remedy,
+            huque: huque.clone(),
+            huque_addr,
+            isc_key_seed,
+        });
+
+        let mut net = Network::new(params.seed);
+        net.set_capture_filter(params.capture);
+        let mut latency = LatencyModel::new(params.seed ^ 0x1a7);
+        // Anycast infrastructure (root, TLDs, the registry's parent chain)
+        // is close; SLD content servers are farther — this is what makes the
+        // TXT remedy's latency overhead exceed its query-count overhead
+        // (§6.2.3, Fig. 10a).
+        latency.pin(ROOT_ADDR, 8, 16);
+        for i in 0..lookaside_workload::TLDS.len() {
+            latency.pin(tld_addr(i), 8, 20);
+        }
+        latency.pin(ISC_ADDR, 12, 24);
+        latency.pin(DLV_ADDR, 15, 30);
+        let (base_min, base_max, jitter) = params.vantage.latency_profile();
+        net.set_latency(latency.with_base_range(base_min, base_max).with_jitter(jitter));
+
+        // Root zone.
+        let root_keys = SigningKeys::from_seed(0x126);
+        let mut root = Zone::new(Name::root(), Name::parse("a.root-servers.net.").unwrap());
+        for (i, tld) in lookaside_workload::TLDS.iter().enumerate() {
+            let apex = Name::parse(tld.label).expect("valid tld");
+            let ns = apex.prepend("ns").expect("ns name");
+            root.delegate(apex.clone(), &[(ns, tld_addr(i))]).expect("delegate tld");
+            if tld.signed {
+                let keys = SigningKeys::from_seed(tld_key_seed(i));
+                root.add_ds(apex.clone(), ds_rdata(&apex, &keys.ksk.public()));
+            }
+        }
+        let root_zone = PublishedZone::signed(root, &root_keys, INCEPTION, EXPIRATION);
+        net.register(ROOT_ADDR, "root", Box::new(AuthoritativeServer::single(root_zone)));
+
+        // TLD authorities (synthetic).
+        for (i, tld) in lookaside_workload::TLDS.iter().enumerate() {
+            let apex = Name::parse(tld.label).expect("valid tld");
+            let authority = SyntheticAuthority::tld(
+                apex,
+                SigningKeys::from_seed(tld_key_seed(i)),
+                tld.signed,
+                oracle.clone(),
+                INCEPTION,
+                EXPIRATION,
+            );
+            net.register(tld_addr(i), tld.label, Box::new(authority));
+        }
+
+        // isc.org (real, signed; delegates dlv.isc.org with DS).
+        let isc_keys = SigningKeys::from_seed(isc_key_seed);
+        let dlv_keys = SigningKeys::from_seed(0xd17);
+        let isc_apex = Name::parse("isc.org.").unwrap();
+        let dlv_apex = Name::parse("dlv.isc.org.").unwrap();
+        let mut isc = Zone::new(isc_apex.clone(), isc_apex.prepend("ns1").unwrap());
+        isc.add(isc_apex.prepend("ns1").unwrap(), 3600, RData::A(ISC_ADDR));
+        isc.add(isc_apex.clone(), 3600, RData::A(ISC_ADDR));
+        isc.delegate(dlv_apex.clone(), &[(dlv_apex.prepend("ns").unwrap(), DLV_ADDR)])
+            .expect("delegate dlv");
+        isc.add_ds(dlv_apex.clone(), ds_rdata(&dlv_apex, &dlv_keys.ksk.public()));
+        let isc_zone = PublishedZone::signed(isc, &isc_keys, INCEPTION, EXPIRATION);
+        net.register(ISC_ADDR, "isc.org", Box::new(AuthoritativeServer::single(isc_zone)));
+
+        // The DLV registry: calibrated neighbours + real deposits.
+        let mut registry_deposits = Vec::new();
+        let mut deposits = BTreeSet::new();
+        for rank in population.repo_neighbours(params.query_limit) {
+            let domain = population.repo_neighbour_name(rank);
+            let ksk = KeyPair::generate_ksk(population.repo_neighbour_key_seed(rank));
+            registry_deposits.push(DlvDeposit { domain: domain.clone(), ksk: ksk.public() });
+            deposits.insert(domain);
+        }
+        for rank in population.deposited_ranks(params.query_limit) {
+            let attrs = population.attributes(rank);
+            let keys = SigningKeys::from_seed(attrs.key_seed);
+            registry_deposits
+                .push(DlvDeposit { domain: attrs.name.clone(), ksk: keys.ksk.public() });
+            deposits.insert(attrs.name);
+        }
+        for domain in huque.iter().filter(|d| d.deposited) {
+            let keys = SigningKeys::from_seed(domain.key_seed);
+            registry_deposits
+                .push(DlvDeposit { domain: domain.name.clone(), ksk: keys.ksk.public() });
+            deposits.insert(domain.name.clone());
+        }
+        let registry = DlvRegistry::with_denial(
+            dlv_apex.clone(),
+            &registry_deposits,
+            &dlv_keys,
+            INCEPTION,
+            EXPIRATION,
+            params.remedy == RemedyMode::HashedDlv,
+            params.dlv_span_ttl,
+            params.dlv_denial,
+        );
+        net.register(DLV_ADDR, "dlv-registry", Box::new(registry));
+
+        // Everything else — ranked SLDs, hosters, huque zones — is served by
+        // the default-route synthetic authority.
+        let sld_authority =
+            SyntheticAuthority::sld_default(oracle.clone(), INCEPTION, EXPIRATION);
+        net.set_default_route(Box::new(sld_authority));
+
+        Internet {
+            net,
+            root_anchor: root_keys.ksk.public(),
+            dlv_anchor: dlv_keys.ksk.public(),
+            dlv_apex,
+            deposits,
+            population,
+            params,
+        }
+    }
+
+    /// Builds a resolver wired to this Internet.
+    pub fn resolver(&self, config: ResolverConfig, salt: u64) -> RecursiveResolver {
+        self.resolver_with_features(config, FeatureModel::default(), salt)
+    }
+
+    /// Builds a resolver with a custom behavioural feature model (e.g.
+    /// QNAME minimisation on, aggressive NSEC caching off).
+    pub fn resolver_with_features(
+        &self,
+        config: ResolverConfig,
+        features: FeatureModel,
+        salt: u64,
+    ) -> RecursiveResolver {
+        RecursiveResolver::new(ResolverSetup {
+            config,
+            features,
+            remedy: self.params.remedy,
+            root_hint: ROOT_ADDR,
+            root_anchor: self.root_anchor,
+            dlv_apex: self.dlv_apex.clone(),
+            dlv_anchor: self.dlv_anchor,
+            salt,
+        })
+    }
+
+    /// Ground truth: does `domain` (or an enclosing name) have a deposit?
+    pub fn is_deposited(&self, domain: &Name) -> bool {
+        let mut cur = Some(domain.clone());
+        while let Some(name) = cur {
+            if name.is_root() {
+                return false;
+            }
+            if self.deposits.contains(&name) {
+                return true;
+            }
+            cur = name.parent();
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lookaside_resolver::{BindConfig, SecurityStatus};
+    use lookaside_wire::RrType;
+
+    fn small_params() -> InternetParams {
+        let population = PopulationParams { size: 2000, ..PopulationParams::default() };
+        // query_limit covers the whole population so tests may probe any
+        // rank's deposit.
+        InternetParams::for_top(2000, population, RemedyMode::None)
+    }
+
+    #[test]
+    fn build_registers_core_infrastructure() {
+        let internet = Internet::build(small_params());
+        assert!(internet.net.has_node(ROOT_ADDR));
+        assert!(internet.net.has_node(ISC_ADDR));
+        assert!(internet.net.has_node(DLV_ADDR));
+        assert!(!internet.deposits.is_empty());
+    }
+
+    #[test]
+    fn popular_domain_resolves() {
+        let mut internet = Internet::build(small_params());
+        let mut resolver = internet.resolver(
+            ResolverConfig::Bind(BindConfig::correct()),
+            1,
+        );
+        let qname = internet.population.domain(1);
+        let res = resolver.resolve(&mut internet.net, &qname, RrType::A).unwrap();
+        assert_eq!(res.rcode, lookaside_wire::Rcode::NoError);
+        assert!(!res.answers.is_empty());
+    }
+
+    #[test]
+    fn signed_secure_domain_validates_without_dlv() {
+        let mut internet = Internet::build(small_params());
+        // Find a signed domain with DS under a signed TLD.
+        let rank = (1..2000)
+            .find(|&r| {
+                let a = internet.population.attributes(r);
+                a.signed && a.ds_in_parent
+            })
+            .expect("population contains secure domains");
+        let qname = internet.population.domain(rank);
+        let mut resolver = internet.resolver(ResolverConfig::Bind(BindConfig::correct()), 2);
+        let res = resolver.resolve(&mut internet.net, &qname, RrType::A).unwrap();
+        assert_eq!(res.status, SecurityStatus::Secure, "rank {rank} ({qname})");
+        assert!(!res.secured_via_dlv);
+    }
+
+    #[test]
+    fn deposited_island_secures_via_dlv() {
+        let mut internet = Internet::build(small_params());
+        let rank = internet
+            .population
+            .deposited_ranks(2000)
+            .next()
+            .expect("population contains deposited islands");
+        let qname = internet.population.domain(rank);
+        let mut resolver = internet.resolver(ResolverConfig::Bind(BindConfig::correct()), 3);
+        let res = resolver.resolve(&mut internet.net, &qname, RrType::A).unwrap();
+        assert_eq!(res.status, SecurityStatus::Secure, "rank {rank} ({qname})");
+        assert!(res.secured_via_dlv);
+    }
+
+    #[test]
+    fn unsigned_domain_leaks_to_registry() {
+        let mut internet = Internet::build(small_params());
+        let rank = (1..2000)
+            .find(|&r| !internet.population.attributes(r).signed)
+            .expect("most domains are unsigned");
+        let qname = internet.population.domain(rank);
+        let mut resolver = internet.resolver(ResolverConfig::Bind(BindConfig::correct()), 4);
+        let res = resolver.resolve(&mut internet.net, &qname, RrType::A).unwrap();
+        assert_eq!(res.status, SecurityStatus::Insecure);
+        assert!(resolver.counters.dlv_queries_sent >= 1);
+        let leaked: Vec<String> = internet
+            .net
+            .capture()
+            .dlv_queries()
+            .map(|p| p.qname.to_string())
+            .collect();
+        assert!(
+            leaked.iter().any(|q| q.starts_with(&qname.to_string().trim_end_matches('.').to_string())),
+            "expected {qname} among {leaked:?}"
+        );
+    }
+
+    #[test]
+    fn is_deposited_walks_enclosing_names() {
+        let internet = Internet::build(small_params());
+        let deposited = internet.deposits.iter().next().unwrap().clone();
+        assert!(internet.is_deposited(&deposited));
+        assert!(internet.is_deposited(&deposited.prepend("www").unwrap()));
+        assert!(!internet.is_deposited(&Name::parse("never-there.com.").unwrap()));
+    }
+}

@@ -1,0 +1,47 @@
+//! Reproduction of *"Look-Aside at Your Own Risk: Privacy Implications of
+//! DNSSEC Look-Aside Validation"* (ICDCS'17 / TDSC'18).
+//!
+//! This facade crate assembles the whole study:
+//!
+//! * [`internet`] — builds the simulated Internet: a signed root, the 15
+//!   synthetic TLDs, the `isc.org` → `dlv.isc.org` registry chain, the DLV
+//!   repository (calibrated contents), and a default-route synthetic
+//!   authority serving the million-domain tail,
+//! * [`leakage`] — the Case-1/Case-2 classifier over packet captures (§3),
+//! * [`experiments`] — one runner per table/figure of the paper's
+//!   evaluation (Tables 2–5, Figs. 8–12, plus the §5.1/§5.2/§5.3
+//!   headline numbers),
+//! * [`attacks`] — §6.2.3 signaling attacks and the §6.2.4 dictionary
+//!   attack on hashed DLV,
+//! * [`report`] — plain-text table rendering for the `repro` binary.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lookaside::experiments::{run, QuerySet, RunConfig};
+//!
+//! let config = RunConfig::quick(50);
+//! let outcome = run(&config);
+//! assert!(outcome.leakage.case2 > 0, "most popular domains leak to DLV");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attacks;
+pub mod client;
+pub mod experiments;
+pub mod internet;
+pub mod leakage;
+pub mod report;
+
+pub use client::Client;
+pub use internet::{Internet, InternetParams, VantagePoint};
+pub use leakage::{classify, LeakageReport};
+
+pub use lookaside_netsim as netsim;
+pub use lookaside_resolver as resolver;
+pub use lookaside_server as server;
+pub use lookaside_wire as wire;
+pub use lookaside_workload as workload;
+pub use lookaside_zone as zone;

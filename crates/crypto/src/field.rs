@@ -1,0 +1,159 @@
+//! Modular arithmetic over the simulator's Schnorr group.
+//!
+//! The group is the order-`q` subgroup of `Z_p^*` where `p = 2q + 1` is a
+//! safe prime: `q = 0x1_0000_0000_02fb` (≈2⁴⁸) and `p = 0x2_0000_0000_05f7`.
+//! The generator `G = 4` generates the subgroup of quadratic residues, which
+//! has prime order `q`. These constants are verified by Miller–Rabin in the
+//! unit tests.
+
+/// The subgroup order `q` (prime).
+pub const Q: u64 = 0x1_0000_0000_02fb;
+/// The field modulus `p = 2q + 1` (safe prime).
+pub const P: u64 = 0x2_0000_0000_05f7;
+/// Generator of the order-`q` subgroup.
+pub const G: u64 = 4;
+
+/// `(a * b) mod m` without overflow.
+pub fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// `(a + b) mod m` without overflow.
+pub fn add_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 + b as u128) % m as u128) as u64
+}
+
+/// `(a - b) mod m`, always non-negative.
+pub fn sub_mod(a: u64, b: u64, m: u64) -> u64 {
+    let (a, b) = (a % m, b % m);
+    if a >= b {
+        a - b
+    } else {
+        a + (m - b)
+    }
+}
+
+/// `base^exp mod m` by square-and-multiply.
+pub fn pow_mod(base: u64, mut exp: u64, m: u64) -> u64 {
+    debug_assert!(m > 1);
+    let mut result = 1u64;
+    let mut base = base % m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            result = mul_mod(result, base, m);
+        }
+        base = mul_mod(base, base, m);
+        exp >>= 1;
+    }
+    result
+}
+
+/// Multiplicative inverse mod a prime `m` (Fermat).
+///
+/// # Panics
+///
+/// Panics if `a` is zero mod `m` (no inverse exists).
+pub fn inv_mod(a: u64, m: u64) -> u64 {
+    assert!(!a.is_multiple_of(m), "zero has no inverse");
+    pow_mod(a, m - 2, m)
+}
+
+/// Deterministic Miller–Rabin primality test, exact for all `u64` inputs
+/// (uses the first twelve primes as witnesses).
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n.is_multiple_of(p) {
+            return n == p;
+        }
+    }
+    let mut d = n - 1;
+    let mut s = 0u32;
+    while d.is_multiple_of(2) {
+        d /= 2;
+        s += 1;
+    }
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_constants_are_a_safe_prime_pair() {
+        assert!(is_prime(Q), "q must be prime");
+        assert!(is_prime(P), "p must be prime");
+        assert_eq!(P, 2 * Q + 1, "p must equal 2q+1");
+    }
+
+    #[test]
+    fn generator_has_order_q() {
+        assert_eq!(pow_mod(G, Q, P), 1, "g^q must be 1");
+        assert_ne!(pow_mod(G, 1, P), 1);
+        assert_ne!(pow_mod(G, 2, P), 1);
+    }
+
+    #[test]
+    fn pow_mod_small_cases() {
+        assert_eq!(pow_mod(2, 10, 1_000_003), 1024);
+        assert_eq!(pow_mod(5, 0, 7), 1);
+        assert_eq!(pow_mod(0, 5, 7), 0);
+        assert_eq!(pow_mod(7, 3, 7), 0);
+    }
+
+    #[test]
+    fn inv_mod_is_inverse() {
+        for a in [1u64, 2, 3, 12345, Q - 1] {
+            assert_eq!(mul_mod(a, inv_mod(a, Q), Q), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inverse")]
+    fn inv_mod_zero_panics() {
+        inv_mod(0, Q);
+    }
+
+    #[test]
+    fn sub_mod_wraps() {
+        assert_eq!(sub_mod(3, 5, 7), 5);
+        assert_eq!(sub_mod(5, 3, 7), 2);
+        assert_eq!(sub_mod(5, 5, 7), 0);
+    }
+
+    #[test]
+    fn is_prime_classifies_small_numbers() {
+        let primes: Vec<u64> = (0..60).filter(|&n| is_prime(n)).collect();
+        assert_eq!(primes, [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59]);
+    }
+
+    #[test]
+    fn is_prime_carmichael_and_large() {
+        assert!(!is_prime(561)); // Carmichael
+        assert!(!is_prime(41041));
+        assert!(is_prime(2_305_843_009_213_693_951)); // 2^61 - 1
+        assert!(!is_prime(u64::MAX));
+    }
+
+    #[test]
+    fn mul_mod_no_overflow_at_extremes() {
+        let m = u64::MAX - 58; // 2^64 - 59 (prime)
+        assert_eq!(mul_mod(m - 1, m - 1, m), 1);
+    }
+}

@@ -1,0 +1,178 @@
+//! Schnorr signatures over the small safe-prime group of [`crate::field`].
+//!
+//! * Secret key: `x ∈ [1, q)`.
+//! * Public key: `y = g^x mod p`.
+//! * Sign: derive a deterministic nonce `k` (RFC 6979-style, from SHA-256 of
+//!   the secret key and message), compute `r = g^k mod p`,
+//!   `e = H(r ‖ msg) mod q`, `s = k − x·e mod q`; the signature is `(e, s)`.
+//! * Verify: recompute `r' = g^s · y^e mod p` and accept iff
+//!   `H(r' ‖ msg) mod q == e`.
+//!
+//! Signatures serialise to [`SIGNATURE_LEN`] bytes: the 8-byte big-endian
+//! `e` and `s`, zero-padded to 64 bytes so that wire-format RRSIG sizes are
+//! comparable to a real ECDSA-P256 deployment (traffic volumes in Table 5 /
+//! Figs. 10–12 depend on realistic message sizes).
+
+use crate::field::{mul_mod, pow_mod, sub_mod, G, P, Q};
+use crate::sha256::Sha256;
+
+/// Serialised signature length in octets.
+pub const SIGNATURE_LEN: usize = 64;
+/// Serialised public key length in octets (zero-padded, ECDSA-P256-like).
+pub const PUBLIC_KEY_LEN: usize = 32;
+
+/// A Schnorr signature `(e, s)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signature {
+    /// Challenge scalar.
+    pub e: u64,
+    /// Response scalar.
+    pub s: u64,
+}
+
+impl Signature {
+    /// Serialises to the padded 64-byte wire form.
+    pub fn to_bytes(self) -> Vec<u8> {
+        let mut out = vec![0u8; SIGNATURE_LEN];
+        out[0..8].copy_from_slice(&self.e.to_be_bytes());
+        out[8..16].copy_from_slice(&self.s.to_be_bytes());
+        out
+    }
+
+    /// Parses the padded wire form. Returns `None` if `bytes` is too short
+    /// or the scalars are out of range.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 16 {
+            return None;
+        }
+        let e = u64::from_be_bytes(bytes[0..8].try_into().ok()?);
+        let s = u64::from_be_bytes(bytes[8..16].try_into().ok()?);
+        if e >= Q || s >= Q {
+            return None;
+        }
+        Some(Signature { e, s })
+    }
+}
+
+/// Derives the secret scalar from a seed, uniformly-ish in `[1, q)`.
+pub(crate) fn secret_from_seed(seed: u64) -> u64 {
+    let mut h = Sha256::new();
+    h.update(b"lookaside-secret-key");
+    h.update(&seed.to_be_bytes());
+    let d = h.finalize();
+    let v = u64::from_be_bytes(d[..8].try_into().expect("8 bytes"));
+    1 + v % (Q - 1)
+}
+
+/// Computes the public key for a secret scalar.
+pub(crate) fn public_from_secret(x: u64) -> u64 {
+    pow_mod(G, x, P)
+}
+
+fn challenge(r: u64, msg: &[u8]) -> u64 {
+    let mut h = Sha256::new();
+    h.update(b"lookaside-schnorr-e");
+    h.update(&r.to_be_bytes());
+    h.update(msg);
+    let d = h.finalize();
+    u64::from_be_bytes(d[..8].try_into().expect("8 bytes")) % Q
+}
+
+fn nonce(x: u64, msg: &[u8]) -> u64 {
+    let mut h = Sha256::new();
+    h.update(b"lookaside-schnorr-k");
+    h.update(&x.to_be_bytes());
+    h.update(msg);
+    let d = h.finalize();
+    1 + u64::from_be_bytes(d[..8].try_into().expect("8 bytes")) % (Q - 1)
+}
+
+/// Signs `msg` with secret scalar `x`.
+pub(crate) fn sign(x: u64, msg: &[u8]) -> Signature {
+    let k = nonce(x, msg);
+    let r = pow_mod(G, k, P);
+    let e = challenge(r, msg);
+    let s = sub_mod(k, mul_mod(x, e, Q), Q);
+    Signature { e, s }
+}
+
+/// Verifies `sig` over `msg` against public key `y`.
+pub(crate) fn verify(y: u64, msg: &[u8], sig: &Signature) -> bool {
+    if sig.e >= Q || sig.s >= Q || y == 0 || y >= P {
+        return false;
+    }
+    let r = mul_mod(pow_mod(G, sig.s, P), pow_mod(y, sig.e, P), P);
+    challenge(r, msg) == sig.e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let x = secret_from_seed(1);
+        let y = public_from_secret(x);
+        let sig = sign(x, b"hello dlv");
+        assert!(verify(y, b"hello dlv", &sig));
+    }
+
+    #[test]
+    fn tampered_message_fails() {
+        let x = secret_from_seed(2);
+        let y = public_from_secret(x);
+        let sig = sign(x, b"original");
+        assert!(!verify(y, b"tampered", &sig));
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let x1 = secret_from_seed(3);
+        let x2 = secret_from_seed(4);
+        let sig = sign(x1, b"msg");
+        assert!(!verify(public_from_secret(x2), b"msg", &sig));
+    }
+
+    #[test]
+    fn tampered_signature_fails() {
+        let x = secret_from_seed(5);
+        let y = public_from_secret(x);
+        let sig = sign(x, b"msg");
+        let bad_e = Signature { e: (sig.e + 1) % Q, ..sig };
+        let bad_s = Signature { s: (sig.s + 1) % Q, ..sig };
+        assert!(!verify(y, b"msg", &bad_e));
+        assert!(!verify(y, b"msg", &bad_s));
+    }
+
+    #[test]
+    fn signing_is_deterministic() {
+        let x = secret_from_seed(6);
+        assert_eq!(sign(x, b"msg"), sign(x, b"msg"));
+        assert_ne!(sign(x, b"msg"), sign(x, b"msg2"));
+    }
+
+    #[test]
+    fn serialisation_round_trip() {
+        let x = secret_from_seed(7);
+        let sig = sign(x, b"bytes");
+        let bytes = sig.to_bytes();
+        assert_eq!(bytes.len(), SIGNATURE_LEN);
+        assert_eq!(Signature::from_bytes(&bytes), Some(sig));
+    }
+
+    #[test]
+    fn from_bytes_rejects_short_and_out_of_range() {
+        assert_eq!(Signature::from_bytes(&[0; 15]), None);
+        let mut bytes = vec![0u8; 64];
+        bytes[0..8].copy_from_slice(&u64::MAX.to_be_bytes());
+        assert_eq!(Signature::from_bytes(&bytes), None);
+    }
+
+    #[test]
+    fn verify_rejects_degenerate_public_keys() {
+        let x = secret_from_seed(8);
+        let sig = sign(x, b"m");
+        assert!(!verify(0, b"m", &sig));
+        assert!(!verify(P, b"m", &sig));
+    }
+}

@@ -1,0 +1,66 @@
+//! Property-based tests for the crypto substrate.
+
+use proptest::prelude::*;
+
+use lookaside_crypto::{hashed_dlv_label, sha256, KeyPair, Sha256, Signature};
+use lookaside_wire::Name;
+
+proptest! {
+    #[test]
+    fn sha256_incremental_matches_one_shot(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+        splits in proptest::collection::vec(any::<prop::sample::Index>(), 0..4),
+    ) {
+        let mut cuts: Vec<usize> = splits.iter().map(|i| i.index(data.len() + 1)).collect();
+        cuts.sort_unstable();
+        let mut h = Sha256::new();
+        let mut start = 0;
+        for cut in cuts {
+            h.update(&data[start..cut]);
+            start = cut;
+        }
+        h.update(&data[start..]);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    #[test]
+    fn signatures_verify_and_bind_message(seed in any::<u64>(), msg in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let key = KeyPair::generate_zsk(seed);
+        let sig = key.sign(&msg);
+        prop_assert!(key.public().verify(&msg, &sig));
+        let mut other = msg.clone();
+        other.push(0x01);
+        prop_assert!(!key.public().verify(&other, &sig));
+    }
+
+    #[test]
+    fn signatures_bind_key(seed_a in any::<u64>(), seed_b in any::<u64>(), msg in proptest::collection::vec(any::<u8>(), 1..128)) {
+        let a = KeyPair::generate_zsk(seed_a);
+        let b = KeyPair::generate_zsk(seed_b);
+        prop_assume!(a.public() != b.public());
+        let sig = a.sign(&msg);
+        prop_assert!(!b.public().verify(&msg, &sig));
+    }
+
+    #[test]
+    fn signature_serialisation_round_trips(seed in any::<u64>(), msg in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let key = KeyPair::generate_ksk(seed);
+        let sig = key.sign(&msg);
+        let bytes = sig.to_bytes();
+        prop_assert_eq!(Signature::from_bytes(&bytes), Some(sig));
+    }
+
+    #[test]
+    fn signature_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = Signature::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn hashed_labels_are_stable_and_distinct(a in "[a-z]{3,12}", b in "[a-z]{3,12}") {
+        let na = Name::parse(&format!("{a}.com")).unwrap();
+        let nb = Name::parse(&format!("{b}.net")).unwrap();
+        prop_assert_eq!(hashed_dlv_label(&na), hashed_dlv_label(&na));
+        prop_assert_ne!(hashed_dlv_label(&na), hashed_dlv_label(&nb));
+        prop_assert_eq!(hashed_dlv_label(&na).len(), 32);
+    }
+}

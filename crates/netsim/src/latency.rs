@@ -1,0 +1,170 @@
+//! Deterministic per-link latency.
+//!
+//! Every (destination, sequence-number) pair maps to an RTT via a splitmix64
+//! hash of the model seed — reproducible across runs, no shared RNG state,
+//! and insensitive to the order in which other links are exercised.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Nanoseconds per millisecond.
+pub const MILLIS: u64 = 1_000_000;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic latency model: each destination gets a stable base RTT
+/// drawn from a configurable range, plus small per-exchange jitter.
+///
+/// The defaults (base 10–60 ms, jitter 0–8 ms) approximate the paper's
+/// mixture of on-campus and VPS vantage points; absolute values are not
+/// meant to match the paper's testbed, only to give Table 5's latency
+/// *ratios* a realistic footing.
+///
+/// # Example
+///
+/// ```
+/// use lookaside_netsim::LatencyModel;
+/// use std::net::Ipv4Addr;
+///
+/// let mut model = LatencyModel::new(7).with_base_range(10, 20).with_jitter(0);
+/// model.pin(Ipv4Addr::new(10, 2, 0, 2), 100, 120); // a far-away registry
+/// let near = model.rtt_ns(Ipv4Addr::new(10, 0, 0, 1), 0);
+/// let far = model.rtt_ns(Ipv4Addr::new(10, 2, 0, 2), 0);
+/// assert!(far > near);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatencyModel {
+    seed: u64,
+    base_min_ms: u64,
+    base_max_ms: u64,
+    jitter_max_ms: u64,
+    overrides: HashMap<Ipv4Addr, (u64, u64)>,
+}
+
+impl LatencyModel {
+    /// Creates a model with the default ranges.
+    pub fn new(seed: u64) -> Self {
+        LatencyModel {
+            seed,
+            base_min_ms: 10,
+            base_max_ms: 60,
+            jitter_max_ms: 8,
+            overrides: HashMap::new(),
+        }
+    }
+
+    /// Sets the base RTT range (milliseconds) for all unlisted destinations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_ms > max_ms`.
+    pub fn with_base_range(mut self, min_ms: u64, max_ms: u64) -> Self {
+        assert!(min_ms <= max_ms, "latency range inverted");
+        self.base_min_ms = min_ms;
+        self.base_max_ms = max_ms;
+        self
+    }
+
+    /// Sets the per-exchange jitter ceiling (milliseconds).
+    pub fn with_jitter(mut self, max_ms: u64) -> Self {
+        self.jitter_max_ms = max_ms;
+        self
+    }
+
+    /// Pins a destination to a specific RTT range — e.g. a far-away DLV
+    /// server.
+    pub fn pin(&mut self, dst: Ipv4Addr, min_ms: u64, max_ms: u64) {
+        assert!(min_ms <= max_ms, "latency range inverted");
+        self.overrides.insert(dst, (min_ms, max_ms));
+    }
+
+    /// The stable base RTT for a destination, nanoseconds.
+    pub fn base_rtt_ns(&self, dst: Ipv4Addr) -> u64 {
+        let (min, max) = self
+            .overrides
+            .get(&dst)
+            .copied()
+            .unwrap_or((self.base_min_ms, self.base_max_ms));
+        let span = (max - min).max(1);
+        let h = splitmix64(self.seed ^ u64::from(u32::from(dst)));
+        (min + h % span) * MILLIS
+    }
+
+    /// The RTT of the `seq`-th exchange with `dst`, nanoseconds.
+    pub fn rtt_ns(&self, dst: Ipv4Addr, seq: u64) -> u64 {
+        let jitter = if self.jitter_max_ms == 0 {
+            0
+        } else {
+            let h = splitmix64(self.seed ^ (u64::from(u32::from(dst)) << 20) ^ seq);
+            h % (self.jitter_max_ms * MILLIS)
+        };
+        self.base_rtt_ns(dst) + jitter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(last: u8) -> Ipv4Addr {
+        Ipv4Addr::new(192, 0, 2, last)
+    }
+
+    #[test]
+    fn base_rtt_is_stable_per_destination() {
+        let m = LatencyModel::new(1);
+        assert_eq!(m.base_rtt_ns(addr(1)), m.base_rtt_ns(addr(1)));
+    }
+
+    #[test]
+    fn base_rtt_within_range() {
+        let m = LatencyModel::new(2).with_base_range(20, 30);
+        for last in 0..50 {
+            let rtt = m.base_rtt_ns(addr(last));
+            assert!((20 * MILLIS..30 * MILLIS).contains(&rtt), "rtt {rtt}");
+        }
+    }
+
+    #[test]
+    fn jitter_bounded_and_varies() {
+        let m = LatencyModel::new(3).with_base_range(20, 21).with_jitter(5);
+        let base = m.base_rtt_ns(addr(9));
+        let rtts: Vec<u64> = (0..20).map(|s| m.rtt_ns(addr(9), s)).collect();
+        assert!(rtts.iter().all(|&r| r >= base && r < base + 5 * MILLIS));
+        assert!(rtts.windows(2).any(|w| w[0] != w[1]), "jitter should vary");
+    }
+
+    #[test]
+    fn pinned_destination_uses_override() {
+        let mut m = LatencyModel::new(4).with_base_range(10, 20).with_jitter(0);
+        m.pin(addr(5), 100, 101);
+        assert!(m.rtt_ns(addr(5), 0) >= 100 * MILLIS);
+        assert!(m.rtt_ns(addr(6), 0) < 100 * MILLIS);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = LatencyModel::new(5);
+        let b = LatencyModel::new(6);
+        let differs = (0..20).any(|l| a.base_rtt_ns(addr(l)) != b.base_rtt_ns(addr(l)));
+        assert!(differs);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_range_panics() {
+        let _ = LatencyModel::new(7).with_base_range(30, 20);
+    }
+
+    #[test]
+    fn zero_jitter_is_deterministic_per_seq() {
+        let m = LatencyModel::new(8).with_jitter(0);
+        assert_eq!(m.rtt_ns(addr(1), 0), m.rtt_ns(addr(1), 99));
+    }
+}

@@ -1,0 +1,467 @@
+//! The message-routing core of the simulator.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use lookaside_wire::{Message, Rcode, RrClass, RrType};
+
+use crate::capture::{Capture, CaptureFilter, Direction, Packet};
+use crate::latency::LatencyModel;
+use crate::stats::TrafficStats;
+
+/// A node that answers DNS queries (an authoritative server, a DLV server,
+/// or a synthetic authority).
+pub trait DnsHandler {
+    /// Produces the response to `query` at simulated time `now_ns`.
+    fn handle(&mut self, query: &Message, now_ns: u64) -> Message;
+}
+
+/// Errors surfaced by the network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// No node is registered at the destination address.
+    NoRoute(Ipv4Addr),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::NoRoute(addr) => write!(f, "no server registered at {addr}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Transport used for one exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// Datagram transport: responses above the advertised payload limit
+    /// come back truncated (TC bit set, sections emptied).
+    #[default]
+    Udp,
+    /// Stream transport: no size limit; costs an extra round trip for the
+    /// handshake plus per-segment overhead.
+    Tcp,
+}
+
+/// Maximum UDP payload for queries without EDNS (RFC 1035).
+pub const UDP_LIMIT_NO_EDNS: u16 = 512;
+/// Modelled byte overhead of a TCP exchange (SYN/ACK/FIN segments, length
+/// prefixes).
+pub const TCP_OVERHEAD_BYTES: usize = 80;
+
+/// The result of one query/response exchange.
+#[derive(Debug, Clone)]
+pub struct Exchange {
+    /// The server's response.
+    pub response: Message,
+    /// Round-trip time charged, nanoseconds.
+    pub rtt_ns: u64,
+    /// Query wire size, octets.
+    pub query_bytes: usize,
+    /// Response wire size, octets.
+    pub response_bytes: usize,
+}
+
+/// A hook that can rewrite messages in flight — the man-in-the-middle of
+/// the paper's §6.2.3 attack analysis (TXT rewriting, Z-bit flipping).
+pub type Tamper = Box<dyn FnMut(&mut Message, Direction)>;
+
+/// Routes queries to registered nodes, charging latency and recording
+/// traffic.
+pub struct Network {
+    nodes: HashMap<Ipv4Addr, Box<dyn DnsHandler>>,
+    default_route: Option<Box<dyn DnsHandler>>,
+    labels: HashMap<Ipv4Addr, String>,
+    latency: LatencyModel,
+    capture: Capture,
+    stats: TrafficStats,
+    clock_ns: u64,
+    seq: u64,
+    next_id: u16,
+    tamper: Option<Tamper>,
+}
+
+impl fmt::Debug for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Network")
+            .field("nodes", &self.labels)
+            .field("clock_ns", &self.clock_ns)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Network {
+    /// Creates a network with default latency and a DLV-only capture.
+    pub fn new(seed: u64) -> Self {
+        Network {
+            nodes: HashMap::new(),
+            default_route: None,
+            labels: HashMap::new(),
+            latency: LatencyModel::new(seed),
+            capture: Capture::new(CaptureFilter::DlvOnly),
+            stats: TrafficStats::new(),
+            clock_ns: 0,
+            seq: 0,
+            next_id: 1,
+            tamper: None,
+        }
+    }
+
+    /// Replaces the latency model.
+    pub fn set_latency(&mut self, latency: LatencyModel) {
+        self.latency = latency;
+    }
+
+    /// Replaces the capture filter (clears retained packets).
+    pub fn set_capture_filter(&mut self, filter: CaptureFilter) {
+        self.capture = Capture::new(filter);
+    }
+
+    /// Installs a man-in-the-middle hook (§6.2.3 attacks).
+    pub fn set_tamper(&mut self, tamper: Option<Tamper>) {
+        self.tamper = tamper;
+    }
+
+    /// Registers a node at an address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is already taken — experiment topologies are
+    /// static and a collision is a construction bug.
+    pub fn register(&mut self, addr: Ipv4Addr, label: &str, node: Box<dyn DnsHandler>) {
+        let prev = self.nodes.insert(addr, node);
+        assert!(prev.is_none(), "address {addr} registered twice");
+        self.labels.insert(addr, label.to_string());
+    }
+
+    /// Installs a handler for addresses with no registered node.
+    ///
+    /// The million-domain workloads use this: one synthetic authority serves
+    /// every long-tail SLD zone, addressed by deterministically derived
+    /// (but never individually registered) server addresses.
+    pub fn set_default_route(&mut self, node: Box<dyn DnsHandler>) {
+        self.default_route = Some(node);
+    }
+
+    /// Whether a node is registered at `addr`.
+    pub fn has_node(&self, addr: Ipv4Addr) -> bool {
+        self.nodes.contains_key(&addr)
+    }
+
+    /// The label a node was registered under.
+    pub fn label_of(&self, addr: Ipv4Addr) -> Option<&str> {
+        self.labels.get(&addr).map(String::as_str)
+    }
+
+    /// Fresh query id (wraps).
+    pub fn allocate_id(&mut self) -> u16 {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        id
+    }
+
+    /// Sends `query` to the node at `dst` over UDP (see
+    /// [`Network::exchange_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::NoRoute`] when nothing is registered at `dst`.
+    pub fn exchange(&mut self, dst: Ipv4Addr, query: &Message) -> Result<Exchange, NetError> {
+        self.exchange_with(dst, query, Transport::Udp)
+    }
+
+    /// Sends `query` to the node at `dst` over the given transport,
+    /// returning its response together with the latency and byte
+    /// accounting. Advances the simulated clock.
+    ///
+    /// UDP responses larger than the advertised payload size (the EDNS
+    /// size, or [`UDP_LIMIT_NO_EDNS`] without EDNS) come back truncated
+    /// with the TC bit set; callers retry over [`Transport::Tcp`], which
+    /// carries any size at the cost of an extra handshake round trip and
+    /// [`TCP_OVERHEAD_BYTES`] of framing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::NoRoute`] when nothing is registered at `dst`.
+    pub fn exchange_with(
+        &mut self,
+        dst: Ipv4Addr,
+        query: &Message,
+        transport: Transport,
+    ) -> Result<Exchange, NetError> {
+        let mut query = query.clone();
+        if let Some(tamper) = &mut self.tamper {
+            tamper(&mut query, Direction::Query);
+        }
+        let mut query_bytes = query.wire_len();
+        let mut rtt_ns = self.latency.rtt_ns(dst, self.seq);
+        if transport == Transport::Tcp {
+            // Handshake before the query can flow.
+            rtt_ns *= 2;
+            query_bytes += TCP_OVERHEAD_BYTES;
+        }
+        self.seq += 1;
+
+        let (qname, qtype) = match query.question() {
+            Some(q) => (q.name.clone(), q.rrtype),
+            None => (lookaside_wire::Name::root(), RrType::Unknown(0)),
+        };
+        self.capture.record(Packet {
+            time_ns: self.clock_ns,
+            dst,
+            direction: Direction::Query,
+            qname: qname.clone(),
+            qtype,
+            rcode: Rcode::NoError,
+            answers: 0,
+            size: query_bytes,
+        });
+
+        let node = match self.nodes.get_mut(&dst) {
+            Some(node) => node,
+            None => self.default_route.as_mut().ok_or(NetError::NoRoute(dst))?,
+        };
+        let mut response = node.handle(&query, self.clock_ns);
+        if let Some(tamper) = &mut self.tamper {
+            tamper(&mut response, Direction::Response);
+        }
+        if transport == Transport::Udp {
+            let limit = query.edns.map_or(UDP_LIMIT_NO_EDNS, |e| e.udp_size) as usize;
+            if response.wire_len() > limit {
+                // Truncate: keep the header + question, raise TC.
+                response.answers.clear();
+                response.authorities.clear();
+                response.additionals.clear();
+                response.header.flags.tc = true;
+            }
+        }
+        let response_bytes = response.wire_len();
+        self.clock_ns += rtt_ns;
+
+        self.capture.record(Packet {
+            time_ns: self.clock_ns,
+            dst,
+            direction: Direction::Response,
+            qname,
+            qtype,
+            rcode: response.rcode(),
+            answers: response.answers.len() as u16,
+            size: response_bytes,
+        });
+        self.stats.record(qtype, response.rcode(), query_bytes, response_bytes, rtt_ns);
+
+        Ok(Exchange { response, rtt_ns, query_bytes, response_bytes })
+    }
+
+    /// Convenience: build and send a DNSSEC (`DO`-bit) query.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::NoRoute`] when nothing is registered at `dst`.
+    pub fn dnssec_query(
+        &mut self,
+        dst: Ipv4Addr,
+        qname: lookaside_wire::Name,
+        qtype: RrType,
+    ) -> Result<Exchange, NetError> {
+        let id = self.allocate_id();
+        let mut q = Message::dnssec_query(id, qname, qtype);
+        q.questions[0].class = RrClass::In;
+        self.exchange(dst, &q)
+    }
+
+    /// Simulated time, nanoseconds since the run started.
+    pub fn now_ns(&self) -> u64 {
+        self.clock_ns
+    }
+
+    /// The packet capture.
+    pub fn capture(&self) -> &Capture {
+        &self.capture
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// Resets clock, capture, and statistics (topology unchanged).
+    pub fn reset_measurement(&mut self) {
+        self.clock_ns = 0;
+        self.seq = 0;
+        self.capture.clear();
+        self.stats = TrafficStats::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lookaside_wire::{MessageBuilder, Name};
+
+    struct Echo;
+
+    impl DnsHandler for Echo {
+        fn handle(&mut self, query: &Message, _now_ns: u64) -> Message {
+            MessageBuilder::respond_to(query).rcode(Rcode::NoError).build()
+        }
+    }
+
+    fn addr(last: u8) -> Ipv4Addr {
+        Ipv4Addr::new(203, 0, 113, last)
+    }
+
+    fn net_with_echo() -> Network {
+        let mut net = Network::new(11);
+        net.register(addr(1), "echo", Box::new(Echo));
+        net
+    }
+
+    fn q(name: &str, qtype: RrType) -> Message {
+        Message::dnssec_query(9, Name::parse(name).unwrap(), qtype)
+    }
+
+    #[test]
+    fn exchange_routes_and_accounts() {
+        let mut net = net_with_echo();
+        let ex = net.exchange(addr(1), &q("example.com", RrType::A)).unwrap();
+        assert_eq!(ex.response.rcode(), Rcode::NoError);
+        assert!(ex.query_bytes > 12);
+        assert_eq!(net.stats().total_queries, 1);
+        assert_eq!(net.stats().queries_of(RrType::A), 1);
+        assert_eq!(net.now_ns(), ex.rtt_ns);
+    }
+
+    #[test]
+    fn no_route_is_error() {
+        let mut net = net_with_echo();
+        let err = net.exchange(addr(99), &q("example.com", RrType::A)).unwrap_err();
+        assert_eq!(err, NetError::NoRoute(addr(99)));
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_panics() {
+        let mut net = net_with_echo();
+        net.register(addr(1), "dup", Box::new(Echo));
+    }
+
+    #[test]
+    fn capture_default_keeps_only_dlv() {
+        let mut net = net_with_echo();
+        net.exchange(addr(1), &q("example.com", RrType::A)).unwrap();
+        net.exchange(addr(1), &q("example.com.dlv.isc.org", RrType::Dlv)).unwrap();
+        assert_eq!(net.capture().len(), 2, "dlv query + response");
+        assert_eq!(net.capture().dlv_queries().count(), 1);
+    }
+
+    #[test]
+    fn clock_accumulates_over_exchanges() {
+        let mut net = net_with_echo();
+        let a = net.exchange(addr(1), &q("a.com", RrType::A)).unwrap();
+        let b = net.exchange(addr(1), &q("b.com", RrType::A)).unwrap();
+        assert_eq!(net.now_ns(), a.rtt_ns + b.rtt_ns);
+        assert_eq!(net.stats().total_time_ns, net.now_ns());
+    }
+
+    #[test]
+    fn tamper_hook_rewrites_responses() {
+        let mut net = net_with_echo();
+        net.set_tamper(Some(Box::new(|msg: &mut Message, dir: Direction| {
+            if dir == Direction::Response {
+                msg.header.flags.z = true;
+            }
+        })));
+        let ex = net.exchange(addr(1), &q("a.com", RrType::A)).unwrap();
+        assert!(ex.response.header.flags.z);
+    }
+
+    #[test]
+    fn reset_measurement_zeroes_but_keeps_topology() {
+        let mut net = net_with_echo();
+        net.exchange(addr(1), &q("a.com", RrType::A)).unwrap();
+        net.reset_measurement();
+        assert_eq!(net.now_ns(), 0);
+        assert_eq!(net.stats().total_queries, 0);
+        assert!(net.has_node(addr(1)));
+        assert!(net.exchange(addr(1), &q("b.com", RrType::A)).is_ok());
+    }
+
+    struct Bloated;
+
+    impl DnsHandler for Bloated {
+        fn handle(&mut self, query: &Message, _now_ns: u64) -> Message {
+            let mut resp = MessageBuilder::respond_to(query).build();
+            // ~40 TXT records of 64 bytes: far beyond 512, beyond 2048 too.
+            for i in 0..40 {
+                resp.answers.push(lookaside_wire::Record::new(
+                    query.question().unwrap().name.clone(),
+                    60,
+                    lookaside_wire::RData::Txt(vec![format!("{i:064}")]),
+                ));
+            }
+            resp
+        }
+    }
+
+    #[test]
+    fn oversized_udp_response_is_truncated() {
+        let mut net = Network::new(11);
+        net.register(addr(7), "bloated", Box::new(Bloated));
+        // Non-EDNS query: 512-byte limit applies.
+        let q = Message::query(1, Name::parse("big.test.").unwrap(), RrType::Txt);
+        let ex = net.exchange(addr(7), &q).unwrap();
+        assert!(ex.response.header.flags.tc, "oversized response must truncate");
+        assert!(ex.response.answers.is_empty());
+        assert!(ex.response_bytes <= 512);
+    }
+
+    #[test]
+    fn tcp_carries_oversized_responses_at_extra_cost() {
+        let mut net = Network::new(11);
+        net.register(addr(7), "bloated", Box::new(Bloated));
+        let q = Message::query(2, Name::parse("big.test.").unwrap(), RrType::Txt);
+        let udp = net.exchange_with(addr(7), &q, Transport::Udp).unwrap();
+        let tcp = net.exchange_with(addr(7), &q, Transport::Tcp).unwrap();
+        assert!(!tcp.response.header.flags.tc);
+        assert_eq!(tcp.response.answers.len(), 40);
+        assert!(tcp.response_bytes > 512);
+        assert!(tcp.rtt_ns > udp.rtt_ns, "handshake costs a round trip");
+        assert!(tcp.query_bytes > udp.query_bytes, "framing overhead");
+    }
+
+    #[test]
+    fn edns_raises_the_udp_limit() {
+        let mut net = Network::new(11);
+        net.register(addr(7), "bloated", Box::new(Bloated));
+        let q = Message::dnssec_query(3, Name::parse("big.test.").unwrap(), RrType::Txt);
+        // EDNS advertises 4096: the ~3 KiB response fits.
+        let ex = net.exchange(addr(7), &q).unwrap();
+        assert!(!ex.response.header.flags.tc);
+        assert_eq!(ex.response.answers.len(), 40);
+    }
+
+    #[test]
+    fn default_route_serves_unregistered_addresses() {
+        let mut net = net_with_echo();
+        assert!(net.exchange(addr(50), &q("a.com", RrType::A)).is_err());
+        net.set_default_route(Box::new(Echo));
+        let ex = net.exchange(addr(50), &q("a.com", RrType::A)).unwrap();
+        assert_eq!(ex.response.rcode(), Rcode::NoError);
+        // Registered nodes still take precedence.
+        assert!(net.exchange(addr(1), &q("a.com", RrType::A)).is_ok());
+    }
+
+    #[test]
+    fn allocate_id_increments() {
+        let mut net = net_with_echo();
+        let a = net.allocate_id();
+        let b = net.allocate_id();
+        assert_ne!(a, b);
+    }
+}

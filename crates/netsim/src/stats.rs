@@ -1,0 +1,202 @@
+//! Aggregate traffic statistics.
+//!
+//! These counters feed the paper's overhead metrics directly: Table 4
+//! (queries by type), Table 5 and Fig. 10 (response time, traffic volume,
+//! issued queries), and Fig. 12 (cumulative bytes).
+
+use std::collections::BTreeMap;
+
+use lookaside_wire::{Rcode, RrType};
+use serde::{Deserialize, Serialize};
+
+/// Running totals over every exchange a [`crate::Network`] carried.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficStats {
+    /// Queries issued, by question type.
+    pub queries_by_type: BTreeMap<RrType, u64>,
+    /// Octets exchanged (both directions), by question type.
+    pub bytes_by_type: BTreeMap<RrType, u64>,
+    /// Round-trip time spent, by question type (nanoseconds).
+    pub time_by_type: BTreeMap<RrType, u64>,
+    /// Responses received, by rcode.
+    pub responses_by_rcode: BTreeMap<Rcode, u64>,
+    /// Total queries issued.
+    pub total_queries: u64,
+    /// Octets sent in queries.
+    pub query_bytes: u64,
+    /// Octets received in responses.
+    pub response_bytes: u64,
+    /// Accumulated round-trip time, nanoseconds.
+    pub total_time_ns: u64,
+}
+
+impl TrafficStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        TrafficStats::default()
+    }
+
+    /// Records one query/response exchange.
+    pub fn record(
+        &mut self,
+        qtype: RrType,
+        rcode: Rcode,
+        query_bytes: usize,
+        response_bytes: usize,
+        rtt_ns: u64,
+    ) {
+        *self.queries_by_type.entry(qtype).or_insert(0) += 1;
+        *self.bytes_by_type.entry(qtype).or_insert(0) += (query_bytes + response_bytes) as u64;
+        *self.time_by_type.entry(qtype).or_insert(0) += rtt_ns;
+        *self.responses_by_rcode.entry(rcode).or_insert(0) += 1;
+        self.total_queries += 1;
+        self.query_bytes += query_bytes as u64;
+        self.response_bytes += response_bytes as u64;
+        self.total_time_ns += rtt_ns;
+    }
+
+    /// Queries of a given type.
+    pub fn queries_of(&self, qtype: RrType) -> u64 {
+        self.queries_by_type.get(&qtype).copied().unwrap_or(0)
+    }
+
+    /// Octets exchanged on queries of a given type (both directions).
+    pub fn bytes_of(&self, qtype: RrType) -> u64 {
+        self.bytes_by_type.get(&qtype).copied().unwrap_or(0)
+    }
+
+    /// Round-trip time spent on queries of a given type, nanoseconds.
+    pub fn time_of(&self, qtype: RrType) -> u64 {
+        self.time_by_type.get(&qtype).copied().unwrap_or(0)
+    }
+
+    /// Total traffic volume in octets (both directions).
+    pub fn total_bytes(&self) -> u64 {
+        self.query_bytes + self.response_bytes
+    }
+
+    /// Total traffic volume in megabytes (10⁶ octets, as the paper's MB).
+    pub fn total_megabytes(&self) -> f64 {
+        self.total_bytes() as f64 / 1e6
+    }
+
+    /// Accumulated response time in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.total_time_ns as f64 / 1e9
+    }
+
+    /// Component-wise difference (`self - baseline`), for overhead tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `baseline` exceeds `self` in any scalar
+    /// component (overhead must be non-negative).
+    pub fn overhead_versus(&self, baseline: &TrafficStats) -> TrafficStats {
+        debug_assert!(self.total_queries >= baseline.total_queries);
+        let mut queries_by_type = self.queries_by_type.clone();
+        for (t, n) in &baseline.queries_by_type {
+            let e = queries_by_type.entry(*t).or_insert(0);
+            *e = e.saturating_sub(*n);
+        }
+        let mut bytes_by_type = self.bytes_by_type.clone();
+        for (t, n) in &baseline.bytes_by_type {
+            let e = bytes_by_type.entry(*t).or_insert(0);
+            *e = e.saturating_sub(*n);
+        }
+        let mut time_by_type = self.time_by_type.clone();
+        for (t, n) in &baseline.time_by_type {
+            let e = time_by_type.entry(*t).or_insert(0);
+            *e = e.saturating_sub(*n);
+        }
+        let mut responses_by_rcode = self.responses_by_rcode.clone();
+        for (c, n) in &baseline.responses_by_rcode {
+            let e = responses_by_rcode.entry(*c).or_insert(0);
+            *e = e.saturating_sub(*n);
+        }
+        TrafficStats {
+            queries_by_type,
+            bytes_by_type,
+            time_by_type,
+            responses_by_rcode,
+            total_queries: self.total_queries - baseline.total_queries,
+            query_bytes: self.query_bytes.saturating_sub(baseline.query_bytes),
+            response_bytes: self.response_bytes.saturating_sub(baseline.response_bytes),
+            total_time_ns: self.total_time_ns.saturating_sub(baseline.total_time_ns),
+        }
+    }
+
+    /// Merges another run's totals into this one.
+    pub fn merge(&mut self, other: &TrafficStats) {
+        for (t, n) in &other.queries_by_type {
+            *self.queries_by_type.entry(*t).or_insert(0) += n;
+        }
+        for (t, n) in &other.bytes_by_type {
+            *self.bytes_by_type.entry(*t).or_insert(0) += n;
+        }
+        for (t, n) in &other.time_by_type {
+            *self.time_by_type.entry(*t).or_insert(0) += n;
+        }
+        for (c, n) in &other.responses_by_rcode {
+            *self.responses_by_rcode.entry(*c).or_insert(0) += n;
+        }
+        self.total_queries += other.total_queries;
+        self.query_bytes += other.query_bytes;
+        self.response_bytes += other.response_bytes;
+        self.total_time_ns += other.total_time_ns;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TrafficStats {
+        let mut s = TrafficStats::new();
+        s.record(RrType::A, Rcode::NoError, 30, 100, 1_000_000);
+        s.record(RrType::A, Rcode::NxDomain, 30, 80, 2_000_000);
+        s.record(RrType::Dlv, Rcode::NxDomain, 50, 120, 3_000_000);
+        s
+    }
+
+    #[test]
+    fn record_accumulates() {
+        let s = sample();
+        assert_eq!(s.total_queries, 3);
+        assert_eq!(s.queries_of(RrType::A), 2);
+        assert_eq!(s.queries_of(RrType::Dlv), 1);
+        assert_eq!(s.queries_of(RrType::Mx), 0);
+        assert_eq!(s.total_bytes(), 30 + 100 + 30 + 80 + 50 + 120);
+        assert_eq!(s.total_time_ns, 6_000_000);
+        assert_eq!(s.responses_by_rcode[&Rcode::NxDomain], 2);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let mut s = TrafficStats::new();
+        s.record(RrType::A, Rcode::NoError, 500_000, 500_000, 2_500_000_000);
+        assert!((s.total_megabytes() - 1.0).abs() < 1e-9);
+        assert!((s.total_seconds() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overhead_subtracts_componentwise() {
+        let base = sample();
+        let mut with_remedy = sample();
+        with_remedy.record(RrType::Txt, Rcode::NoError, 40, 90, 4_000_000);
+        let overhead = with_remedy.overhead_versus(&base);
+        assert_eq!(overhead.total_queries, 1);
+        assert_eq!(overhead.queries_of(RrType::Txt), 1);
+        assert_eq!(overhead.queries_of(RrType::A), 0);
+        assert_eq!(overhead.total_bytes(), 130);
+        assert_eq!(overhead.total_time_ns, 4_000_000);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.total_queries, 6);
+        assert_eq!(a.queries_of(RrType::A), 4);
+    }
+}

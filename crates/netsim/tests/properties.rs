@@ -1,0 +1,94 @@
+//! Property-based tests for the network simulator.
+
+use std::net::Ipv4Addr;
+
+use proptest::prelude::*;
+
+use lookaside_netsim::{
+    Capture, CaptureFilter, Direction, LatencyModel, Packet, TrafficStats,
+};
+use lookaside_wire::{Name, Rcode, RrType};
+
+fn arbitrary_packet() -> impl Strategy<Value = Packet> {
+    (
+        any::<u64>(),
+        any::<u32>(),
+        any::<bool>(),
+        proptest::string::string_regex("[a-z]{1,8}(\\.[a-z]{1,8}){0,3}").expect("regex"),
+        0u16..=200,
+        0u8..=5,
+        0u16..20,
+        12usize..2000,
+    )
+        .prop_map(|(time_ns, dst, is_query, name, qtype, rcode, answers, size)| Packet {
+            time_ns,
+            dst: Ipv4Addr::from(dst),
+            direction: if is_query { Direction::Query } else { Direction::Response },
+            qname: Name::parse(&name).expect("generated name is valid"),
+            qtype: RrType::from_code(qtype),
+            rcode: Rcode::from_code(rcode),
+            answers,
+            size,
+        })
+}
+
+proptest! {
+    #[test]
+    fn capture_text_round_trips(packets in proptest::collection::vec(arbitrary_packet(), 0..50)) {
+        let mut cap = Capture::new(CaptureFilter::All);
+        for p in &packets {
+            cap.record(p.clone());
+        }
+        let text = cap.to_text();
+        let back = Capture::parse_text(&text).unwrap();
+        prop_assert_eq!(back.packets(), cap.packets());
+    }
+
+    #[test]
+    fn latency_is_deterministic_and_bounded(
+        seed in any::<u64>(),
+        dst in any::<u32>(),
+        seq in any::<u64>(),
+        min in 1u64..100,
+        span in 1u64..100,
+        jitter in 0u64..20,
+    ) {
+        let model = LatencyModel::new(seed)
+            .with_base_range(min, min + span)
+            .with_jitter(jitter);
+        let addr = Ipv4Addr::from(dst);
+        let a = model.rtt_ns(addr, seq);
+        let b = model.rtt_ns(addr, seq);
+        prop_assert_eq!(a, b, "same (dst, seq) must give the same rtt");
+        let lower = min * 1_000_000;
+        let upper = (min + span + jitter) * 1_000_000;
+        prop_assert!(a >= lower && a < upper, "rtt {} outside [{}, {})", a, lower, upper);
+    }
+
+    #[test]
+    fn stats_overhead_is_componentwise_consistent(
+        records in proptest::collection::vec((0u16..100, 0u8..4, 10usize..200, 10usize..200, 1u64..1_000_000), 1..40),
+        split in any::<prop::sample::Index>(),
+    ) {
+        let mut base = TrafficStats::new();
+        let mut total = TrafficStats::new();
+        let cut = split.index(records.len());
+        for (i, (qtype, rcode, qb, rb, rtt)) in records.iter().enumerate() {
+            let qtype = RrType::from_code(*qtype);
+            let rcode = Rcode::from_code(*rcode);
+            total.record(qtype, rcode, *qb, *rb, *rtt);
+            if i < cut {
+                base.record(qtype, rcode, *qb, *rb, *rtt);
+            }
+        }
+        let overhead = total.overhead_versus(&base);
+        prop_assert_eq!(overhead.total_queries + base.total_queries, total.total_queries);
+        prop_assert_eq!(overhead.total_bytes() + base.total_bytes(), total.total_bytes());
+        prop_assert_eq!(overhead.total_time_ns + base.total_time_ns, total.total_time_ns);
+        // And merge is the inverse direction.
+        let mut merged = base.clone();
+        merged.merge(&overhead);
+        prop_assert_eq!(merged.total_queries, total.total_queries);
+        prop_assert_eq!(merged.total_bytes(), total.total_bytes());
+    }
+}

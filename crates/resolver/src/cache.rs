@@ -1,0 +1,288 @@
+//! Resolver caches: positive RRsets, negative answers, zone servers, and
+//! the aggressive NSEC span cache.
+//!
+//! The aggressive NSEC cache ([`NsecSpanCache`]) is the star of the paper's
+//! Figs. 8–9: once a validated NSEC from the DLV registry proves a span
+//! empty, every later DLV query falling inside that span is answered
+//! locally and never reaches (= never leaks to) the DLV server.
+
+use std::collections::{BTreeMap, HashMap};
+use std::net::Ipv4Addr;
+
+use lookaside_wire::{Name, Rcode, Record, RrSet, RrType};
+
+/// A cached positive RRset with optional signature and validation state.
+#[derive(Debug, Clone)]
+pub struct CachedRrSet {
+    /// The data.
+    pub rrset: RrSet,
+    /// Covering RRSIG, if one was received.
+    pub rrsig: Option<Record>,
+    /// Absolute expiry, simulated nanoseconds.
+    pub expires_ns: u64,
+}
+
+/// Positive and negative answer caches with TTL handling.
+///
+/// Expired entries are purged opportunistically every
+/// [`AnswerCache::PURGE_INTERVAL`] insertions so million-domain runs do not
+/// accumulate unbounded dead state.
+#[derive(Debug, Default)]
+pub struct AnswerCache {
+    positive: HashMap<(Name, RrType), CachedRrSet>,
+    negative: HashMap<(Name, RrType), (Rcode, u64)>,
+    puts_since_purge: usize,
+}
+
+impl AnswerCache {
+    /// Insertions between opportunistic purges of expired entries.
+    pub const PURGE_INTERVAL: usize = 65_536;
+
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        AnswerCache::default()
+    }
+
+    fn maybe_purge(&mut self, now_ns: u64) {
+        self.puts_since_purge += 1;
+        if self.puts_since_purge >= Self::PURGE_INTERVAL {
+            self.puts_since_purge = 0;
+            self.positive.retain(|_, c| c.expires_ns > now_ns);
+            self.negative.retain(|_, (_, exp)| *exp > now_ns);
+        }
+    }
+
+    /// Stores a positive RRset.
+    pub fn put(&mut self, rrset: RrSet, rrsig: Option<Record>, now_ns: u64) {
+        self.maybe_purge(now_ns);
+        let expires_ns = now_ns + u64::from(rrset.ttl) * 1_000_000_000;
+        self.positive
+            .insert((rrset.name.clone(), rrset.rrtype), CachedRrSet { rrset, rrsig, expires_ns });
+    }
+
+    /// Fetches an unexpired positive RRset.
+    pub fn get(&self, name: &Name, rrtype: RrType, now_ns: u64) -> Option<&CachedRrSet> {
+        self.positive
+            .get(&(name.clone(), rrtype))
+            .filter(|c| c.expires_ns > now_ns)
+    }
+
+    /// Stores a negative (NODATA/NXDOMAIN) result.
+    pub fn put_negative(&mut self, name: Name, rrtype: RrType, rcode: Rcode, ttl: u32, now_ns: u64) {
+        self.maybe_purge(now_ns);
+        let expires = now_ns + u64::from(ttl) * 1_000_000_000;
+        self.negative.insert((name, rrtype), (rcode, expires));
+    }
+
+    /// Fetches an unexpired negative result.
+    pub fn get_negative(&self, name: &Name, rrtype: RrType, now_ns: u64) -> Option<Rcode> {
+        self.negative
+            .get(&(name.clone(), rrtype))
+            .filter(|(_, exp)| *exp > now_ns)
+            .map(|(rcode, _)| *rcode)
+    }
+
+    /// Number of live positive entries (for diagnostics).
+    pub fn len(&self) -> usize {
+        self.positive.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.positive.is_empty() && self.negative.is_empty()
+    }
+}
+
+/// Cache of which servers are authoritative for which zone cut, seeded with
+/// the root hint.
+#[derive(Debug, Default)]
+pub struct ZoneServerCache {
+    zones: BTreeMap<Name, Vec<Ipv4Addr>>,
+}
+
+impl ZoneServerCache {
+    /// Creates a cache holding only the root hint.
+    pub fn with_root_hint(root: Ipv4Addr) -> Self {
+        let mut zones = BTreeMap::new();
+        zones.insert(Name::root(), vec![root]);
+        ZoneServerCache { zones }
+    }
+
+    /// Records the servers for a zone cut.
+    pub fn put(&mut self, cut: Name, addrs: Vec<Ipv4Addr>) {
+        if !addrs.is_empty() {
+            self.zones.insert(cut, addrs);
+        }
+    }
+
+    /// The deepest known cut at or above `qname`, with its servers.
+    ///
+    /// Probes `qname`'s suffixes longest-first — O(labels) map lookups, so
+    /// the cache can hold a million cuts without resolution slowing down.
+    pub fn deepest_for(&self, qname: &Name) -> (Name, &[Ipv4Addr]) {
+        for n in (0..=qname.label_count()).rev() {
+            let candidate = qname.suffix(n);
+            if let Some(addrs) = self.zones.get(&candidate) {
+                return (candidate, addrs.as_slice());
+            }
+        }
+        unreachable!("root hint always present")
+    }
+
+    /// Whether a cut is known.
+    pub fn contains(&self, cut: &Name) -> bool {
+        self.zones.contains_key(cut)
+    }
+
+    /// Known cuts, canonical order.
+    pub fn cuts(&self) -> impl Iterator<Item = &Name> {
+        self.zones.keys()
+    }
+}
+
+/// One validated NSEC span: `owner` → `next` proves nothing exists between.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Span {
+    next: Name,
+    expires_ns: u64,
+}
+
+/// The aggressive negative cache of validated NSEC spans (per zone —
+/// in this study, the DLV registry zone).
+#[derive(Debug, Default)]
+pub struct NsecSpanCache {
+    spans: BTreeMap<Name, Span>,
+    /// Hits answered from the cache (suppressed queries) — the quantity
+    /// that separates Fig. 8's two curves.
+    pub suppressed: u64,
+}
+
+impl NsecSpanCache {
+    /// Creates an empty span cache.
+    pub fn new() -> Self {
+        NsecSpanCache::default()
+    }
+
+    /// Inserts a validated span.
+    pub fn insert(&mut self, owner: Name, next: Name, ttl: u32, now_ns: u64) {
+        let expires_ns = now_ns + u64::from(ttl) * 1_000_000_000;
+        self.spans.insert(owner, Span { next, expires_ns });
+    }
+
+    /// Whether a cached, unexpired span proves `name` non-existent.
+    pub fn covers(&self, name: &Name, now_ns: u64) -> bool {
+        // Candidate: the greatest owner canonically <= name.
+        if let Some((owner, span)) = self.spans.range(..=name.clone()).next_back() {
+            if span.expires_ns > now_ns && lookaside_zone::covers(owner, &span.next, name) {
+                return true;
+            }
+        }
+        // Wrap-around span: the canonically greatest owner may cover names
+        // before the apex span's start.
+        if let Some((owner, span)) = self.spans.iter().next_back() {
+            if span.expires_ns > now_ns && lookaside_zone::covers(owner, &span.next, name) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Records a suppressed query (cache hit).
+    pub fn note_suppressed(&mut self) {
+        self.suppressed += 1;
+    }
+
+    /// Number of cached spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether no spans are cached.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lookaside_wire::RData;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn a_set(name: &str, ttl: u32) -> RrSet {
+        RrSet::single(n(name), ttl, RData::A(Ipv4Addr::new(192, 0, 2, 1)))
+    }
+
+    const SEC: u64 = 1_000_000_000;
+
+    #[test]
+    fn positive_cache_respects_ttl() {
+        let mut cache = AnswerCache::new();
+        cache.put(a_set("x.com", 10), None, 0);
+        assert!(cache.get(&n("x.com"), RrType::A, 5 * SEC).is_some());
+        assert!(cache.get(&n("x.com"), RrType::A, 10 * SEC).is_none());
+        assert!(cache.get(&n("x.com"), RrType::Aaaa, 0).is_none());
+    }
+
+    #[test]
+    fn negative_cache_stores_rcode() {
+        let mut cache = AnswerCache::new();
+        cache.put_negative(n("gone.com"), RrType::A, Rcode::NxDomain, 60, 0);
+        assert_eq!(cache.get_negative(&n("gone.com"), RrType::A, SEC), Some(Rcode::NxDomain));
+        assert_eq!(cache.get_negative(&n("gone.com"), RrType::A, 61 * SEC), None);
+    }
+
+    #[test]
+    fn zone_server_cache_finds_deepest() {
+        let root = Ipv4Addr::new(198, 41, 0, 4);
+        let mut cache = ZoneServerCache::with_root_hint(root);
+        cache.put(n("com"), vec![Ipv4Addr::new(192, 5, 6, 30)]);
+        cache.put(n("example.com"), vec![Ipv4Addr::new(192, 0, 2, 53)]);
+        let (cut, addrs) = cache.deepest_for(&n("www.example.com"));
+        assert_eq!(cut, n("example.com"));
+        assert_eq!(addrs[0], Ipv4Addr::new(192, 0, 2, 53));
+        let (cut, _) = cache.deepest_for(&n("other.org"));
+        assert!(cut.is_root());
+    }
+
+    #[test]
+    fn nsec_cache_covers_inside_span() {
+        let mut cache = NsecSpanCache::new();
+        cache.insert(n("alpha.dlv"), n("omega.dlv"), 3600, 0);
+        assert!(cache.covers(&n("beta.dlv"), 0));
+        assert!(!cache.covers(&n("alpha.dlv"), 0), "owner itself exists");
+        assert!(!cache.covers(&n("omega.dlv"), 0), "next itself exists");
+        assert!(!cache.covers(&n("zz.dlv"), 0), "outside span");
+    }
+
+    #[test]
+    fn nsec_cache_expires() {
+        let mut cache = NsecSpanCache::new();
+        cache.insert(n("alpha.dlv"), n("omega.dlv"), 10, 0);
+        assert!(cache.covers(&n("beta.dlv"), 9 * SEC));
+        assert!(!cache.covers(&n("beta.dlv"), 11 * SEC));
+    }
+
+    #[test]
+    fn nsec_cache_wraparound_span() {
+        let mut cache = NsecSpanCache::new();
+        // Last NSEC of the chain: next wraps to the apex.
+        cache.insert(n("zeta.dlv"), n("dlv"), 3600, 0);
+        assert!(cache.covers(&n("zz.dlv"), 0), "after the last owner");
+        assert!(!cache.covers(&n("aaa.dlv"), 0));
+    }
+
+    #[test]
+    fn nsec_cache_multiple_spans() {
+        let mut cache = NsecSpanCache::new();
+        cache.insert(n("a.dlv"), n("f.dlv"), 3600, 0);
+        cache.insert(n("m.dlv"), n("t.dlv"), 3600, 0);
+        assert!(cache.covers(&n("c.dlv"), 0));
+        assert!(cache.covers(&n("p.dlv"), 0));
+        assert!(!cache.covers(&n("h.dlv"), 0), "gap between spans");
+        assert_eq!(cache.len(), 2);
+    }
+}

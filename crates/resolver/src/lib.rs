@@ -1,0 +1,35 @@
+//! A recursive, validating, DLV-capable DNS resolver modelling the
+//! configuration semantics of BIND and Unbound.
+//!
+//! This crate reproduces the resolver side of the paper:
+//!
+//! * [`config`] — the BIND/Unbound option model, the install-method presets
+//!   of Table 2, and the 16-environment matrix of Table 1,
+//! * [`RecursiveResolver`] — iterative resolution with RRset/negative
+//!   caching, glueless NS-host resolution, CNAME chasing, and the
+//!   behavioural traffic model behind Table 4,
+//! * validation — the four RFC 4033 statuses, chain-of-trust walking with
+//!   explicit DS probes, and the RFC 5074 DLV look-aside walk with
+//!   aggressive NSEC negative caching (the mechanism of Figs. 8–9),
+//! * remedies — the §6.2 TXT-signal, Z-bit, and hashed-DLV behaviours.
+//!
+//! # Example
+//!
+//! See the crate-level examples in the `lookaside` facade crate, which
+//! builds the simulated Internet this resolver runs against; a minimal
+//! resolver is constructed from a [`ResolverSetup`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod config;
+mod resolver;
+mod validate;
+
+pub use config::{
+    environments, BindConfig, DnssecValidation, EffectiveBehavior, Environment, FeatureModel,
+    InstallMethod, Lookaside, ResolverConfig, Software, UnboundConfig,
+};
+pub use resolver::{Counters, RecursiveResolver, Resolution, ResolveError, ResolverSetup};
+pub use validate::{verify_rrset, SecurityStatus};

@@ -1,0 +1,694 @@
+//! The recursive resolver: iterative resolution engine, caching, and the
+//! behavioural traffic model.
+//!
+//! Validation and DLV logic live in [`crate::validate`]; this module owns
+//! the query loop that walks referrals from the root, chases CNAMEs,
+//! resolves glueless name-server hosts (the paper's Table 4 A/AAAA
+//! traffic), and feeds every exchange through the network simulator so the
+//! packet capture sees exactly what a real wire would.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use lookaside_crypto::PublicKey;
+use lookaside_netsim::{NetError, Network};
+use lookaside_wire::ext::RemedyMode;
+use lookaside_wire::{Message, Name, RData, Rcode, Record, RrSet, RrType};
+
+use crate::cache::{AnswerCache, NsecSpanCache, ZoneServerCache};
+use crate::config::{EffectiveBehavior, FeatureModel, ResolverConfig};
+use crate::validate::SecurityStatus;
+
+/// Maximum recursion depth across referral chasing, CNAME chains, and
+/// glueless NS-host resolution.
+pub(crate) const MAX_DEPTH: usize = 24;
+
+/// Errors surfaced by resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ResolveError {
+    /// The network had no route to a server.
+    Net(NetError),
+    /// Referral/CNAME/NS-host recursion exceeded the internal depth cap.
+    DepthExceeded,
+    /// A server answered unhelpfully (REFUSED/SERVFAIL/FORMERR) and no
+    /// progress is possible.
+    Lame {
+        /// The server that answered.
+        server: Ipv4Addr,
+        /// Its response code.
+        rcode: Rcode,
+    },
+}
+
+impl fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResolveError::Net(e) => write!(f, "network error: {e}"),
+            ResolveError::DepthExceeded => write!(f, "resolution depth exceeded"),
+            ResolveError::Lame { server, rcode } => {
+                write!(f, "lame server {server} answered {rcode}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResolveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ResolveError::Net(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetError> for ResolveError {
+    fn from(e: NetError) -> Self {
+        ResolveError::Net(e)
+    }
+}
+
+/// The stub-visible outcome of one resolution.
+#[derive(Debug, Clone)]
+pub struct Resolution {
+    /// Queried name.
+    pub qname: Name,
+    /// Queried type.
+    pub qtype: RrType,
+    /// Final response code as the stub would see it (SERVFAIL for bogus).
+    pub rcode: Rcode,
+    /// Answer records (including CNAME chain entries).
+    pub answers: Vec<Record>,
+    /// DNSSEC validation status.
+    pub status: SecurityStatus,
+    /// Whether the chain of trust was completed through a DLV record
+    /// rather than the root (Case 1 of the threat model).
+    pub secured_via_dlv: bool,
+}
+
+/// Internal counters the experiments assert on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Resolutions driven through [`RecursiveResolver::resolve`].
+    pub resolutions: u64,
+    /// DLV queries actually sent to the wire.
+    pub dlv_queries_sent: u64,
+    /// DLV lookups suppressed by the aggressive NSEC span cache.
+    pub dlv_suppressed_by_nsec: u64,
+    /// DLV lookups skipped because a remedy signal said "no record
+    /// deposited".
+    pub dlv_skipped_by_signal: u64,
+    /// Resolutions that ended bogus (stub saw SERVFAIL).
+    pub bogus: u64,
+}
+
+/// Everything the harness supplies to build a resolver.
+#[derive(Debug, Clone)]
+pub struct ResolverSetup {
+    /// The BIND/Unbound configuration in force.
+    pub config: ResolverConfig,
+    /// Behavioural traffic model.
+    pub features: FeatureModel,
+    /// Which §6.2 remedy is active.
+    pub remedy: RemedyMode,
+    /// Address of the root server (the hint file).
+    pub root_hint: Ipv4Addr,
+    /// Root KSK. Only used when the configuration actually includes the
+    /// anchor.
+    pub root_anchor: PublicKey,
+    /// DLV registry apex (e.g. `dlv.isc.org.`).
+    pub dlv_apex: Name,
+    /// DLV registry KSK. Only used when the configuration includes it.
+    pub dlv_anchor: PublicKey,
+    /// Salt for the deterministic behavioural probabilities.
+    pub salt: u64,
+}
+
+/// What a referral told us about a child's DS.
+#[derive(Debug, Clone)]
+pub(crate) enum DsInfo {
+    /// DS RRset present (secure delegation).
+    Present(RrSet, Option<Record>),
+    /// NSEC proved no DS (insecure delegation).
+    ProvenAbsent,
+}
+
+/// The outcome of iterative resolution, before validation.
+#[derive(Debug, Clone)]
+pub(crate) enum IterOutcome {
+    /// Got answer RRsets from `zone`.
+    Answer {
+        /// Data RRsets with their RRSIGs, in answer order.
+        rrsets: Vec<(RrSet, Option<Record>)>,
+        /// Apex of the answering zone.
+        zone: Name,
+    },
+    /// Negative answer (NODATA has `NoError`, name error `NxDomain`).
+    Negative {
+        /// Response code.
+        rcode: Rcode,
+        /// Apex of the answering zone (deepest known cut).
+        zone: Name,
+        /// Authority-section records (SOA, NSEC, RRSIGs) for proofs.
+        authority: Vec<Record>,
+    },
+}
+
+/// A recursive, validating, DLV-capable resolver.
+///
+/// One instance models one configured BIND/Unbound installation; drive it
+/// against a [`Network`] with [`RecursiveResolver::resolve`].
+pub struct RecursiveResolver {
+    pub(crate) behavior: EffectiveBehavior,
+    pub(crate) features: FeatureModel,
+    pub(crate) remedy: RemedyMode,
+    pub(crate) dlv_apex: Name,
+    pub(crate) root_anchor: Option<PublicKey>,
+    pub(crate) dlv_anchor: Option<PublicKey>,
+    pub(crate) answers: AnswerCache,
+    pub(crate) zones: ZoneServerCache,
+    pub(crate) nsec_spans: NsecSpanCache,
+    pub(crate) zone_status: HashMap<Name, SecurityStatus>,
+    pub(crate) secured_via_dlv: HashSet<Name>,
+    pub(crate) validated_keys: HashMap<Name, Vec<PublicKey>>,
+    pub(crate) zone_parent: HashMap<Name, Name>,
+    pub(crate) ds_info: HashMap<Name, DsInfo>,
+    pub(crate) z_signal: HashMap<Name, bool>,
+    pub(crate) txt_signal_cache: HashMap<Name, Option<bool>>,
+    pub(crate) seen_addrs: HashSet<Ipv4Addr>,
+    pub(crate) validating: HashSet<Name>,
+    pub(crate) salt: u64,
+    /// Counters the experiments inspect.
+    pub counters: Counters,
+}
+
+impl fmt::Debug for RecursiveResolver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RecursiveResolver")
+            .field("behavior", &self.behavior)
+            .field("remedy", &self.remedy)
+            .field("counters", &self.counters)
+            .finish_non_exhaustive()
+    }
+}
+
+pub(crate) fn mix(a: u64, b: u64) -> u64 {
+    let mut x = a ^ b.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn hash_name(name: &Name) -> u64 {
+    let mut acc = 0xcbf2_9ce4_8422_2325u64;
+    for label in name.labels() {
+        for &b in label.as_bytes() {
+            acc = (acc ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+        acc = acc.wrapping_mul(0x100_0000_01b3);
+    }
+    acc
+}
+
+impl RecursiveResolver {
+    /// Builds a resolver from a setup, honouring the configuration's
+    /// effective behaviour (e.g. a missing trust anchor means the supplied
+    /// key material is simply not loaded — the paper's §5.2 state).
+    pub fn new(setup: ResolverSetup) -> Self {
+        let behavior = EffectiveBehavior::from_config(&setup.config);
+        RecursiveResolver {
+            behavior,
+            features: setup.features,
+            remedy: setup.remedy,
+            dlv_apex: setup.dlv_apex,
+            root_anchor: behavior.has_root_anchor.then_some(setup.root_anchor),
+            dlv_anchor: behavior.has_dlv_anchor.then_some(setup.dlv_anchor),
+            answers: AnswerCache::new(),
+            zones: ZoneServerCache::with_root_hint(setup.root_hint),
+            nsec_spans: NsecSpanCache::new(),
+            zone_status: HashMap::new(),
+            secured_via_dlv: HashSet::new(),
+            validated_keys: HashMap::new(),
+            zone_parent: HashMap::new(),
+            ds_info: HashMap::new(),
+            z_signal: HashMap::new(),
+            txt_signal_cache: HashMap::new(),
+            seen_addrs: HashSet::new(),
+            validating: HashSet::new(),
+            salt: setup.salt,
+            counters: Counters::default(),
+        }
+    }
+
+    /// The resolver's effective behaviour.
+    pub fn behavior(&self) -> EffectiveBehavior {
+        self.behavior
+    }
+
+    /// The aggressive NSEC span cache (inspection for experiments).
+    pub fn nsec_spans(&self) -> &NsecSpanCache {
+        &self.nsec_spans
+    }
+
+    /// Installs a zone cut (servers + parent) as if a referral had been
+    /// followed — test/tooling hook for wiring ad-hoc topologies.
+    #[doc(hidden)]
+    pub fn install_zone_for_test(&mut self, cut: Name, addrs: Vec<Ipv4Addr>, parent: Name) {
+        self.zone_parent.insert(cut.clone(), parent);
+        self.zones.put(cut, addrs);
+    }
+
+    /// Resolves `qname`/`qtype` on behalf of a stub, performing DNSSEC
+    /// validation and DLV lookups as configured.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ResolveError`] on routing failures, lame servers, or
+    /// runaway referral chains. Bogus DNSSEC results are *not* errors; they
+    /// surface as `rcode == ServFail` in the [`Resolution`].
+    pub fn resolve(
+        &mut self,
+        net: &mut Network,
+        qname: &Name,
+        qtype: RrType,
+    ) -> Result<Resolution, ResolveError> {
+        self.counters.resolutions += 1;
+        let now = net.now_ns();
+        let from_cache = self.answers.get(qname, qtype, now).is_some()
+            || self.answers.get_negative(qname, qtype, now).is_some();
+        let outcome = self.resolve_iterative(net, qname, qtype, 0)?;
+
+        let (status, via_dlv) = if self.behavior.validate {
+            self.validate_outcome(net, &outcome)?
+        } else {
+            (SecurityStatus::Indeterminate, false)
+        };
+
+        // Post-answer behavioural traffic: occasional NS re-fetch.
+        if let (IterOutcome::Answer { zone, .. }, false) = (&outcome, from_cache) {
+            let zone = zone.clone();
+            if !zone.is_root()
+                && mix(self.salt ^ 0x4e53, hash_name(qname)) % 1000
+                    < u64::from(self.features.ns_refetch_milli)
+            {
+                let _ = self.query_zone(net, &zone, &zone, RrType::Ns)?;
+            }
+        }
+
+        let (rcode, answers) = match &outcome {
+            IterOutcome::Answer { rrsets, .. } => {
+                let mut records = Vec::new();
+                for (set, _) in rrsets {
+                    records.extend(set.to_records());
+                }
+                (Rcode::NoError, records)
+            }
+            IterOutcome::Negative { rcode, .. } => (*rcode, Vec::new()),
+        };
+        let rcode = if status == SecurityStatus::Bogus {
+            self.counters.bogus += 1;
+            Rcode::ServFail
+        } else {
+            rcode
+        };
+        Ok(Resolution {
+            qname: qname.clone(),
+            qtype,
+            rcode,
+            answers,
+            status,
+            secured_via_dlv: via_dlv,
+        })
+    }
+
+    /// One upstream query to a specific zone's servers.
+    pub(crate) fn query_zone(
+        &mut self,
+        net: &mut Network,
+        zone: &Name,
+        qname: &Name,
+        qtype: RrType,
+    ) -> Result<Message, ResolveError> {
+        let (_, addrs) = self.zone_servers(zone);
+        let addr = addrs[0];
+        self.ptr_probe(net, addr)?;
+        let id = net.allocate_id();
+        let query = if self.behavior.validate {
+            Message::dnssec_query(id, qname.clone(), qtype)
+        } else {
+            Message::query(id, qname.clone(), qtype)
+        };
+        let mut response = net.exchange(addr, &query)?.response;
+        if response.header.flags.tc {
+            response =
+                net.exchange_with(addr, &query, lookaside_netsim::Transport::Tcp)?.response;
+        }
+        Ok(response)
+    }
+
+    fn zone_servers(&self, qname: &Name) -> (Name, Vec<Ipv4Addr>) {
+        let (cut, addrs) = self.zones.deepest_for(qname);
+        (cut, addrs.to_vec())
+    }
+
+    /// The iterative resolution loop.
+    pub(crate) fn resolve_iterative(
+        &mut self,
+        net: &mut Network,
+        qname: &Name,
+        qtype: RrType,
+        depth: usize,
+    ) -> Result<IterOutcome, ResolveError> {
+        if depth > MAX_DEPTH {
+            return Err(ResolveError::DepthExceeded);
+        }
+        let now = net.now_ns();
+        if let Some(cached) = self.answers.get(qname, qtype, now) {
+            let rrsets = vec![(cached.rrset.clone(), cached.rrsig.clone())];
+            let zone = self.zones.deepest_for(qname).0;
+            return Ok(IterOutcome::Answer { rrsets, zone });
+        }
+        if let Some(rcode) = self.answers.get_negative(qname, qtype, now) {
+            let zone = self.zones.deepest_for(qname).0;
+            return Ok(IterOutcome::Negative { rcode, zone, authority: Vec::new() });
+        }
+
+        let current = qname.clone();
+        let mut hops = 0usize;
+        // RFC 7816: labels revealed so far (grows as cuts deepen or
+        // intermediate NODATAs force another step down).
+        let mut reveal = 0usize;
+        loop {
+            hops += 1;
+            if hops > MAX_DEPTH {
+                return Err(ResolveError::DepthExceeded);
+            }
+            let (cut, addrs) = self.zone_servers(&current);
+
+            // Minimisation: show this server one label below its cut, with
+            // a neutral NS qtype until the full name is revealed.
+            let full_labels = current.label_count();
+            let send_labels = if self.features.qname_minimization {
+                reveal = reveal.max(cut.label_count() + 1).min(full_labels);
+                reveal
+            } else {
+                full_labels
+            };
+            let minimized = send_labels < full_labels;
+            let send_name = current.suffix(send_labels);
+            let send_type = if minimized { RrType::Ns } else { qtype };
+
+            // Try each server of the zone in turn; a REFUSED/SERVFAIL from
+            // one NS must not fail the resolution while siblings work.
+            let mut response = None;
+            let mut answered_by = *addrs.first().expect("zone has servers");
+            let mut last_lame =
+                ResolveError::Lame { server: answered_by, rcode: Rcode::ServFail };
+            for &addr in &addrs {
+                self.ptr_probe(net, addr)?;
+                let id = net.allocate_id();
+                let query = if self.behavior.validate {
+                    Message::dnssec_query(id, send_name.clone(), send_type)
+                } else {
+                    Message::query(id, send_name.clone(), send_type)
+                };
+                let mut candidate = net.exchange(addr, &query)?.response;
+                if candidate.header.flags.tc {
+                    // Truncated over UDP: retry over TCP (RFC 7766).
+                    candidate = net
+                        .exchange_with(addr, &query, lookaside_netsim::Transport::Tcp)?
+                        .response;
+                }
+                match candidate.rcode() {
+                    Rcode::NoError | Rcode::NxDomain => {
+                        answered_by = addr;
+                        response = Some(candidate);
+                        break;
+                    }
+                    other => {
+                        last_lame = ResolveError::Lame { server: addr, rcode: other };
+                    }
+                }
+            }
+            let Some(response) = response else { return Err(last_lame) };
+
+            match response.rcode() {
+                Rcode::NoError => {}
+                Rcode::NxDomain => {
+                    // RFC 8020: NXDOMAIN for an ancestor denies the whole
+                    // subtree, so a minimised NXDOMAIN concludes the query.
+                    let ttl = negative_ttl(&response);
+                    self.answers.put_negative(
+                        current.clone(),
+                        qtype,
+                        Rcode::NxDomain,
+                        ttl,
+                        net.now_ns(),
+                    );
+                    self.record_z(&cut, &response);
+                    return Ok(IterOutcome::Negative {
+                        rcode: Rcode::NxDomain,
+                        zone: cut,
+                        authority: response.authorities.clone(),
+                    });
+                }
+                // Unreachable: the failover loop only accepts these two.
+                other => return Err(ResolveError::Lame { server: answered_by, rcode: other }),
+            }
+
+            if minimized && response.header.flags.aa {
+                // The minimised name exists (NS answer or NODATA at an
+                // intermediate label): reveal one more label and continue.
+                reveal = (send_labels + 1).min(full_labels);
+                continue;
+            }
+
+            if !response.answers.is_empty() {
+                self.record_z(&cut, &response);
+                let (rrsets, cname_target) =
+                    self.ingest_answers(&response, &current, qtype, net.now_ns());
+                if let Some(target) = cname_target {
+                    // Chase the CNAME; the final answer's zone wins.
+                    let chased = self.resolve_iterative(net, &target, qtype, depth + 1)?;
+                    return Ok(match chased {
+                        IterOutcome::Answer { rrsets: mut tail, zone } => {
+                            let mut all = rrsets;
+                            all.append(&mut tail);
+                            IterOutcome::Answer { rrsets: all, zone }
+                        }
+                        negative => negative,
+                    });
+                }
+                if rrsets.is_empty() {
+                    // Answer section had only unrelated records; treat as
+                    // NODATA to avoid looping.
+                    return Ok(IterOutcome::Negative {
+                        rcode: Rcode::NoError,
+                        zone: cut,
+                        authority: response.authorities.clone(),
+                    });
+                }
+                return Ok(IterOutcome::Answer { rrsets, zone: cut });
+            }
+
+            // Referral?
+            let is_referral = !response.header.flags.aa
+                && response.authorities_of(RrType::Ns).next().is_some();
+            if is_referral {
+                let child = self.ingest_referral(net, &cut, &response, depth)?;
+                if !child.is_subdomain_of(&cut) || child == cut {
+                    // No downward progress: lame delegation.
+                    return Err(ResolveError::Lame { server: answered_by, rcode: Rcode::NoError });
+                }
+                continue;
+            }
+
+            // Authoritative NODATA.
+            let ttl = negative_ttl(&response);
+            self.answers.put_negative(current.clone(), qtype, Rcode::NoError, ttl, net.now_ns());
+            self.record_z(&cut, &response);
+            return Ok(IterOutcome::Negative {
+                rcode: Rcode::NoError,
+                zone: cut,
+                authority: response.authorities.clone(),
+            });
+        }
+    }
+
+    fn record_z(&mut self, zone: &Name, response: &Message) {
+        if self.remedy == RemedyMode::ZBit {
+            self.z_signal.insert(zone.clone(), response.header.flags.z);
+        }
+    }
+
+    /// Caches answer RRsets; returns them plus a CNAME target to chase.
+    fn ingest_answers(
+        &mut self,
+        response: &Message,
+        qname: &Name,
+        qtype: RrType,
+        now: u64,
+    ) -> (Vec<(RrSet, Option<Record>)>, Option<Name>) {
+        let data: Vec<Record> = response
+            .answers
+            .iter()
+            .filter(|r| r.rrtype != RrType::Rrsig)
+            .cloned()
+            .collect();
+        let sets: Vec<RrSet> = data.into_iter().collect();
+        let mut out = Vec::new();
+        let mut cname_target = None;
+        for set in sets {
+            let sig = response
+                .answers
+                .iter()
+                .find(|r| {
+                    r.rrtype == RrType::Rrsig
+                        && r.name == set.name
+                        && matches!(&r.rdata, RData::Rrsig { type_covered, .. } if *type_covered == set.rrtype)
+                })
+                .cloned();
+            self.answers.put(set.clone(), sig.clone(), now);
+            if set.rrtype == RrType::Cname && qtype != RrType::Cname && &set.name == qname {
+                if let Some(RData::Cname(target)) = set.rdatas.first() {
+                    cname_target = Some(target.clone());
+                }
+            }
+            out.push((set, sig));
+        }
+        (out, cname_target)
+    }
+
+    /// Processes a referral: caches the cut, its DS information, and the
+    /// child server addresses (resolving glueless NS hosts as needed).
+    fn ingest_referral(
+        &mut self,
+        net: &mut Network,
+        parent: &Name,
+        response: &Message,
+        depth: usize,
+    ) -> Result<Name, ResolveError> {
+        let ns_records: Vec<&Record> = response.authorities_of(RrType::Ns).collect();
+        let child = ns_records[0].name.clone();
+        self.zone_parent.insert(child.clone(), parent.clone());
+
+        // DS information piggybacked on the referral.
+        let ds_sets: Vec<Record> = response.authorities_of(RrType::Ds).cloned().collect();
+        if !ds_sets.is_empty() {
+            let set: Vec<RrSet> = ds_sets.into_iter().collect();
+            let sig = response
+                .authorities
+                .iter()
+                .find(|r| {
+                    r.rrtype == RrType::Rrsig
+                        && r.name == child
+                        && matches!(&r.rdata, RData::Rrsig { type_covered, .. } if *type_covered == RrType::Ds)
+                })
+                .cloned();
+            self.ds_info.insert(child.clone(), DsInfo::Present(set[0].clone(), sig));
+        } else if response.authorities_of(RrType::Nsec).next().is_some() {
+            self.ds_info.insert(child.clone(), DsInfo::ProvenAbsent);
+        }
+
+        // Glue first.
+        let mut addrs: Vec<Ipv4Addr> = Vec::new();
+        let ns_hosts: Vec<Name> = ns_records
+            .iter()
+            .filter_map(|r| match &r.rdata {
+                RData::Ns(h) => Some(h.clone()),
+                _ => None,
+            })
+            .collect();
+        for rec in response.additionals_of(RrType::A) {
+            if let RData::A(a) = rec.rdata {
+                if ns_hosts.contains(&rec.name) {
+                    addrs.push(a);
+                }
+            }
+        }
+
+        let glued = !addrs.is_empty();
+        if !glued {
+            // Glueless: resolve the NS hosts (A and AAAA — resolvers fetch
+            // both for dual-stack operation; this is the bulk of Table 4's
+            // A/AAAA ambient traffic).
+            for host in ns_hosts.iter().take(2) {
+                if let Ok(IterOutcome::Answer { rrsets, .. }) =
+                    self.resolve_iterative(net, host, RrType::A, depth + 1)
+                {
+                    for (set, _) in &rrsets {
+                        for rd in &set.rdatas {
+                            if let RData::A(a) = rd {
+                                addrs.push(*a);
+                            }
+                        }
+                    }
+                    if self.behavior.validate {
+                        // NS host answers are validated like any other —
+                        // which is how hoster zones end up leaking to DLV
+                        // too.
+                        let outcome = IterOutcome::Answer {
+                            rrsets: rrsets.clone(),
+                            zone: self.zones.deepest_for(host).0,
+                        };
+                        let _ = self.validate_outcome(net, &outcome)?;
+                    }
+                }
+                if self.features.ns_host_aaaa {
+                    let _ = self.resolve_iterative(net, host, RrType::Aaaa, depth + 1);
+                }
+            }
+        }
+
+        if addrs.is_empty() {
+            return Err(ResolveError::Lame {
+                server: self.zones.deepest_for(parent).1.first().copied().unwrap_or(Ipv4Addr::UNSPECIFIED),
+                rcode: Rcode::ServFail,
+            });
+        }
+        self.zones.put(child.clone(), addrs);
+
+        // Glue carries A records only; dual-stack resolvers still look up
+        // the host's AAAA (now that the child cut is installed, this is a
+        // single cheap query to the child's own server).
+        if glued && self.features.ns_host_aaaa {
+            if let Some(host) = ns_hosts.first() {
+                let _ = self.resolve_iterative(net, host, RrType::Aaaa, depth + 1);
+            }
+        }
+        Ok(child)
+    }
+
+    /// Deterministic PTR probe for newly seen server addresses.
+    fn ptr_probe(&mut self, net: &mut Network, addr: Ipv4Addr) -> Result<(), ResolveError> {
+        if !self.seen_addrs.insert(addr) {
+            return Ok(());
+        }
+        let roll = mix(self.salt ^ 0x0050_5452, u64::from(u32::from(addr))) % 1000;
+        if roll < u64::from(self.features.ptr_probe_milli) {
+            let octets = addr.octets();
+            let reverse = Name::parse(&format!(
+                "{}.{}.{}.{}.in-addr.arpa.",
+                octets[3], octets[2], octets[1], octets[0]
+            ))
+            .expect("reverse name is valid");
+            let (_, root_addrs) = self.zone_servers(&Name::root());
+            let id = net.allocate_id();
+            let q = Message::query(id, reverse, RrType::Ptr);
+            let _ = net.exchange(root_addrs[0], &q)?;
+        }
+        Ok(())
+    }
+}
+
+fn negative_ttl(response: &Message) -> u32 {
+    response
+        .authorities_of(RrType::Soa)
+        .next()
+        .map(|rec| match &rec.rdata {
+            RData::Soa(soa) => soa.minimum.min(rec.ttl),
+            _ => rec.ttl,
+        })
+        .unwrap_or(60)
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the resolver caches — in particular the
+//! aggressive NSEC span cache, whose correctness decides whether Fig. 8/9's
+//! suppression counts can be trusted.
+
+use proptest::prelude::*;
+
+use lookaside_resolver::cache::{AnswerCache, NsecSpanCache, ZoneServerCache};
+use lookaside_wire::{Name, RData, Rcode, RrSet, RrType};
+use std::net::Ipv4Addr;
+
+fn label() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z]{1,6}").expect("regex")
+}
+
+proptest! {
+    #[test]
+    fn nsec_span_cache_agrees_with_chain_semantics(
+        owners in proptest::collection::btree_set(label(), 2..15),
+        probes in proptest::collection::vec(label(), 1..20),
+    ) {
+        // Build a full chain over the owners (wrapping), cache every span,
+        // then: a probe must be covered iff it is NOT an owner.
+        let apex = Name::parse("zone.test.").unwrap();
+        let names: Vec<Name> =
+            owners.iter().map(|l| apex.prepend(l).unwrap()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        let mut cache = NsecSpanCache::new();
+        for i in 0..sorted.len() {
+            let next = &sorted[(i + 1) % sorted.len()];
+            cache.insert(sorted[i].clone(), next.clone(), 3600, 0);
+        }
+        for probe in &probes {
+            let name = apex.prepend(probe).unwrap();
+            let exists = owners.contains(probe);
+            // The apex itself is outside every span but also not an owner
+            // here; probes are always below the apex so this is exact.
+            prop_assert_eq!(
+                cache.covers(&name, 0),
+                !exists,
+                "probe {} exists={}",
+                name,
+                exists
+            );
+        }
+    }
+
+    #[test]
+    fn answer_cache_never_returns_expired(
+        ttl in 0u32..100,
+        probe_at in 0u64..200,
+    ) {
+        let mut cache = AnswerCache::new();
+        let name = Name::parse("x.test.").unwrap();
+        let set = RrSet::single(name.clone(), ttl, RData::A(Ipv4Addr::LOCALHOST));
+        cache.put(set, None, 0);
+        cache.put_negative(name.clone(), RrType::Mx, Rcode::NxDomain, ttl, 0);
+        let now = probe_at * 1_000_000_000;
+        let fresh = u64::from(ttl) * 1_000_000_000 > now;
+        prop_assert_eq!(cache.get(&name, RrType::A, now).is_some(), fresh);
+        prop_assert_eq!(cache.get_negative(&name, RrType::Mx, now).is_some(), fresh);
+    }
+
+    #[test]
+    fn zone_server_cache_always_finds_deepest_known_suffix(
+        cuts in proptest::collection::btree_set(
+            proptest::collection::vec(label(), 1..3),
+            0..10,
+        ),
+        probe in proptest::collection::vec(label(), 1..4),
+    ) {
+        let root = Ipv4Addr::new(198, 41, 0, 4);
+        let mut cache = ZoneServerCache::with_root_hint(root);
+        let mut names = Vec::new();
+        for labels in &cuts {
+            let name = Name::parse(&labels.join(".")).unwrap();
+            cache.put(name.clone(), vec![Ipv4Addr::new(10, 0, 0, 1)]);
+            names.push(name);
+        }
+        let qname = Name::parse(&probe.join(".")).unwrap();
+        let (cut, addrs) = cache.deepest_for(&qname);
+        prop_assert!(!addrs.is_empty());
+        prop_assert!(qname.is_subdomain_of(&cut));
+        // No known cut below the returned one also contains qname.
+        for name in &names {
+            if qname.is_subdomain_of(name) {
+                prop_assert!(name.label_count() <= cut.label_count());
+            }
+        }
+    }
+}

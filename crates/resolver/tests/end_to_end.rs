@@ -1,0 +1,515 @@
+//! End-to-end resolver tests over a miniature simulated Internet:
+//! a signed root, a signed `com` and `org`, a fully-secure SLD, an island
+//! of security (signed, no DS) with a DLV deposit, an unsigned SLD, and
+//! the `isc.org` → `dlv.isc.org` registry chain.
+
+use std::net::Ipv4Addr;
+
+use lookaside_netsim::{CaptureFilter, Network};
+use lookaside_resolver::{
+    BindConfig, FeatureModel, InstallMethod, RecursiveResolver, ResolverConfig, ResolverSetup,
+    SecurityStatus,
+};
+use lookaside_server::{AuthoritativeServer, DlvDeposit, DlvRegistry};
+use lookaside_wire::ext::RemedyMode;
+use lookaside_wire::{Name, RData, Rcode, RrType};
+use lookaside_zone::{PublishedZone, SigningKeys, Zone};
+
+const ROOT: Ipv4Addr = Ipv4Addr::new(198, 41, 0, 4);
+const COM: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+const ORG: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 3);
+const EXAMPLE: Ipv4Addr = Ipv4Addr::new(10, 1, 0, 1);
+const ISLAND: Ipv4Addr = Ipv4Addr::new(10, 1, 0, 2);
+const PLAIN: Ipv4Addr = Ipv4Addr::new(10, 1, 0, 3);
+const LONELY: Ipv4Addr = Ipv4Addr::new(10, 1, 0, 4);
+const ISC: Ipv4Addr = Ipv4Addr::new(10, 2, 0, 1);
+const DLV: Ipv4Addr = Ipv4Addr::new(10, 2, 0, 2);
+
+const EXPIRE: u32 = u32::MAX;
+
+fn n(s: &str) -> Name {
+    Name::parse(s).unwrap()
+}
+
+struct World {
+    net: Network,
+    root_keys: SigningKeys,
+    dlv_keys: SigningKeys,
+}
+
+/// Builds the mini Internet. Signed zones: root, com, org, isc.org,
+/// dlv.isc.org, example.com (DS in com), island.com (signed, **no DS**,
+/// deposited in DLV), lonely.com (signed, no DS, **not** deposited).
+/// plain.com is unsigned.
+fn build_world(remedy: RemedyMode) -> World {
+    let root_keys = SigningKeys::from_seed(100);
+    let com_keys = SigningKeys::from_seed(101);
+    let org_keys = SigningKeys::from_seed(102);
+    let isc_keys = SigningKeys::from_seed(103);
+    let dlv_keys = SigningKeys::from_seed(104);
+    let example_keys = SigningKeys::from_seed(105);
+    let island_keys = SigningKeys::from_seed(106);
+    let lonely_keys = SigningKeys::from_seed(107);
+
+    let mut net = Network::new(42);
+    net.set_capture_filter(CaptureFilter::All);
+
+    // Root.
+    let mut root = Zone::new(Name::root(), n("a.root-servers.net"));
+    root.delegate(n("com"), &[(n("ns.com"), COM)]).unwrap();
+    root.add_ds(n("com"), lookaside_crypto::ds_rdata(&n("com"), &com_keys.ksk.public()));
+    root.delegate(n("org"), &[(n("ns.org"), ORG)]).unwrap();
+    root.add_ds(n("org"), lookaside_crypto::ds_rdata(&n("org"), &org_keys.ksk.public()));
+    let root_zone = PublishedZone::signed(root, &root_keys, 0, EXPIRE);
+    net.register(ROOT, "root", Box::new(AuthoritativeServer::single(root_zone)));
+
+    // com.
+    let mut com = Zone::new(n("com"), n("ns.com"));
+    com.add(n("ns.com"), 3600, RData::A(COM));
+    com.delegate(n("example.com"), &[(n("ns1.example.com"), EXAMPLE)]).unwrap();
+    com.add_ds(
+        n("example.com"),
+        lookaside_crypto::ds_rdata(&n("example.com"), &example_keys.ksk.public()),
+    );
+    com.delegate(n("island.com"), &[(n("ns1.island.com"), ISLAND)]).unwrap();
+    com.delegate(n("plain.com"), &[(n("ns1.plain.com"), PLAIN)]).unwrap();
+    com.delegate(n("lonely.com"), &[(n("ns1.lonely.com"), LONELY)]).unwrap();
+    let com_zone = PublishedZone::signed(com, &com_keys, 0, EXPIRE);
+    net.register(COM, "com-tld", Box::new(AuthoritativeServer::single(com_zone)));
+
+    // org and isc.org chain to the registry.
+    let mut org = Zone::new(n("org"), n("ns.org"));
+    org.add(n("ns.org"), 3600, RData::A(ORG));
+    org.delegate(n("isc.org"), &[(n("ns1.isc.org"), ISC)]).unwrap();
+    org.add_ds(n("isc.org"), lookaside_crypto::ds_rdata(&n("isc.org"), &isc_keys.ksk.public()));
+    let org_zone = PublishedZone::signed(org, &org_keys, 0, EXPIRE);
+    net.register(ORG, "org-tld", Box::new(AuthoritativeServer::single(org_zone)));
+
+    let mut isc = Zone::new(n("isc.org"), n("ns1.isc.org"));
+    isc.add(n("ns1.isc.org"), 3600, RData::A(ISC));
+    isc.delegate(n("dlv.isc.org"), &[(n("ns.dlv.isc.org"), DLV)]).unwrap();
+    isc.add_ds(
+        n("dlv.isc.org"),
+        lookaside_crypto::ds_rdata(&n("dlv.isc.org"), &dlv_keys.ksk.public()),
+    );
+    let isc_zone = PublishedZone::signed(isc, &isc_keys, 0, EXPIRE);
+    net.register(ISC, "isc-org", Box::new(AuthoritativeServer::single(isc_zone)));
+
+    // The DLV registry: island.com is deposited.
+    let deposits = vec![DlvDeposit { domain: n("island.com"), ksk: island_keys.ksk.public() }];
+    let hashed = remedy == RemedyMode::HashedDlv;
+    let registry = DlvRegistry::new(n("dlv.isc.org"), &deposits, &dlv_keys, 0, EXPIRE, hashed);
+    net.register(DLV, "dlv-registry", Box::new(registry));
+
+    // SLDs.
+    let mut example = Zone::new(n("example.com"), n("ns1.example.com"));
+    example.add(n("ns1.example.com"), 3600, RData::A(EXAMPLE));
+    example.add(n("www.example.com"), 300, RData::A(Ipv4Addr::new(192, 0, 2, 1)));
+    // example.com has no deposit, so it never advertises the Z bit.
+    let example_server =
+        AuthoritativeServer::single(PublishedZone::signed(example, &example_keys, 0, EXPIRE));
+    net.register(EXAMPLE, "example.com", Box::new(example_server));
+
+    let mut island = Zone::new(n("island.com"), n("ns1.island.com"));
+    island.add(n("ns1.island.com"), 3600, RData::A(ISLAND));
+    island.add(n("www.island.com"), 300, RData::A(Ipv4Addr::new(192, 0, 2, 2)));
+    if remedy == RemedyMode::TxtSignal {
+        island.add(n("island.com"), 300, RData::Txt(vec!["dlv=1".into()]));
+    }
+    let mut island_server =
+        AuthoritativeServer::single(PublishedZone::signed(island, &island_keys, 0, EXPIRE));
+    if remedy == RemedyMode::ZBit {
+        island_server.advertise_dlv(n("island.com"));
+    }
+    net.register(ISLAND, "island.com", Box::new(island_server));
+
+    let mut plain = Zone::new(n("plain.com"), n("ns1.plain.com"));
+    plain.add(n("ns1.plain.com"), 3600, RData::A(PLAIN));
+    plain.add(n("www.plain.com"), 300, RData::A(Ipv4Addr::new(192, 0, 2, 3)));
+    if remedy == RemedyMode::TxtSignal {
+        plain.add(n("plain.com"), 300, RData::Txt(vec!["dlv=0".into()]));
+    }
+    net.register(PLAIN, "plain.com", Box::new(AuthoritativeServer::single(PublishedZone::unsigned(plain))));
+
+    let mut lonely = Zone::new(n("lonely.com"), n("ns1.lonely.com"));
+    lonely.add(n("ns1.lonely.com"), 3600, RData::A(LONELY));
+    lonely.add(n("www.lonely.com"), 300, RData::A(Ipv4Addr::new(192, 0, 2, 4)));
+    net.register(LONELY, "lonely.com", Box::new(AuthoritativeServer::single(PublishedZone::signed(lonely, &lonely_keys, 0, EXPIRE))));
+
+    World { net, root_keys, dlv_keys }
+}
+
+fn resolver_with(world: &World, config: BindConfig, remedy: RemedyMode) -> RecursiveResolver {
+    RecursiveResolver::new(ResolverSetup {
+        config: ResolverConfig::Bind(config),
+        features: FeatureModel::default(),
+        remedy,
+        root_hint: ROOT,
+        root_anchor: world.root_keys.ksk.public(),
+        dlv_apex: n("dlv.isc.org"),
+        dlv_anchor: world.dlv_keys.ksk.public(),
+        salt: 7,
+    })
+}
+
+fn correct_resolver(world: &World) -> RecursiveResolver {
+    resolver_with(world, BindConfig::correct(), RemedyMode::None)
+}
+
+fn dlv_queries(net: &Network) -> usize {
+    net.capture().dlv_queries().count()
+}
+
+#[test]
+fn secure_chain_validates_without_dlv() {
+    let mut w = build_world(RemedyMode::None);
+    let mut r = correct_resolver(&w);
+    let res = r.resolve(&mut w.net, &n("www.example.com"), RrType::A).unwrap();
+    assert_eq!(res.rcode, Rcode::NoError);
+    assert_eq!(res.status, SecurityStatus::Secure);
+    assert!(!res.secured_via_dlv);
+    assert_eq!(res.answers.len(), 1);
+    assert_eq!(dlv_queries(&w.net), 0, "secure chains never consult DLV");
+    assert_eq!(r.counters.dlv_queries_sent, 0);
+}
+
+#[test]
+fn island_of_security_secures_via_dlv() {
+    let mut w = build_world(RemedyMode::None);
+    let mut r = correct_resolver(&w);
+    let res = r.resolve(&mut w.net, &n("www.island.com"), RrType::A).unwrap();
+    assert_eq!(res.status, SecurityStatus::Secure);
+    assert!(res.secured_via_dlv, "island must be anchored through DLV");
+    assert!(dlv_queries(&w.net) >= 1);
+}
+
+#[test]
+fn unsigned_zone_leaks_to_dlv_and_stays_insecure() {
+    let mut w = build_world(RemedyMode::None);
+    let mut r = correct_resolver(&w);
+    let res = r.resolve(&mut w.net, &n("www.plain.com"), RrType::A).unwrap();
+    assert_eq!(res.rcode, Rcode::NoError);
+    assert_eq!(res.status, SecurityStatus::Insecure);
+    // This is the paper's Case-2 leak: the DLV server observed plain.com
+    // although it holds no record for it.
+    let leaked: Vec<String> =
+        w.net.capture().dlv_queries().map(|p| p.qname.to_string()).collect();
+    assert!(leaked.iter().any(|q| q.starts_with("plain.com.")), "leaked: {leaked:?}");
+}
+
+#[test]
+fn signed_island_without_deposit_is_insecure() {
+    let mut w = build_world(RemedyMode::None);
+    let mut r = correct_resolver(&w);
+    let res = r.resolve(&mut w.net, &n("www.lonely.com"), RrType::A).unwrap();
+    assert_eq!(res.status, SecurityStatus::Insecure);
+    assert!(!res.secured_via_dlv);
+}
+
+#[test]
+fn aggressive_nsec_suppresses_repeat_leaks() {
+    let mut w = build_world(RemedyMode::None);
+    let mut r = correct_resolver(&w);
+    r.resolve(&mut w.net, &n("www.plain.com"), RrType::A).unwrap();
+    let after_first = r.counters.dlv_queries_sent;
+    assert!(after_first >= 1);
+    // lonely.com sits in the same NSEC span neighbourhood; depending on the
+    // span it may be suppressed. At minimum, re-resolving plain.com must
+    // not send new DLV queries.
+    r.resolve(&mut w.net, &n("plain.com"), RrType::A).unwrap();
+    let suppressed = r.counters.dlv_suppressed_by_nsec;
+    let sent = r.counters.dlv_queries_sent;
+    assert!(
+        sent == after_first || suppressed > 0,
+        "repeat lookups must be answered from cache/spans (sent {sent}, suppressed {suppressed})"
+    );
+}
+
+#[test]
+fn validation_disabled_never_queries_dlv() {
+    let mut w = build_world(RemedyMode::None);
+    let mut cfg = BindConfig::correct();
+    cfg.validation = lookaside_resolver::DnssecValidation::No;
+    let mut r = resolver_with(&w, cfg, RemedyMode::None);
+    let res = r.resolve(&mut w.net, &n("www.plain.com"), RrType::A).unwrap();
+    assert_eq!(res.status, SecurityStatus::Indeterminate);
+    assert_eq!(dlv_queries(&w.net), 0);
+}
+
+#[test]
+fn missing_root_anchor_sends_everything_to_dlv() {
+    let mut w = build_world(RemedyMode::None);
+    // The apt-get† / manual misconfiguration of §5.2.
+    let mut r = resolver_with(&w, InstallMethod::AptGetCompliant.bind_config(), RemedyMode::None);
+    let res = r.resolve(&mut w.net, &n("www.example.com"), RrType::A).unwrap();
+    // example.com is fully secure on-path, yet without the root anchor the
+    // resolver still asks the DLV server about it.
+    assert_ne!(res.status, SecurityStatus::Secure);
+    let leaked: Vec<String> =
+        w.net.capture().dlv_queries().map(|p| p.qname.to_string()).collect();
+    assert!(leaked.iter().any(|q| q.starts_with("example.com.")), "leaked: {leaked:?}");
+}
+
+#[test]
+fn txt_remedy_suppresses_leak_but_keeps_utility() {
+    let mut w = build_world(RemedyMode::TxtSignal);
+    let mut r = resolver_with(&w, BindConfig::correct(), RemedyMode::TxtSignal);
+    // plain.com advertises dlv=0: no DLV query may be sent for it.
+    r.resolve(&mut w.net, &n("www.plain.com"), RrType::A).unwrap();
+    let leaked: Vec<String> =
+        w.net.capture().dlv_queries().map(|p| p.qname.to_string()).collect();
+    assert!(leaked.iter().all(|q| !q.starts_with("plain.com.")), "leaked: {leaked:?}");
+    assert!(r.counters.dlv_skipped_by_signal >= 1);
+    // island.com advertises dlv=1: DLV still used, validation still works.
+    let res = r.resolve(&mut w.net, &n("www.island.com"), RrType::A).unwrap();
+    assert_eq!(res.status, SecurityStatus::Secure);
+    assert!(res.secured_via_dlv);
+}
+
+#[test]
+fn zbit_remedy_suppresses_leak_but_keeps_utility() {
+    let mut w = build_world(RemedyMode::ZBit);
+    let mut r = resolver_with(&w, BindConfig::correct(), RemedyMode::ZBit);
+    r.resolve(&mut w.net, &n("www.plain.com"), RrType::A).unwrap();
+    let leaked: Vec<String> =
+        w.net.capture().dlv_queries().map(|p| p.qname.to_string()).collect();
+    assert!(leaked.iter().all(|q| !q.starts_with("plain.com.")));
+    let res = r.resolve(&mut w.net, &n("www.island.com"), RrType::A).unwrap();
+    assert_eq!(res.status, SecurityStatus::Secure);
+    assert!(res.secured_via_dlv, "Z-bit must not break DLV's validation utility");
+}
+
+#[test]
+fn hashed_dlv_hides_names_but_keeps_utility() {
+    let mut w = build_world(RemedyMode::HashedDlv);
+    let mut r = resolver_with(&w, BindConfig::correct(), RemedyMode::HashedDlv);
+    let res = r.resolve(&mut w.net, &n("www.island.com"), RrType::A).unwrap();
+    assert_eq!(res.status, SecurityStatus::Secure);
+    assert!(res.secured_via_dlv);
+    r.resolve(&mut w.net, &n("www.plain.com"), RrType::A).unwrap();
+    // Every DLV query name must be a 32-hex-char label, never a plaintext
+    // domain.
+    for p in w.net.capture().dlv_queries() {
+        let first = p.qname.labels()[0].to_string();
+        assert_eq!(first.len(), 32, "query {} not hashed", p.qname);
+        assert!(first.bytes().all(|b| b.is_ascii_hexdigit()));
+    }
+}
+
+#[test]
+fn tampered_answer_is_bogus_servfail() {
+    let mut w = build_world(RemedyMode::None);
+    let mut r = correct_resolver(&w);
+    use lookaside_netsim::Direction;
+    use lookaside_wire::Message;
+    w.net.set_tamper(Some(Box::new(|msg: &mut Message, dir: Direction| {
+        if dir == Direction::Response {
+            for rec in &mut msg.answers {
+                if let RData::A(addr) = &mut rec.rdata {
+                    *addr = Ipv4Addr::new(6, 6, 6, 6); // poison
+                }
+            }
+        }
+    })));
+    let res = r.resolve(&mut w.net, &n("www.example.com"), RrType::A).unwrap();
+    assert_eq!(res.status, SecurityStatus::Bogus);
+    assert_eq!(res.rcode, Rcode::ServFail);
+}
+
+#[test]
+fn truncated_responses_retry_over_tcp() {
+    let mut w = build_world(RemedyMode::None);
+    // A zone with a TXT RRset far beyond 512 bytes.
+    let big_addr = Ipv4Addr::new(10, 9, 1, 1);
+    let mut z = Zone::new(n("big.com"), n("ns1.big.com"));
+    z.add(n("ns1.big.com"), 3600, RData::A(big_addr));
+    for i in 0..12 {
+        z.add(n("big.com"), 300, RData::Txt(vec![format!("{i:0100}")]));
+    }
+    w.net
+        .register(big_addr, "big.com", Box::new(AuthoritativeServer::single(PublishedZone::unsigned(z))));
+
+    // Non-validating resolver: no EDNS, so the 512-byte UDP limit applies
+    // and the ~1.3 KiB TXT answer must arrive via the TCP retry.
+    let mut cfg = BindConfig::correct();
+    cfg.validation = lookaside_resolver::DnssecValidation::No;
+    let mut r = resolver_with(&w, cfg, RemedyMode::None);
+    r.install_zone_for_test(n("big.com"), vec![big_addr], n("com"));
+    let res = r.resolve(&mut w.net, &n("big.com"), RrType::Txt).unwrap();
+    assert_eq!(res.rcode, Rcode::NoError);
+    assert_eq!(res.answers.len(), 12, "full RRset must arrive over TCP");
+}
+
+#[test]
+fn resolver_fails_over_to_sibling_name_server() {
+    use lookaside_server::FlakyServer;
+    let mut w = build_world(RemedyMode::None);
+    // twins.com is served by two name servers; the first is permanently
+    // lame (REFUSED), the second answers.
+    let lame_addr = Ipv4Addr::new(10, 9, 0, 1);
+    let good_addr = Ipv4Addr::new(10, 9, 0, 2);
+    let twins_keys = SigningKeys::from_seed(300);
+    let build_zone = || {
+        let mut z = Zone::new(n("twins.com"), n("ns1.twins.com"));
+        z.add(n("twins.com"), 3600, RData::Ns(n("ns2.twins.com")));
+        z.add(n("ns1.twins.com"), 3600, RData::A(lame_addr));
+        z.add(n("ns2.twins.com"), 3600, RData::A(good_addr));
+        z.add(n("www.twins.com"), 300, RData::A(Ipv4Addr::new(192, 0, 2, 9)));
+        PublishedZone::signed(z, &twins_keys, 0, EXPIRE)
+    };
+    w.net.register(
+        lame_addr,
+        "twins-lame",
+        Box::new(FlakyServer::always_lame(Box::new(AuthoritativeServer::single(build_zone())))),
+    );
+    w.net
+        .register(good_addr, "twins-good", Box::new(AuthoritativeServer::single(build_zone())));
+    // Hook the delegation into com via a second com zone? Simpler: extend
+    // the resolver's world by querying through a fresh com delegation is
+    // not possible post-build, so install the cut directly the way a
+    // cached referral would have.
+    let mut r = correct_resolver(&w);
+    // Prime the resolver with the delegation by simulating the referral:
+    // resolve once with the zone servers cached.
+    r.install_zone_for_test(n("twins.com"), vec![lame_addr, good_addr], n("com"));
+    let res = r.resolve(&mut w.net, &n("www.twins.com"), RrType::A).unwrap();
+    assert_eq!(res.rcode, Rcode::NoError, "failover must succeed");
+    assert_eq!(res.answers.len(), 1);
+}
+
+#[test]
+fn tampered_signed_txt_signal_fails_closed() {
+    // island.com is signed and publishes a (signed) dlv=1 TXT. An on-path
+    // attacker rewriting the payload invalidates the RRSIG; the resolver
+    // must then treat the signal as absent — losing DLV's validation
+    // utility (the §6.2.3 downgrade) but leaking nothing.
+    let mut w = build_world(RemedyMode::TxtSignal);
+    use lookaside_netsim::Direction;
+    use lookaside_wire::Message;
+    w.net.set_tamper(Some(Box::new(|msg: &mut Message, dir: Direction| {
+        if dir == Direction::Response {
+            for rec in &mut msg.answers {
+                if let RData::Txt(segments) = &mut rec.rdata {
+                    for seg in segments.iter_mut() {
+                        if seg == "dlv=1" {
+                            *seg = "dlv=0".to_string();
+                        }
+                    }
+                }
+            }
+        }
+    })));
+    let mut r = resolver_with(&w, BindConfig::correct(), RemedyMode::TxtSignal);
+    let res = r.resolve(&mut w.net, &n("www.island.com"), RrType::A).unwrap();
+    // Downgrade succeeded: no longer Secure-via-DLV…
+    assert_ne!(res.status, SecurityStatus::Secure);
+    // …but the signature check kept the decision fail-closed: no island
+    // query reached the registry.
+    let leaked: Vec<String> =
+        w.net.capture().dlv_queries().map(|p| p.qname.to_string()).collect();
+    assert!(leaked.iter().all(|q| !q.starts_with("island.com.")), "leaked: {leaked:?}");
+    assert!(r.counters.dlv_skipped_by_signal >= 1);
+}
+
+#[test]
+fn qname_minimization_hides_names_from_upper_servers() {
+    let mut w = build_world(RemedyMode::None);
+    let features = FeatureModel { qname_minimization: true, ..FeatureModel::default() };
+    let mut r = RecursiveResolver::new(lookaside_resolver::ResolverSetup {
+        config: ResolverConfig::Bind(BindConfig::correct()),
+        features,
+        remedy: RemedyMode::None,
+        root_hint: ROOT,
+        root_anchor: w.root_keys.ksk.public(),
+        dlv_apex: n("dlv.isc.org"),
+        dlv_anchor: w.dlv_keys.ksk.public(),
+        salt: 7,
+    });
+    let res = r.resolve(&mut w.net, &n("www.example.com"), RrType::A).unwrap();
+    assert_eq!(res.rcode, Rcode::NoError);
+    assert_eq!(res.status, SecurityStatus::Secure, "minimisation must not break validation");
+    // The root must never have seen the full query name (DNSKEY/DS support
+    // queries legitimately name zones, so restrict to the resolution types).
+    for p in w.net.capture().packets() {
+        if p.dst == ROOT && matches!(p.qtype, RrType::A | RrType::Ns) {
+            assert!(
+                p.qname.label_count() <= 1,
+                "root saw {} ({})",
+                p.qname,
+                p.qtype
+            );
+        }
+        if p.dst == COM && matches!(p.qtype, RrType::A | RrType::Ns) {
+            assert!(
+                p.qname.label_count() <= 2,
+                "com TLD saw {} ({})",
+                p.qname,
+                p.qtype
+            );
+        }
+    }
+    // But minimisation cannot stop DLV leakage: an unsigned domain still
+    // reaches the registry with its full name.
+    r.resolve(&mut w.net, &n("www.plain.com"), RrType::A).unwrap();
+    let leaked: Vec<String> =
+        w.net.capture().dlv_queries().map(|p| p.qname.to_string()).collect();
+    assert!(leaked.iter().any(|q| q.starts_with("plain.com.")), "leaked: {leaked:?}");
+}
+
+#[test]
+fn dlv_registry_outage_degrades_gracefully() {
+    // §7.3.2: ISC's registry suffered outages. An unreachable registry must
+    // not break ordinary resolution — domains simply stay insecure.
+    let mut w = build_world(RemedyMode::None);
+    // Point the resolver at a DLV apex whose delegation goes nowhere.
+    let mut r = RecursiveResolver::new(lookaside_resolver::ResolverSetup {
+        config: ResolverConfig::Bind(BindConfig::correct()),
+        features: FeatureModel::default(),
+        remedy: RemedyMode::None,
+        root_hint: ROOT,
+        root_anchor: w.root_keys.ksk.public(),
+        dlv_apex: n("gone.isc.org"), // no such zone anywhere
+        dlv_anchor: w.dlv_keys.ksk.public(),
+        salt: 7,
+    });
+    let res = r.resolve(&mut w.net, &n("www.plain.com"), RrType::A).unwrap();
+    assert_eq!(res.rcode, Rcode::NoError, "resolution must survive the outage");
+    assert_eq!(res.status, SecurityStatus::Insecure);
+    // The island cannot be validated during the outage either, but it still
+    // resolves.
+    let res = r.resolve(&mut w.net, &n("www.island.com"), RrType::A).unwrap();
+    assert_eq!(res.rcode, Rcode::NoError);
+    assert_ne!(res.status, SecurityStatus::Secure);
+}
+
+#[test]
+fn caches_answer_repeat_queries_locally() {
+    let mut w = build_world(RemedyMode::None);
+    let mut r = correct_resolver(&w);
+    r.resolve(&mut w.net, &n("www.example.com"), RrType::A).unwrap();
+    let queries_after_first = w.net.stats().total_queries;
+    r.resolve(&mut w.net, &n("www.example.com"), RrType::A).unwrap();
+    assert_eq!(w.net.stats().total_queries, queries_after_first, "fully cached");
+}
+
+#[test]
+fn tampered_dlv_record_cannot_anchor_the_island() {
+    // A DLV record whose digest does not match the island's KSK (here:
+    // corrupted in flight) must fail closed — the island stays unvalidated
+    // instead of becoming "secure" under an attacker-controlled anchor.
+    let mut w = build_world(RemedyMode::None);
+    use lookaside_netsim::Direction;
+    use lookaside_wire::Message;
+    w.net.set_tamper(Some(Box::new(|msg: &mut Message, dir: Direction| {
+        if dir == Direction::Response {
+            for rec in &mut msg.answers {
+                if let RData::Dlv { digest, .. } = &mut rec.rdata {
+                    digest[0] ^= 0xff;
+                }
+            }
+        }
+    })));
+    let mut r = correct_resolver(&w);
+    let res = r.resolve(&mut w.net, &n("www.island.com"), RrType::A).unwrap();
+    assert_ne!(res.status, SecurityStatus::Secure);
+}

@@ -1,0 +1,245 @@
+use std::collections::BTreeSet;
+
+use lookaside_crypto::{dlv_rdata, hashed_dlv_label, PublicKey};
+use lookaside_netsim::DnsHandler;
+use lookaside_wire::{Message, Name};
+use lookaside_zone::{DenialMode, PublishedZone, SigningKeys, Zone, DEFAULT_TTL};
+
+use crate::authority::AuthoritativeServer;
+
+/// One zone's deposit in a DLV registry: the zone's name and its KSK, from
+/// which the registry derives the DLV record (RFC 4431: DS-shaped digest of
+/// the key).
+#[derive(Debug, Clone)]
+pub struct DlvDeposit {
+    /// The depositing zone (e.g. `example.com.`).
+    pub domain: Name,
+    /// The zone's key-signing key (public half).
+    pub ksk: PublicKey,
+}
+
+/// Default lifetime of the registry's NSEC spans. Kept long so that
+/// multi-simulated-hour workloads (the 1M-domain sweep) measure the
+/// *caching* mechanism rather than TTL churn; see EXPERIMENTS.md.
+pub const DLV_SPAN_TTL: u32 = 7 * 24 * 3600;
+
+/// A DLV registry server — the simulated `dlv.isc.org`.
+///
+/// The registry is published as an ordinary *signed* zone whose owner names
+/// are `<domain>.<apex>` (or `<hash>.<apex>` under the §6.2.2
+/// privacy-preserving remedy). Queries for un-deposited names get NXDOMAIN
+/// with an NSEC whose span the resolver may cache aggressively — the exact
+/// mechanism the paper credits for the decaying leak proportion of Fig. 9.
+pub struct DlvRegistry {
+    apex: Name,
+    server: AuthoritativeServer,
+    deposited: BTreeSet<Name>,
+    trust_anchor: PublicKey,
+    hashed: bool,
+}
+
+impl DlvRegistry {
+    /// Builds and signs the registry zone.
+    ///
+    /// With `hashed` set, owner names are the truncated-SHA-256 labels of
+    /// §6.2.2 instead of the plaintext domain names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a deposit's owner name cannot be formed under the apex
+    /// (name-length overflow) — deposits are generated, not attacker
+    /// controlled.
+    pub fn new(
+        apex: Name,
+        deposits: &[DlvDeposit],
+        keys: &SigningKeys,
+        inception: u32,
+        expiration: u32,
+        hashed: bool,
+    ) -> Self {
+        Self::with_span_ttl(apex, deposits, keys, inception, expiration, hashed, DLV_SPAN_TTL)
+    }
+
+    /// Like [`DlvRegistry::new`] with an explicit negative-caching TTL for
+    /// the registry's NSEC spans (the §5.1 "order matters" experiment uses
+    /// short TTLs).
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_span_ttl(
+        apex: Name,
+        deposits: &[DlvDeposit],
+        keys: &SigningKeys,
+        inception: u32,
+        expiration: u32,
+        hashed: bool,
+        span_ttl: u32,
+    ) -> Self {
+        Self::with_denial(
+            apex, deposits, keys, inception, expiration, hashed, span_ttl, DenialMode::Nsec,
+        )
+    }
+
+    /// Full-control constructor: additionally selects the denial mechanism.
+    /// An NSEC3 registry resists zone enumeration but, per RFC 5074 §5,
+    /// resolvers cannot aggressively cache its denials — the §7.3
+    /// trade-off the `nsec3` experiment measures.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_denial(
+        apex: Name,
+        deposits: &[DlvDeposit],
+        keys: &SigningKeys,
+        inception: u32,
+        expiration: u32,
+        hashed: bool,
+        span_ttl: u32,
+        denial: DenialMode,
+    ) -> Self {
+        let primary_ns = apex.prepend("ns").expect("registry ns name");
+        let mut zone = Zone::new(apex.clone(), primary_ns);
+        zone.set_negative_ttl(span_ttl);
+        let mut deposited = BTreeSet::new();
+        for deposit in deposits {
+            let owner = if hashed {
+                apex.prepend(&hashed_dlv_label(&deposit.domain)).expect("hashed label fits")
+            } else {
+                deposit.domain.concat(&apex).expect("deposit name fits under apex")
+            };
+            zone.add(owner, DEFAULT_TTL, dlv_rdata(&deposit.domain, &deposit.ksk));
+            deposited.insert(deposit.domain.clone());
+        }
+        let published = PublishedZone::signed_with_denial(zone, keys, inception, expiration, denial);
+        DlvRegistry {
+            apex,
+            server: AuthoritativeServer::single(published),
+            deposited,
+            trust_anchor: keys.ksk.public(),
+            hashed,
+        }
+    }
+
+    /// The registry apex (e.g. `dlv.isc.org.`).
+    pub fn apex(&self) -> &Name {
+        &self.apex
+    }
+
+    /// Whether owner names are hashed (privacy-preserving mode).
+    pub fn is_hashed(&self) -> bool {
+        self.hashed
+    }
+
+    /// The registry's KSK — what resolvers configure as the DLV trust
+    /// anchor.
+    pub fn trust_anchor(&self) -> PublicKey {
+        self.trust_anchor
+    }
+
+    /// Whether `domain` (or an enclosing parent, per the RFC 5074 enclosing
+    /// search) has a record deposited. This is the ground truth the Case-1 /
+    /// Case-2 leakage classifier uses.
+    pub fn covers_domain(&self, domain: &Name) -> bool {
+        let mut cur = Some(domain.clone());
+        while let Some(name) = cur {
+            if name.is_root() {
+                break;
+            }
+            if self.deposited.contains(&name) {
+                return true;
+            }
+            cur = name.parent();
+        }
+        false
+    }
+
+    /// Exact-match deposit check (no enclosing walk).
+    pub fn has_deposit(&self, domain: &Name) -> bool {
+        self.deposited.contains(domain)
+    }
+
+    /// Number of deposited zones.
+    pub fn deposit_count(&self) -> usize {
+        self.deposited.len()
+    }
+}
+
+impl DnsHandler for DlvRegistry {
+    fn handle(&mut self, query: &Message, now_ns: u64) -> Message {
+        self.server.handle(query, now_ns)
+    }
+}
+
+impl std::fmt::Debug for DlvRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DlvRegistry")
+            .field("apex", &self.apex.to_string())
+            .field("deposits", &self.deposited.len())
+            .field("hashed", &self.hashed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lookaside_crypto::KeyPair;
+    use lookaside_wire::{Rcode, RrType};
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn registry(hashed: bool) -> DlvRegistry {
+        let deposits = vec![
+            DlvDeposit { domain: n("island.com"), ksk: KeyPair::generate_ksk(1).public() },
+            DlvDeposit { domain: n("reef.net"), ksk: KeyPair::generate_ksk(2).public() },
+        ];
+        DlvRegistry::new(n("dlv.isc.org"), &deposits, &SigningKeys::from_seed(9), 0, 1000, hashed)
+    }
+
+    #[test]
+    fn deposited_name_answers_noerror_with_dlv() {
+        let mut reg = registry(false);
+        let q = Message::dnssec_query(1, n("island.com.dlv.isc.org"), RrType::Dlv);
+        let resp = reg.handle(&q, 0);
+        assert_eq!(resp.rcode(), Rcode::NoError);
+        assert_eq!(resp.answers_of(RrType::Dlv).count(), 1);
+        assert!(resp.answers_of(RrType::Rrsig).next().is_some());
+    }
+
+    #[test]
+    fn undeposited_name_is_nxdomain_with_nsec() {
+        let mut reg = registry(false);
+        let q = Message::dnssec_query(2, n("leaky.com.dlv.isc.org"), RrType::Dlv);
+        let resp = reg.handle(&q, 0);
+        assert_eq!(resp.rcode(), Rcode::NxDomain);
+        assert!(resp.authorities_of(RrType::Nsec).next().is_some());
+    }
+
+    #[test]
+    fn hashed_registry_answers_hashed_names_only() {
+        let mut reg = registry(true);
+        let plain = Message::dnssec_query(3, n("island.com.dlv.isc.org"), RrType::Dlv);
+        assert_eq!(reg.handle(&plain, 0).rcode(), Rcode::NxDomain);
+        let label = hashed_dlv_label(&n("island.com"));
+        let hashed = Message::dnssec_query(
+            4,
+            n(&format!("{label}.dlv.isc.org")),
+            RrType::Dlv,
+        );
+        assert_eq!(reg.handle(&hashed, 0).rcode(), Rcode::NoError);
+    }
+
+    #[test]
+    fn covers_domain_walks_enclosing_names() {
+        let reg = registry(false);
+        assert!(reg.covers_domain(&n("island.com")));
+        assert!(reg.covers_domain(&n("bbs.sub1.island.com")));
+        assert!(!reg.covers_domain(&n("com")));
+        assert!(!reg.covers_domain(&n("leaky.com")));
+        assert!(reg.has_deposit(&n("island.com")));
+        assert!(!reg.has_deposit(&n("bbs.sub1.island.com")));
+    }
+
+    #[test]
+    fn deposit_count() {
+        assert_eq!(registry(false).deposit_count(), 2);
+    }
+}

@@ -1,0 +1,89 @@
+//! Failure injection: a server that misbehaves before recovering.
+//!
+//! The paper's §7.3.2/§8.4 discuss DLV registry outages; this wrapper lets
+//! tests and experiments inject exactly that kind of partial failure into
+//! any node.
+
+use lookaside_netsim::DnsHandler;
+use lookaside_wire::{Message, MessageBuilder, Rcode};
+
+/// Wraps a handler and answers the first `fail_first` queries with a fixed
+/// error rcode before delegating to the inner handler.
+pub struct FlakyServer {
+    inner: Box<dyn DnsHandler>,
+    fail_first: usize,
+    rcode: Rcode,
+    seen: usize,
+}
+
+impl FlakyServer {
+    /// Fails the first `fail_first` queries with `rcode`, then recovers.
+    pub fn new(inner: Box<dyn DnsHandler>, fail_first: usize, rcode: Rcode) -> Self {
+        FlakyServer { inner, fail_first, rcode, seen: 0 }
+    }
+
+    /// A server that is permanently lame (always `REFUSED`).
+    pub fn always_lame(inner: Box<dyn DnsHandler>) -> Self {
+        FlakyServer::new(inner, usize::MAX, Rcode::Refused)
+    }
+
+    /// Queries observed so far.
+    pub fn seen(&self) -> usize {
+        self.seen
+    }
+}
+
+impl DnsHandler for FlakyServer {
+    fn handle(&mut self, query: &Message, now_ns: u64) -> Message {
+        self.seen += 1;
+        if self.seen <= self.fail_first {
+            MessageBuilder::respond_to(query).rcode(self.rcode).build()
+        } else {
+            self.inner.handle(query, now_ns)
+        }
+    }
+}
+
+impl std::fmt::Debug for FlakyServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlakyServer")
+            .field("fail_first", &self.fail_first)
+            .field("rcode", &self.rcode)
+            .field("seen", &self.seen)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AuthoritativeServer;
+    use lookaside_wire::{Name, RData, RrType};
+    use lookaside_zone::{PublishedZone, Zone};
+
+    fn inner() -> Box<dyn DnsHandler> {
+        let apex = Name::parse("x.test.").unwrap();
+        let mut zone = Zone::new(apex.clone(), apex.prepend("ns1").unwrap());
+        zone.add(apex, 60, RData::A("192.0.2.1".parse().unwrap()));
+        Box::new(AuthoritativeServer::single(PublishedZone::unsigned(zone)))
+    }
+
+    #[test]
+    fn fails_then_recovers() {
+        let mut flaky = FlakyServer::new(inner(), 2, Rcode::ServFail);
+        let q = Message::query(1, Name::parse("x.test.").unwrap(), RrType::A);
+        assert_eq!(flaky.handle(&q, 0).rcode(), Rcode::ServFail);
+        assert_eq!(flaky.handle(&q, 0).rcode(), Rcode::ServFail);
+        assert_eq!(flaky.handle(&q, 0).rcode(), Rcode::NoError);
+        assert_eq!(flaky.seen(), 3);
+    }
+
+    #[test]
+    fn always_lame_never_recovers() {
+        let mut flaky = FlakyServer::always_lame(inner());
+        let q = Message::query(1, Name::parse("x.test.").unwrap(), RrType::A);
+        for _ in 0..10 {
+            assert_eq!(flaky.handle(&q, 0).rcode(), Rcode::Refused);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Simulated name servers for the DLV privacy study.
+//!
+//! Three server kinds are provided:
+//!
+//! * [`AuthoritativeServer`] — serves one or more [`PublishedZone`]s with
+//!   full RFC 4035 semantics: RRSIGs and NSEC proofs when the query carries
+//!   the `DO` bit, referrals with DS (or NSEC no-DS proofs), NXDOMAIN with
+//!   covering NSEC. It also implements the paper's §6.2.1 Z-bit remedy:
+//!   responses for zones with a deposited DLV record carry the spare header
+//!   Z bit.
+//! * [`DlvRegistry`] — a DLV repository (the simulated `dlv.isc.org`):
+//!   a signed zone whose owner names are `<domain>.<registry-apex>` holding
+//!   DLV records (RFC 4431). Per RFC 5074 the *resolver* does the
+//!   label-stripping walk; the registry itself is an ordinary signed
+//!   authoritative zone whose NSEC chain is what enables aggressive
+//!   negative caching.
+//! * [`SyntheticAuthority`] — fabricates wire-faithful zones on demand for
+//!   the million-domain workload tail, driven by a [`ZoneOracle`] that maps
+//!   zone apexes to attributes (signed? DS in parent? DLV deposited?).
+//!
+//! [`PublishedZone`]: lookaside_zone::PublishedZone
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod authority;
+mod dlv;
+mod flaky;
+mod render;
+mod synthetic;
+
+pub use authority::AuthoritativeServer;
+pub use dlv::{DlvDeposit, DlvRegistry, DLV_SPAN_TTL};
+pub use flaky::FlakyServer;
+pub use render::render_lookup;
+pub use synthetic::{SyntheticAuthority, SyntheticSpec, ZoneOracle};

@@ -1,0 +1,153 @@
+//! Rendering zone lookup results into wire messages.
+
+use lookaside_wire::{Message, MessageBuilder, Rcode, Record, RrClass, RrType, Section};
+use lookaside_zone::{Lookup, SignedRrSet};
+use std::net::Ipv4Addr;
+
+fn push_signed(msg: &mut Message, section: Section, set: &SignedRrSet, with_dnssec: bool) {
+    for rec in set.rrset.to_records() {
+        msg.push(section, rec);
+    }
+    if with_dnssec {
+        if let Some(sig) = &set.rrsig {
+            msg.push(section, sig.clone());
+        }
+    }
+}
+
+/// Renders a [`Lookup`] outcome as the authoritative response to `query`.
+///
+/// DNSSEC material (RRSIGs, NSEC proofs, DS sets) is attached only when the
+/// query set the EDNS `DO` bit, per RFC 4035 §3.1 — this is why a resolver
+/// without DNSSEC enabled never even sees the records that could have told
+/// it about islands of security.
+pub fn render_lookup(query: &Message, lookup: &Lookup) -> Message {
+    let with_dnssec = query.do_bit();
+    let mut msg = MessageBuilder::respond_to(query).authoritative(true).build();
+    match lookup {
+        Lookup::Answer { answer } => {
+            push_signed(&mut msg, Section::Answer, answer, with_dnssec);
+        }
+        Lookup::Cname { cname } => {
+            push_signed(&mut msg, Section::Answer, cname, with_dnssec);
+        }
+        Lookup::NoData { soa, proof } => {
+            push_signed(&mut msg, Section::Authority, soa, with_dnssec);
+            if with_dnssec {
+                if let Some(proof) = proof {
+                    push_signed(&mut msg, Section::Authority, proof, true);
+                }
+            }
+        }
+        Lookup::Referral { ns, ds, no_ds_proof, glue, .. } => {
+            msg.header.flags.aa = false;
+            for rec in ns.to_records() {
+                msg.push(Section::Authority, rec);
+            }
+            if with_dnssec {
+                if let Some(ds) = ds {
+                    push_signed(&mut msg, Section::Authority, ds, true);
+                }
+                if let Some(proof) = no_ds_proof {
+                    push_signed(&mut msg, Section::Authority, proof, true);
+                }
+            }
+            for (name, addr) in glue {
+                msg.push(
+                    Section::Additional,
+                    Record {
+                        name: name.clone(),
+                        rrtype: RrType::A,
+                        class: RrClass::In,
+                        ttl: lookaside_zone::DEFAULT_TTL,
+                        rdata: lookaside_wire::RData::A(*addr),
+                    },
+                );
+            }
+        }
+        Lookup::NxDomain { soa, proof } => {
+            msg.header.flags.rcode = Rcode::NxDomain;
+            push_signed(&mut msg, Section::Authority, soa, with_dnssec);
+            if with_dnssec {
+                if let Some(proof) = proof {
+                    push_signed(&mut msg, Section::Authority, proof, true);
+                }
+            }
+        }
+        Lookup::OutOfZone => {
+            msg.header.flags.rcode = Rcode::Refused;
+            msg.header.flags.aa = false;
+        }
+        // `Lookup` is non-exhaustive; treat future variants as server
+        // failure rather than fabricating data.
+        _ => {
+            msg.header.flags.rcode = Rcode::ServFail;
+            msg.header.flags.aa = false;
+        }
+    }
+    msg
+}
+
+/// Convenience for fabricating glue records in tests and synthetic zones.
+pub(crate) fn glue_record(name: lookaside_wire::Name, addr: Ipv4Addr) -> Record {
+    Record {
+        name,
+        rrtype: RrType::A,
+        class: RrClass::In,
+        ttl: lookaside_zone::DEFAULT_TTL,
+        rdata: lookaside_wire::RData::A(addr),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lookaside_wire::{Name, RData};
+    use lookaside_zone::{PublishedZone, SigningKeys, Zone};
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn zone() -> PublishedZone {
+        let mut z = Zone::new(n("example.com"), n("ns1.example.com"));
+        z.add(n("www.example.com"), 300, RData::A(Ipv4Addr::new(192, 0, 2, 1)));
+        PublishedZone::signed(z, &SigningKeys::from_seed(1), 0, 1000)
+    }
+
+    #[test]
+    fn do_bit_controls_rrsig_presence() {
+        let pz = zone();
+        let lookup = pz.lookup(&n("www.example.com"), RrType::A);
+
+        let plain = Message::query(1, n("www.example.com"), RrType::A);
+        let resp = render_lookup(&plain, &lookup);
+        assert_eq!(resp.answers.len(), 1);
+        assert!(resp.answers_of(RrType::Rrsig).next().is_none());
+
+        let dnssec = Message::dnssec_query(2, n("www.example.com"), RrType::A);
+        let resp = render_lookup(&dnssec, &lookup);
+        assert_eq!(resp.answers.len(), 2);
+        assert!(resp.answers_of(RrType::Rrsig).next().is_some());
+    }
+
+    #[test]
+    fn nxdomain_rendering_with_proofs() {
+        let pz = zone();
+        let lookup = pz.lookup(&n("missing.example.com"), RrType::A);
+        let q = Message::dnssec_query(3, n("missing.example.com"), RrType::A);
+        let resp = render_lookup(&q, &lookup);
+        assert_eq!(resp.rcode(), Rcode::NxDomain);
+        assert!(resp.authorities_of(RrType::Soa).next().is_some());
+        assert!(resp.authorities_of(RrType::Nsec).next().is_some());
+        assert!(resp.authorities_of(RrType::Rrsig).count() >= 2);
+    }
+
+    #[test]
+    fn out_of_zone_is_refused() {
+        let pz = zone();
+        let q = Message::query(4, n("other.org"), RrType::A);
+        let resp = render_lookup(&q, &pz.lookup(&n("other.org"), RrType::A));
+        assert_eq!(resp.rcode(), Rcode::Refused);
+    }
+}

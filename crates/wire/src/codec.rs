@@ -1,0 +1,404 @@
+//! Low-level wire encoding and decoding.
+//!
+//! [`Writer`] implements RFC 1035 §4.1.4 name compression so the simulator's
+//! traffic-volume measurements (Table 5, Figs. 10–12 of the paper) use
+//! realistic message sizes; [`Reader`] follows compression pointers with loop
+//! protection.
+
+use std::collections::HashMap;
+
+use crate::name::{Label, MAX_NAME_LEN};
+use crate::{Name, WireError};
+
+/// An appending wire-format writer with name compression.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+    /// Maps a name's uncompressed wire bytes to the message offset where that
+    /// name (or tail) was first written. Offsets beyond 0x3fff are not
+    /// recorded because pointers cannot reach them.
+    names: HashMap<Vec<u8>, u16>,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// Octets written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer and returns the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one octet.
+    pub fn write_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a big-endian `u16`.
+    pub fn write_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    pub fn write_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Reserves a `u16` slot (e.g. for RDLENGTH) and returns its offset for a
+    /// later [`Writer::patch_u16`].
+    pub fn reserve_u16(&mut self) -> usize {
+        let pos = self.buf.len();
+        self.buf.extend_from_slice(&[0, 0]);
+        pos
+    }
+
+    /// Patches a previously reserved `u16` slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` was not obtained from [`Writer::reserve_u16`] on this
+    /// writer (out of bounds).
+    pub fn patch_u16(&mut self, pos: usize, v: u16) {
+        self.buf[pos..pos + 2].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Writes a name with compression against previously written names.
+    pub fn write_name(&mut self, name: &Name) {
+        let labels = name.labels();
+        for start in 0..labels.len() {
+            let tail = Name::from_labels(labels[start..].to_vec())
+                .expect("tail of a valid name is valid");
+            let mut key = Vec::with_capacity(tail.wire_len());
+            tail.encode_uncompressed(&mut key);
+            if let Some(&offset) = self.names.get(&key) {
+                // Emit the labels before the match, then a pointer.
+                for label in &labels[..start] {
+                    self.write_label(label);
+                }
+                self.write_u16(0xc000 | offset);
+                // Record the full name too so later repeats compress fully.
+                self.record_name_offsets(name, start);
+                return;
+            }
+        }
+        // No suffix matched: write uncompressed and remember all suffixes.
+        let start_offset = self.buf.len();
+        for label in labels {
+            self.write_label(label);
+        }
+        self.buf.push(0);
+        self.remember_suffixes(name, start_offset);
+        let _ = start_offset;
+    }
+
+    /// Writes a name without compression and without recording it (canonical
+    /// form for RDATA and signature input).
+    pub fn write_name_uncompressed(&mut self, name: &Name) {
+        name.encode_uncompressed(&mut self.buf);
+    }
+
+    fn write_label(&mut self, label: &Label) {
+        self.buf.push(label.len() as u8);
+        self.buf.extend_from_slice(label.as_bytes());
+    }
+
+    fn remember_suffixes(&mut self, name: &Name, start_offset: usize) {
+        let labels = name.labels();
+        let mut offset = start_offset;
+        for start in 0..labels.len() {
+            if offset <= 0x3fff {
+                let tail = Name::from_labels(labels[start..].to_vec())
+                    .expect("tail of a valid name is valid");
+                let mut key = Vec::with_capacity(tail.wire_len());
+                tail.encode_uncompressed(&mut key);
+                self.names.entry(key).or_insert(offset as u16);
+            }
+            offset += labels[start].len() + 1;
+        }
+    }
+
+    fn record_name_offsets(&mut self, name: &Name, emitted_prefix: usize) {
+        // The freshly emitted labels (before the pointer) start at:
+        let mut offset = self.buf.len();
+        // Walk back over pointer (2) plus emitted labels.
+        offset -= 2;
+        for label in name.labels()[..emitted_prefix].iter().rev() {
+            offset -= label.len() + 1;
+        }
+        let labels = name.labels();
+        for start in 0..emitted_prefix {
+            if offset <= 0x3fff {
+                let tail = Name::from_labels(labels[start..].to_vec())
+                    .expect("tail of a valid name is valid");
+                let mut key = Vec::with_capacity(tail.wire_len());
+                tail.encode_uncompressed(&mut key);
+                self.names.entry(key).or_insert(offset as u16);
+            }
+            offset += labels[start].len() + 1;
+        }
+    }
+}
+
+/// A bounds-checked wire-format reader that follows compression pointers.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over a whole message buffer.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Current read offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Moves the read offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] if `pos` is past the end.
+    pub fn seek(&mut self, pos: usize) -> Result<(), WireError> {
+        if pos > self.buf.len() {
+            return Err(WireError::Truncated { context: "seek" });
+        }
+        self.pos = pos;
+        Ok(())
+    }
+
+    /// Octets remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Reads one octet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] at end of buffer.
+    pub fn read_u8(&mut self, context: &'static str) -> Result<u8, WireError> {
+        let b = *self.buf.get(self.pos).ok_or(WireError::Truncated { context })?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads a big-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] at end of buffer.
+    pub fn read_u16(&mut self, context: &'static str) -> Result<u16, WireError> {
+        let bytes = self.read_bytes(2, context)?;
+        Ok(u16::from_be_bytes([bytes[0], bytes[1]]))
+    }
+
+    /// Reads a big-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] at end of buffer.
+    pub fn read_u32(&mut self, context: &'static str) -> Result<u32, WireError> {
+        let bytes = self.read_bytes(4, context)?;
+        Ok(u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+    }
+
+    /// Reads exactly `n` octets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] if fewer remain.
+    pub fn read_bytes(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated { context });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads a (possibly compressed) name.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation, forward pointers, pointer loops, and over-long
+    /// names.
+    pub fn read_name(&mut self) -> Result<Name, WireError> {
+        let mut labels = Vec::new();
+        let mut wire_len = 1usize;
+        let mut jumped = false;
+        let mut jump_count = 0usize;
+        let mut cursor = self.pos;
+        loop {
+            let len = *self.buf.get(cursor).ok_or(WireError::Truncated { context: "name" })?;
+            match len {
+                0 => {
+                    cursor += 1;
+                    if !jumped {
+                        self.pos = cursor;
+                    }
+                    let name = Name::from_labels(labels)?;
+                    return Ok(name);
+                }
+                l if l & 0xc0 == 0xc0 => {
+                    let second = *self
+                        .buf
+                        .get(cursor + 1)
+                        .ok_or(WireError::Truncated { context: "name pointer" })?;
+                    let target = (((l & 0x3f) as usize) << 8) | second as usize;
+                    if target >= cursor {
+                        return Err(WireError::BadPointer(target));
+                    }
+                    jump_count += 1;
+                    if jump_count > 64 {
+                        return Err(WireError::BadPointer(target));
+                    }
+                    if !jumped {
+                        self.pos = cursor + 2;
+                        jumped = true;
+                    }
+                    cursor = target;
+                }
+                l if l & 0xc0 != 0 => {
+                    return Err(WireError::UnsupportedValue {
+                        field: "label type",
+                        value: (l >> 6) as u32,
+                    });
+                }
+                l => {
+                    let l = l as usize;
+                    let start = cursor + 1;
+                    let bytes = self
+                        .buf
+                        .get(start..start + l)
+                        .ok_or(WireError::Truncated { context: "label" })?;
+                    wire_len += l + 1;
+                    if wire_len > MAX_NAME_LEN {
+                        return Err(WireError::NameTooLong(wire_len));
+                    }
+                    labels.push(Label::new(bytes)?);
+                    cursor = start + l;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    #[test]
+    fn writer_compresses_repeated_names() {
+        let mut w = Writer::new();
+        w.write_name(&n("www.example.com"));
+        let first = w.len();
+        w.write_name(&n("www.example.com"));
+        let second = w.len() - first;
+        assert_eq!(second, 2, "exact repeat should be a single pointer");
+
+        let mut w2 = Writer::new();
+        w2.write_name(&n("www.example.com"));
+        let before = w2.len();
+        w2.write_name(&n("mail.example.com"));
+        // "mail" label (5) + pointer (2).
+        assert_eq!(w2.len() - before, 5 + 2);
+    }
+
+    #[test]
+    fn reader_decodes_compressed_names() {
+        let mut w = Writer::new();
+        w.write_name(&n("www.example.com"));
+        w.write_name(&n("mail.example.com"));
+        w.write_name(&n("example.com"));
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.read_name().unwrap(), n("www.example.com"));
+        assert_eq!(r.read_name().unwrap(), n("mail.example.com"));
+        assert_eq!(r.read_name().unwrap(), n("example.com"));
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn pointer_loop_is_rejected() {
+        // A name that is a pointer to itself.
+        let buf = [0xc0, 0x00];
+        let mut r = Reader::new(&buf);
+        assert!(r.read_name().is_err());
+    }
+
+    #[test]
+    fn forward_pointer_is_rejected() {
+        let buf = [0xc0, 0x04, 0, 0, 1, b'a', 0];
+        let mut r = Reader::new(&buf);
+        assert!(r.read_name().is_err());
+    }
+
+    #[test]
+    fn root_name_round_trips() {
+        let mut w = Writer::new();
+        w.write_name(&Name::root());
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0]);
+        assert!(Reader::new(&bytes).read_name().unwrap().is_root());
+    }
+
+    #[test]
+    fn truncated_label_is_error() {
+        let buf = [5, b'a', b'b'];
+        let mut r = Reader::new(&buf);
+        assert!(matches!(r.read_name(), Err(WireError::Truncated { .. })));
+    }
+
+    #[test]
+    fn reserve_and_patch() {
+        let mut w = Writer::new();
+        let slot = w.reserve_u16();
+        w.write_bytes(&[1, 2, 3]);
+        w.patch_u16(slot, 3);
+        assert_eq!(w.into_bytes(), vec![0, 3, 1, 2, 3]);
+    }
+
+    #[test]
+    fn reader_primitives() {
+        let buf = [0xde, 0xad, 0xbe, 0xef, 0x01];
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.read_u32("x").unwrap(), 0xdead_beef);
+        assert_eq!(r.read_u8("y").unwrap(), 1);
+        assert!(r.read_u8("z").is_err());
+    }
+
+    #[test]
+    fn uncompressed_names_are_not_compression_targets() {
+        let mut w = Writer::new();
+        w.write_name_uncompressed(&n("example.com"));
+        let before = w.len();
+        w.write_name(&n("example.com"));
+        // Must be written in full (13 bytes), not as a pointer.
+        assert_eq!(w.len() - before, n("example.com").wire_len());
+    }
+}

@@ -1,0 +1,90 @@
+use std::fmt;
+
+/// Errors produced while building, encoding, or decoding DNS data.
+///
+/// Every decoding path in this crate is fully fallible: malformed wire input
+/// never panics, it yields a `WireError`. This matters for the simulator
+/// because the attack experiments (§6.2.3 of the paper) deliberately corrupt
+/// messages in flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// A label exceeded 63 octets.
+    LabelTooLong(usize),
+    /// A name exceeded 255 octets in wire form.
+    NameTooLong(usize),
+    /// A textual name could not be parsed.
+    BadNameSyntax(String),
+    /// The wire buffer ended before the structure was complete.
+    Truncated {
+        /// What was being decoded when the buffer ran out.
+        context: &'static str,
+    },
+    /// A compression pointer pointed forward or formed a loop.
+    BadPointer(usize),
+    /// An RDATA length field disagreed with the decoded content.
+    BadRdataLength {
+        /// The record type whose RDATA was malformed.
+        rrtype: crate::RrType,
+        /// Length declared in the message.
+        declared: usize,
+        /// Length actually consumed.
+        consumed: usize,
+    },
+    /// A type bitmap window was malformed.
+    BadTypeBitmap(&'static str),
+    /// A TXT character-string exceeded 255 octets.
+    TxtSegmentTooLong(usize),
+    /// The message exceeded the 64 KiB UDP/TCP envelope.
+    MessageTooLong(usize),
+    /// An unknown opcode, rcode, or class value that the study never uses.
+    UnsupportedValue {
+        /// The field the value appeared in.
+        field: &'static str,
+        /// The offending value.
+        value: u32,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::LabelTooLong(n) => write!(f, "label of {n} octets exceeds 63"),
+            WireError::NameTooLong(n) => write!(f, "name of {n} octets exceeds 255"),
+            WireError::BadNameSyntax(s) => write!(f, "invalid domain name syntax: {s:?}"),
+            WireError::Truncated { context } => write!(f, "message truncated while decoding {context}"),
+            WireError::BadPointer(off) => write!(f, "invalid compression pointer to offset {off}"),
+            WireError::BadRdataLength { rrtype, declared, consumed } => write!(
+                f,
+                "rdata length mismatch for {rrtype}: declared {declared}, consumed {consumed}"
+            ),
+            WireError::BadTypeBitmap(why) => write!(f, "malformed NSEC type bitmap: {why}"),
+            WireError::TxtSegmentTooLong(n) => write!(f, "txt segment of {n} octets exceeds 255"),
+            WireError::MessageTooLong(n) => write!(f, "message of {n} octets exceeds 65535"),
+            WireError::UnsupportedValue { field, value } => {
+                write!(f, "unsupported {field} value {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = WireError::LabelTooLong(70);
+        let s = e.to_string();
+        assert!(s.starts_with("label"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<WireError>();
+    }
+}

@@ -1,0 +1,462 @@
+use std::cmp::Ordering;
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::WireError;
+
+/// Maximum octets in a single label (RFC 1035 §2.3.4).
+pub const MAX_LABEL_LEN: usize = 63;
+/// Maximum octets of a name in wire form, including the root byte.
+pub const MAX_NAME_LEN: usize = 255;
+
+/// One label of a domain name.
+///
+/// Labels are stored lower-cased: DNS name comparison is case-insensitive
+/// (RFC 1035 §2.3.3, RFC 4343) and the study never depends on preserved case,
+/// so normalising at construction keeps `Eq`/`Ord`/`Hash` cheap and
+/// consistent.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Label(Box<[u8]>);
+
+impl Label {
+    /// Creates a label from raw octets, lower-casing ASCII letters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::LabelTooLong`] if `bytes` exceeds 63 octets and
+    /// [`WireError::BadNameSyntax`] if it is empty.
+    pub fn new(bytes: &[u8]) -> Result<Self, WireError> {
+        if bytes.is_empty() {
+            return Err(WireError::BadNameSyntax("empty label".into()));
+        }
+        if bytes.len() > MAX_LABEL_LEN {
+            return Err(WireError::LabelTooLong(bytes.len()));
+        }
+        Ok(Label(bytes.to_ascii_lowercase().into_boxed_slice()))
+    }
+
+    /// The label's octets (already lower-cased).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Octet length of the label.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the label is empty (never true for constructed labels).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Canonical comparison: plain byte-wise on the lower-cased octets
+    /// (RFC 4034 §6.1).
+    pub fn canonical_cmp(&self, other: &Self) -> Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Label({})", self)
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &b in self.0.iter() {
+            match b {
+                b'.' | b'\\' => write!(f, "\\{}", b as char)?,
+                0x21..=0x7e => write!(f, "{}", b as char)?,
+                _ => write!(f, "\\{:03}", b)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A fully-qualified domain name.
+///
+/// Internally a sequence of [`Label`]s from most-specific to root; the root
+/// name is the empty sequence. All names in this workspace are absolute.
+///
+/// # Example
+///
+/// ```
+/// use lookaside_wire::Name;
+///
+/// let n = Name::parse("www.Example.COM.")?;
+/// assert_eq!(n.to_string(), "www.example.com.");
+/// assert_eq!(n.label_count(), 3);
+/// assert!(n.is_subdomain_of(&Name::parse("com.")?));
+/// # Ok::<(), lookaside_wire::WireError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Name {
+    labels: Vec<Label>,
+}
+
+impl Name {
+    /// The root name (`.`).
+    pub fn root() -> Self {
+        Name { labels: Vec::new() }
+    }
+
+    /// Parses a textual domain name.
+    ///
+    /// A trailing dot is optional; every name is treated as absolute. Escaped
+    /// characters are not supported (the study's domain corpora are plain
+    /// ASCII hostnames).
+    ///
+    /// # Errors
+    ///
+    /// Fails on empty labels (`a..b`), over-long labels, and over-long names.
+    pub fn parse(s: &str) -> Result<Self, WireError> {
+        let s = s.strip_suffix('.').unwrap_or(s);
+        if s.is_empty() {
+            return Ok(Name::root());
+        }
+        let mut labels = Vec::new();
+        for part in s.split('.') {
+            labels.push(Label::new(part.as_bytes())?);
+        }
+        let name = Name { labels };
+        name.check_len()?;
+        Ok(name)
+    }
+
+    /// Builds a name from labels ordered most-specific first.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the resulting name exceeds 255 wire octets.
+    pub fn from_labels(labels: Vec<Label>) -> Result<Self, WireError> {
+        let name = Name { labels };
+        name.check_len()?;
+        Ok(name)
+    }
+
+    fn check_len(&self) -> Result<(), WireError> {
+        let len = self.wire_len();
+        if len > MAX_NAME_LEN {
+            return Err(WireError::NameTooLong(len));
+        }
+        Ok(())
+    }
+
+    /// Number of labels (the root name has zero).
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether this is the root name.
+    pub fn is_root(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The labels, most-specific first.
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// Octet length of the name in (uncompressed) wire form.
+    pub fn wire_len(&self) -> usize {
+        self.labels.iter().map(|l| l.len() + 1).sum::<usize>() + 1
+    }
+
+    /// The parent name (one label removed), or `None` for the root.
+    ///
+    /// This is the "strip the leading label and try again" step of RFC 5074
+    /// §4.1 that the DLV validator uses when walking up toward an enclosing
+    /// DLV record.
+    pub fn parent(&self) -> Option<Name> {
+        if self.labels.is_empty() {
+            None
+        } else {
+            Some(Name { labels: self.labels[1..].to_vec() })
+        }
+    }
+
+    /// The name formed by keeping only the last `n` labels.
+    ///
+    /// `suffix(0)` is the root; `suffix(label_count())` is `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > self.label_count()`.
+    pub fn suffix(&self, n: usize) -> Name {
+        assert!(n <= self.labels.len(), "suffix({n}) of a {}-label name", self.labels.len());
+        Name { labels: self.labels[self.labels.len() - n..].to_vec() }
+    }
+
+    /// Whether `self` is equal to or a subdomain of `ancestor`.
+    pub fn is_subdomain_of(&self, ancestor: &Name) -> bool {
+        if ancestor.labels.len() > self.labels.len() {
+            return false;
+        }
+        let offset = self.labels.len() - ancestor.labels.len();
+        self.labels[offset..] == ancestor.labels[..]
+    }
+
+    /// Concatenates `self` (kept most-specific) with `suffix`.
+    ///
+    /// Used to form DLV query names: `example.com` + `dlv.isc.org` =
+    /// `example.com.dlv.isc.org` (RFC 5074 §4.1).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the combined name exceeds 255 wire octets.
+    pub fn concat(&self, suffix: &Name) -> Result<Name, WireError> {
+        let mut labels = self.labels.clone();
+        labels.extend(suffix.labels.iter().cloned());
+        Name::from_labels(labels)
+    }
+
+    /// Prepends a single textual label.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid labels or over-long results.
+    pub fn prepend(&self, label: &str) -> Result<Name, WireError> {
+        let mut labels = vec![Label::new(label.as_bytes())?];
+        labels.extend(self.labels.iter().cloned());
+        Name::from_labels(labels)
+    }
+
+    /// Strips `suffix` from the end of the name, returning the relative part.
+    ///
+    /// Returns `None` when `self` is not a subdomain of `suffix`. Stripping a
+    /// name from itself yields the root.
+    pub fn strip_suffix(&self, suffix: &Name) -> Option<Name> {
+        if !self.is_subdomain_of(suffix) {
+            return None;
+        }
+        Some(Name { labels: self.labels[..self.labels.len() - suffix.labels.len()].to_vec() })
+    }
+
+    /// Canonical DNS name ordering (RFC 4034 §6.1): sort by the right-most
+    /// label first, byte-wise per label, with absent labels sorting first.
+    ///
+    /// This ordering defines NSEC chains, and NSEC chains define which DLV
+    /// queries the aggressive negative cache suppresses — the mechanism
+    /// behind Figs. 8 and 9 of the paper.
+    pub fn canonical_cmp(&self, other: &Name) -> Ordering {
+        let a = self.labels.iter().rev();
+        let b = other.labels.iter().rev();
+        for (la, lb) in a.zip(b) {
+            match la.canonical_cmp(lb) {
+                Ordering::Equal => continue,
+                non_eq => return non_eq,
+            }
+        }
+        self.labels.len().cmp(&other.labels.len())
+    }
+
+    /// Encodes the name, uncompressed, appending to `buf`.
+    pub fn encode_uncompressed(&self, buf: &mut Vec<u8>) {
+        for label in &self.labels {
+            buf.push(label.len() as u8);
+            buf.extend_from_slice(label.as_bytes());
+        }
+        buf.push(0);
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Name({})", self)
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.labels.is_empty() {
+            return write!(f, ".");
+        }
+        for label in &self.labels {
+            write!(f, "{}.", label)?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Name {
+    type Err = WireError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Name::parse(s)
+    }
+}
+
+impl PartialOrd for Name {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// `Ord` for `Name` *is* the canonical ordering, so that `BTreeMap<Name, _>`
+/// iterates in NSEC-chain order.
+impl Ord for Name {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.canonical_cmp(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in ["example.com.", "a.b.c.d.e.", "xn--caf-dma.org.", "."] {
+            assert_eq!(n(s).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_without_trailing_dot() {
+        assert_eq!(n("example.com"), n("example.com."));
+    }
+
+    #[test]
+    fn parse_is_case_insensitive() {
+        assert_eq!(n("ExAmPlE.CoM"), n("example.com"));
+        assert_eq!(n("WWW.EXAMPLE.COM").to_string(), "www.example.com.");
+    }
+
+    #[test]
+    fn empty_label_rejected() {
+        assert!(matches!(Name::parse("a..b"), Err(WireError::BadNameSyntax(_))));
+    }
+
+    #[test]
+    fn long_label_rejected() {
+        let long = "a".repeat(64);
+        assert!(matches!(Name::parse(&long), Err(WireError::LabelTooLong(64))));
+        assert!(Name::parse(&"a".repeat(63)).is_ok());
+    }
+
+    #[test]
+    fn long_name_rejected() {
+        let label = "a".repeat(63);
+        let four = format!("{label}.{label}.{label}.{label}");
+        assert!(matches!(Name::parse(&four), Err(WireError::NameTooLong(_))));
+    }
+
+    #[test]
+    fn root_properties() {
+        let r = Name::root();
+        assert!(r.is_root());
+        assert_eq!(r.label_count(), 0);
+        assert_eq!(r.wire_len(), 1);
+        assert_eq!(r.parent(), None);
+        assert_eq!(r.to_string(), ".");
+    }
+
+    #[test]
+    fn parent_walks_to_root() {
+        let mut cur = n("a.b.c");
+        let mut seen = vec![cur.to_string()];
+        while let Some(p) = cur.parent() {
+            seen.push(p.to_string());
+            cur = p;
+        }
+        assert_eq!(seen, ["a.b.c.", "b.c.", "c.", "."]);
+    }
+
+    #[test]
+    fn subdomain_relation() {
+        assert!(n("www.example.com").is_subdomain_of(&n("example.com")));
+        assert!(n("example.com").is_subdomain_of(&n("example.com")));
+        assert!(n("example.com").is_subdomain_of(&Name::root()));
+        assert!(!n("example.com").is_subdomain_of(&n("www.example.com")));
+        assert!(!n("notexample.com").is_subdomain_of(&n("example.com")));
+    }
+
+    #[test]
+    fn concat_forms_dlv_names() {
+        let q = n("example.com").concat(&n("dlv.isc.org")).unwrap();
+        assert_eq!(q.to_string(), "example.com.dlv.isc.org.");
+    }
+
+    #[test]
+    fn concat_overflow_is_error() {
+        let label = "a".repeat(63);
+        let big = Name::parse(&format!("{label}.{label}.{label}")).unwrap();
+        assert!(big.concat(&big).is_err());
+    }
+
+    #[test]
+    fn strip_suffix_inverse_of_concat() {
+        let dlv = n("dlv.isc.org");
+        let q = n("example.com").concat(&dlv).unwrap();
+        assert_eq!(q.strip_suffix(&dlv).unwrap(), n("example.com"));
+        assert_eq!(q.strip_suffix(&n("other.org")), None);
+        assert!(dlv.strip_suffix(&dlv).unwrap().is_root());
+    }
+
+    #[test]
+    fn suffix_keeps_last_labels() {
+        let name = n("a.b.c.d");
+        assert_eq!(name.suffix(2), n("c.d"));
+        assert!(name.suffix(0).is_root());
+        assert_eq!(name.suffix(4), name);
+    }
+
+    #[test]
+    #[should_panic(expected = "suffix")]
+    fn suffix_out_of_range_panics() {
+        n("a.b").suffix(3);
+    }
+
+    #[test]
+    fn canonical_order_rfc4034_example() {
+        // The worked example from RFC 4034 §6.1.
+        let sorted = [
+            "example.",
+            "a.example.",
+            "yljkjljk.a.example.",
+            "z.a.example.",
+            "zabc.a.example.",
+            "z.example.",
+        ];
+        let mut names: Vec<Name> = sorted.iter().map(|s| n(s)).collect();
+        names.reverse();
+        names.sort_by(|a, b| a.canonical_cmp(b));
+        let out: Vec<String> = names.iter().map(|x| x.to_string()).collect();
+        assert_eq!(out, sorted);
+    }
+
+    #[test]
+    fn ord_matches_canonical() {
+        let a = n("a.example");
+        let b = n("z.example");
+        assert!(a < b);
+        assert!(n("example") < a);
+    }
+
+    #[test]
+    fn wire_len_counts_octets() {
+        assert_eq!(n("example.com").wire_len(), 1 + 7 + 1 + 3 + 1);
+    }
+
+    #[test]
+    fn encode_uncompressed_layout() {
+        let mut buf = Vec::new();
+        n("ab.c").encode_uncompressed(&mut buf);
+        assert_eq!(buf, vec![2, b'a', b'b', 1, b'c', 0]);
+    }
+
+    #[test]
+    fn label_display_escapes_binary() {
+        let l = Label::new(&[b'a', 0x01, b'.']).unwrap();
+        assert_eq!(l.to_string(), "a\\001\\.");
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for the wire layer: parsing, canonical ordering,
+//! and codec round-trips over arbitrary inputs.
+
+use proptest::prelude::*;
+
+use lookaside_wire::codec::{Reader, Writer};
+use lookaside_wire::{Message, Name, RData, Record, RrType, TypeBitmap};
+
+fn label_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9]([a-z0-9-]{0,14}[a-z0-9])?").expect("valid regex")
+}
+
+fn name_strategy() -> impl Strategy<Value = Name> {
+    proptest::collection::vec(label_strategy(), 1..6)
+        .prop_map(|labels| Name::parse(&labels.join(".")).expect("generated names are valid"))
+}
+
+proptest! {
+    #[test]
+    fn parse_display_round_trip(name in name_strategy()) {
+        let text = name.to_string();
+        let back = Name::parse(&text).unwrap();
+        prop_assert_eq!(back, name);
+    }
+
+    #[test]
+    fn wire_round_trip_uncompressed(name in name_strategy()) {
+        let mut buf = Vec::new();
+        name.encode_uncompressed(&mut buf);
+        prop_assert_eq!(buf.len(), name.wire_len());
+        let mut reader = Reader::new(&buf);
+        prop_assert_eq!(reader.read_name().unwrap(), name);
+    }
+
+    #[test]
+    fn compressed_names_round_trip(names in proptest::collection::vec(name_strategy(), 1..8)) {
+        let mut w = Writer::new();
+        for name in &names {
+            w.write_name(name);
+        }
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        for name in &names {
+            prop_assert_eq!(&r.read_name().unwrap(), name);
+        }
+    }
+
+    #[test]
+    fn canonical_order_is_total_and_consistent(
+        a in name_strategy(),
+        b in name_strategy(),
+        c in name_strategy(),
+    ) {
+        use std::cmp::Ordering;
+        // Antisymmetry.
+        prop_assert_eq!(a.canonical_cmp(&b), b.canonical_cmp(&a).reverse());
+        // Reflexivity via equality.
+        prop_assert_eq!(a.canonical_cmp(&a), Ordering::Equal);
+        // Transitivity (spot form): if a<=b and b<=c then a<=c.
+        if a.canonical_cmp(&b) != Ordering::Greater && b.canonical_cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.canonical_cmp(&c), Ordering::Greater);
+        }
+    }
+
+    #[test]
+    fn parent_is_strictly_smaller_suffix(name in name_strategy()) {
+        if let Some(parent) = name.parent() {
+            prop_assert!(name.is_subdomain_of(&parent));
+            prop_assert!(!parent.is_subdomain_of(&name) || parent == name);
+            prop_assert_eq!(parent.label_count() + 1, name.label_count());
+        }
+    }
+
+    #[test]
+    fn concat_strip_inverse(a in name_strategy(), b in name_strategy()) {
+        if let Ok(joined) = a.concat(&b) {
+            prop_assert_eq!(joined.strip_suffix(&b).unwrap(), a);
+            prop_assert!(joined.is_subdomain_of(&b));
+        }
+    }
+
+    #[test]
+    fn type_bitmap_round_trip(codes in proptest::collection::btree_set(0u16..=40_000, 0..40)) {
+        let bm: TypeBitmap = codes.iter().map(|&c| RrType::from_code(c)).collect();
+        let mut buf = Vec::new();
+        bm.encode(&mut buf);
+        let back = TypeBitmap::decode(&buf).unwrap();
+        prop_assert_eq!(back, bm);
+    }
+
+    #[test]
+    fn message_round_trip_with_records(
+        qname in name_strategy(),
+        owners in proptest::collection::vec(name_strategy(), 0..6),
+        ttl in 0u32..1_000_000,
+    ) {
+        let mut msg = Message::dnssec_query(1, qname, RrType::A);
+        msg.header.flags.qr = true;
+        for (i, owner) in owners.iter().enumerate() {
+            msg.answers.push(Record::new(
+                owner.clone(),
+                ttl,
+                RData::A(std::net::Ipv4Addr::new(192, 0, 2, (i % 250) as u8 + 1)),
+            ));
+        }
+        let back = Message::from_bytes(&msg.to_bytes()).unwrap();
+        prop_assert_eq!(back.answers.len(), msg.answers.len());
+        for (a, b) in back.answers.iter().zip(&msg.answers) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn decoder_never_panics_on_junk(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Message::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn truncating_valid_messages_never_panics(
+        qname in name_strategy(),
+        cut in 0usize..64,
+    ) {
+        let msg = Message::dnssec_query(7, qname, RrType::Dlv);
+        let bytes = msg.to_bytes();
+        let cut = cut.min(bytes.len());
+        let _ = Message::from_bytes(&bytes[..cut]);
+    }
+}

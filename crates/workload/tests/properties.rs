@@ -1,0 +1,70 @@
+//! Property-based tests for the workload generators.
+
+use proptest::prelude::*;
+
+use lookaside_workload::{DitlTrace, DomainPopulation, PopEntry, PopulationParams, Zipf};
+
+fn pop(size: usize, seed: u64) -> DomainPopulation {
+    DomainPopulation::new(PopulationParams { size, seed, ..PopulationParams::default() })
+}
+
+proptest! {
+    #[test]
+    fn entry_of_inverts_domain(seed in any::<u64>(), rank in 1usize..5_000) {
+        let p = pop(5_000, seed);
+        let name = p.domain(rank);
+        match p.entry_of(&name) {
+            Some(PopEntry::Domain(attrs)) => {
+                prop_assert_eq!(attrs.rank, rank);
+                prop_assert_eq!(attrs.name, name);
+            }
+            other => prop_assert!(false, "expected domain, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn attributes_respect_structural_invariants(seed in any::<u64>(), rank in 1usize..5_000) {
+        let p = pop(5_000, seed);
+        let a = p.attributes(rank);
+        // DS implies signed; deposits imply islands.
+        prop_assert!(!a.ds_in_parent || a.signed);
+        prop_assert!(!a.deposited || (a.signed && !a.ds_in_parent));
+        // Hosted domains name a hoster inside the pool.
+        if let Some(h) = a.hoster {
+            prop_assert!(!a.self_hosted);
+            prop_assert!(h < p.params().hoster_pool);
+        } else {
+            prop_assert!(a.self_hosted);
+        }
+    }
+
+    #[test]
+    fn repo_neighbour_brackets_rank(seed in any::<u64>(), rank in 1usize..4_999) {
+        let p = pop(5_000, seed);
+        let domain = p.domain(rank);
+        let neighbour = p.repo_neighbour_name(rank);
+        prop_assert_eq!(domain.canonical_cmp(&neighbour), std::cmp::Ordering::Less);
+        // No ranked domain may ever sort between a domain and its neighbour.
+        let next_rank = rank + 1;
+        let next = p.domain(next_rank);
+        if p.attributes(next_rank).tld == p.attributes(rank).tld {
+            prop_assert_eq!(neighbour.canonical_cmp(&next), std::cmp::Ordering::Less);
+        }
+    }
+
+    #[test]
+    fn zipf_samples_stay_in_support(n in 1usize..5_000, s in 0.1f64..2.0, h in any::<u64>()) {
+        let z = Zipf::new(n, s);
+        let k = z.sample_hash(h);
+        prop_assert!((1..=n).contains(&k));
+    }
+
+    #[test]
+    fn ditl_traces_always_hit_the_exact_total(seed in any::<u64>()) {
+        let trace = DitlTrace::generate(seed);
+        prop_assert_eq!(trace.total(), lookaside_workload::DITL_TOTAL_QUERIES);
+        for &v in trace.per_minute() {
+            prop_assert!((160_000..=360_000).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,634 @@
+use std::collections::BTreeMap;
+
+use lookaside_crypto::KeyPair;
+use lookaside_wire::{Name, RData, Record, RrClass, RrSet, RrType, TypeBitmap};
+use serde::{Deserialize, Serialize};
+
+use crate::lookup::{Lookup, SignedRrSet};
+use crate::nsec::NsecChain;
+use crate::nsec3::{DenialMode, Nsec3Chain};
+use crate::zone::Zone;
+use crate::DEFAULT_TTL;
+
+/// The ZSK/KSK pair used to sign a zone.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SigningKeys {
+    /// Zone-signing key: signs every data RRset.
+    pub zsk: KeyPair,
+    /// Key-signing key: signs the DNSKEY RRset; its digest is what goes into
+    /// the parent's DS record or a DLV registry deposit.
+    pub ksk: KeyPair,
+}
+
+impl SigningKeys {
+    /// Derives a deterministic key pair set from a seed.
+    pub fn from_seed(seed: u64) -> Self {
+        SigningKeys {
+            zsk: KeyPair::generate_zsk(seed.wrapping_mul(2).wrapping_add(1)),
+            ksk: KeyPair::generate_ksk(seed.wrapping_mul(2).wrapping_add(2)),
+        }
+    }
+}
+
+/// Builds the RFC 4034 §3.1.8.1 signature input: the RRSIG RDATA with the
+/// signature field removed, followed by the canonical RRset.
+///
+/// The argument list mirrors the RRSIG RDATA layout one-to-one on purpose.
+#[allow(clippy::too_many_arguments)]
+pub fn rrsig_signing_input(
+    type_covered: RrType,
+    algorithm: u8,
+    labels: u8,
+    original_ttl: u32,
+    expiration: u32,
+    inception: u32,
+    key_tag: u16,
+    signer_name: &Name,
+    rrset: &RrSet,
+) -> Vec<u8> {
+    let mut input = Vec::new();
+    input.extend_from_slice(&type_covered.code().to_be_bytes());
+    input.push(algorithm);
+    input.push(labels);
+    input.extend_from_slice(&original_ttl.to_be_bytes());
+    input.extend_from_slice(&expiration.to_be_bytes());
+    input.extend_from_slice(&inception.to_be_bytes());
+    input.extend_from_slice(&key_tag.to_be_bytes());
+    signer_name.encode_uncompressed(&mut input);
+    input.extend_from_slice(&rrset.canonical_signing_input());
+    input
+}
+
+/// A zone prepared for serving: optionally signed, with DNSKEY RRset, NSEC
+/// chain, and one RRSIG per covered RRset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PublishedZone {
+    zone: Zone,
+    signed: bool,
+    dnskeys: Option<SignedRrSet>,
+    /// RRSIG covering each (owner, type) RRset.
+    sigs: BTreeMap<(Name, RrType), Record>,
+    nsec: Option<NsecChain>,
+    /// RRSIGs over NSEC records, keyed by NSEC owner.
+    nsec_sigs: BTreeMap<Name, Record>,
+    nsec3: Option<Nsec3Chain>,
+    /// RRSIGs over NSEC3 records, keyed by hashed owner.
+    nsec3_sigs: BTreeMap<Name, Record>,
+}
+
+impl PublishedZone {
+    /// Publishes a zone without DNSSEC.
+    pub fn unsigned(zone: Zone) -> Self {
+        PublishedZone {
+            zone,
+            signed: false,
+            dnskeys: None,
+            sigs: BTreeMap::new(),
+            nsec: None,
+            nsec_sigs: BTreeMap::new(),
+            nsec3: None,
+            nsec3_sigs: BTreeMap::new(),
+        }
+    }
+
+    /// Signs and publishes a zone with plain NSEC denial.
+    ///
+    /// Every authoritative RRset is signed with the ZSK; the DNSKEY RRset is
+    /// signed with the KSK; an NSEC chain over all owner names (plus
+    /// delegation points) is generated and signed. Delegation NS RRsets are
+    /// left unsigned, per RFC 4035 §2.2.
+    pub fn signed(zone: Zone, keys: &SigningKeys, inception: u32, expiration: u32) -> Self {
+        Self::signed_with_denial(zone, keys, inception, expiration, DenialMode::Nsec)
+    }
+
+    /// Signs and publishes a zone with the chosen denial-of-existence
+    /// mechanism (§7.3 of the paper: NSEC vs NSEC3 is a privacy/enumeration
+    /// trade-off for a DLV registry).
+    pub fn signed_with_denial(
+        zone: Zone,
+        keys: &SigningKeys,
+        inception: u32,
+        expiration: u32,
+        denial: DenialMode,
+    ) -> Self {
+        let apex = zone.apex().clone();
+
+        // DNSKEY RRset: ZSK + KSK, signed by the KSK.
+        let mut dnskey_set = RrSet::empty(apex.clone(), RrType::Dnskey, DEFAULT_TTL);
+        dnskey_set.push(keys.zsk.public().dnskey_rdata());
+        dnskey_set.push(keys.ksk.public().dnskey_rdata());
+        let dnskey_sig = sign_rrset(&dnskey_set, &apex, &keys.ksk, inception, expiration);
+        let dnskeys = SignedRrSet { rrset: dnskey_set, rrsig: Some(dnskey_sig) };
+
+        // Sign all authoritative RRsets (skip delegation NS sets).
+        let mut sigs = BTreeMap::new();
+        for set in zone.iter() {
+            if set.rrtype == RrType::Ns && zone.is_cut(&set.name) {
+                continue;
+            }
+            let sig = sign_rrset(set, &apex, &keys.zsk, inception, expiration);
+            sigs.insert((set.name.clone(), set.rrtype), sig);
+        }
+        sigs.insert(
+            (apex.clone(), RrType::Dnskey),
+            dnskeys.rrsig.clone().expect("dnskey signed above"),
+        );
+
+        // Denial chain over every owner name with its present types.
+        let mut per_owner: BTreeMap<Name, TypeBitmap> = BTreeMap::new();
+        for set in zone.iter() {
+            per_owner.entry(set.name.clone()).or_default().insert(set.rrtype);
+        }
+        per_owner.entry(apex.clone()).or_default().insert(RrType::Dnskey);
+        let owners: Vec<(Name, TypeBitmap)> = per_owner.into_iter().collect();
+
+        let mut nsec = None;
+        let mut nsec_sigs = BTreeMap::new();
+        let mut nsec3 = None;
+        let mut nsec3_sigs = BTreeMap::new();
+        match denial {
+            DenialMode::Nsec => {
+                let chain = NsecChain::build(apex.clone(), owners);
+                for set in chain.records(zone.soa().minimum) {
+                    let sig = sign_rrset(&set, &apex, &keys.zsk, inception, expiration);
+                    nsec_sigs.insert(set.name.clone(), sig);
+                }
+                nsec = Some(chain);
+            }
+            DenialMode::Nsec3 => {
+                // Salt derived from the apex, one extra iteration: fixed,
+                // deterministic parameters (the study never rolls salts).
+                let salt = {
+                    let mut wire = Vec::new();
+                    apex.encode_uncompressed(&mut wire);
+                    lookaside_crypto::sha256(&wire)[..4].to_vec()
+                };
+                let chain = Nsec3Chain::build(apex.clone(), owners, salt, 1);
+                for idx in 0..chain.len() {
+                    let set = chain.record_at(idx, zone.soa().minimum);
+                    let sig = sign_rrset(&set, &apex, &keys.zsk, inception, expiration);
+                    nsec3_sigs.insert(set.name.clone(), sig);
+                }
+                nsec3 = Some(chain);
+            }
+        }
+
+        PublishedZone {
+            zone,
+            signed: true,
+            dnskeys: Some(dnskeys),
+            sigs,
+            nsec,
+            nsec_sigs,
+            nsec3,
+            nsec3_sigs,
+        }
+    }
+
+    /// The zone apex.
+    pub fn apex(&self) -> &Name {
+        self.zone.apex()
+    }
+
+    /// Whether the zone is DNSSEC-signed.
+    pub fn is_signed(&self) -> bool {
+        self.signed
+    }
+
+    /// The underlying content zone.
+    pub fn zone(&self) -> &Zone {
+        &self.zone
+    }
+
+    /// The DNSKEY RRset, when signed.
+    pub fn dnskeys(&self) -> Option<&SignedRrSet> {
+        self.dnskeys.as_ref()
+    }
+
+    /// The signed SOA for negative responses.
+    fn soa_signed(&self) -> SignedRrSet {
+        let soa = self.zone.soa_rrset();
+        let rrsig = self.sigs.get(&(soa.name.clone(), RrType::Soa)).cloned();
+        SignedRrSet { rrset: soa, rrsig }
+    }
+
+    fn with_sig(&self, rrset: RrSet) -> SignedRrSet {
+        let rrsig = self.sigs.get(&(rrset.name.clone(), rrset.rrtype)).cloned();
+        SignedRrSet { rrset, rrsig }
+    }
+
+    /// The NSEC/NSEC3 record (with signature) proving `name` does not
+    /// exist.
+    pub fn nxdomain_proof(&self, name: &Name) -> Option<SignedRrSet> {
+        if let Some(chain) = &self.nsec {
+            let rrset = chain.covering(name, self.zone.soa().minimum)?;
+            let rrsig = self.nsec_sigs.get(&rrset.name).cloned();
+            return Some(SignedRrSet { rrset, rrsig });
+        }
+        if let Some(chain) = &self.nsec3 {
+            let rrset = chain.covering(name, self.zone.soa().minimum)?;
+            let rrsig = self.nsec3_sigs.get(&rrset.name).cloned();
+            return Some(SignedRrSet { rrset, rrsig });
+        }
+        None
+    }
+
+    /// The NSEC/NSEC3 record at `name` itself (type-absence proof), if
+    /// `name` owns one.
+    pub fn nodata_proof(&self, name: &Name) -> Option<SignedRrSet> {
+        if let Some(chain) = &self.nsec {
+            let idx = chain.index_of(name)?;
+            let rrset = chain.record_at(idx, self.zone.soa().minimum);
+            let rrsig = self.nsec_sigs.get(&rrset.name).cloned();
+            return Some(SignedRrSet { rrset, rrsig });
+        }
+        if let Some(chain) = &self.nsec3 {
+            let rrset = chain.at(name, self.zone.soa().minimum)?;
+            let rrsig = self.nsec3_sigs.get(&rrset.name).cloned();
+            return Some(SignedRrSet { rrset, rrsig });
+        }
+        None
+    }
+
+    /// Authoritative lookup of `qname`/`qtype`.
+    ///
+    /// Implements the RFC 1034 §4.3.2 algorithm restricted to one zone:
+    /// referral below cuts (except DS queries *at* the cut, which the parent
+    /// answers), CNAME indirection, NODATA/NXDOMAIN with NSEC proofs when
+    /// signed.
+    pub fn lookup(&self, qname: &Name, qtype: RrType) -> Lookup {
+        if !qname.is_subdomain_of(self.zone.apex()) {
+            return Lookup::OutOfZone;
+        }
+
+        // DNSKEY at apex is served from the published set.
+        if qtype == RrType::Dnskey && qname == self.zone.apex() {
+            return match &self.dnskeys {
+                Some(set) => Lookup::Answer { answer: set.clone() },
+                None => Lookup::NoData { soa: self.soa_signed(), proof: None },
+            };
+        }
+
+        if let Some(cut) = self.zone.cut_above(qname) {
+            let at_cut = qname == cut;
+            // The parent answers DS queries at the cut itself.
+            if !(at_cut && qtype == RrType::Ds) {
+                return self.referral(&cut.clone());
+            }
+        }
+
+        if let Some(cname) = self.zone.rrset(qname, RrType::Cname) {
+            if qtype != RrType::Cname {
+                return Lookup::Cname { cname: self.with_sig(cname.clone()) };
+            }
+        }
+
+        if let Some(set) = self.zone.rrset(qname, qtype) {
+            return Lookup::Answer { answer: self.with_sig(set.clone()) };
+        }
+
+        if qtype == RrType::Nsec {
+            if let Some(proof) = self.nodata_proof(qname) {
+                return Lookup::Answer { answer: proof };
+            }
+        }
+
+        if self.zone.name_exists(qname) {
+            Lookup::NoData { soa: self.soa_signed(), proof: self.nodata_proof(qname) }
+        } else {
+            Lookup::NxDomain { soa: self.soa_signed(), proof: self.nxdomain_proof(qname) }
+        }
+    }
+
+    fn referral(&self, cut: &Name) -> Lookup {
+        let ns = self
+            .zone
+            .rrset(cut, RrType::Ns)
+            .cloned()
+            .expect("cut names always own an NS RRset");
+        let ds = self.zone.rrset(cut, RrType::Ds).map(|set| self.with_sig(set.clone()));
+        let no_ds_proof = if ds.is_none() && self.signed { self.nodata_proof(cut) } else { None };
+        let glue = ns
+            .rdatas
+            .iter()
+            .filter_map(|rd| match rd {
+                RData::Ns(name) => self.zone.glue_for(name).map(|addr| (name.clone(), addr)),
+                _ => None,
+            })
+            .collect();
+        Lookup::Referral { cut: cut.clone(), ns, ds, no_ds_proof, glue }
+    }
+}
+
+fn sign_rrset(
+    rrset: &RrSet,
+    signer: &Name,
+    key: &KeyPair,
+    inception: u32,
+    expiration: u32,
+) -> Record {
+    let key_tag = key.key_tag();
+    let algorithm = lookaside_crypto::ALGORITHM_SIM_SCHNORR;
+    let labels = rrset.name.label_count() as u8;
+    let input = rrsig_signing_input(
+        rrset.rrtype,
+        algorithm,
+        labels,
+        rrset.ttl,
+        expiration,
+        inception,
+        key_tag,
+        signer,
+        rrset,
+    );
+    let signature = key.sign_to_bytes(&input);
+    Record {
+        name: rrset.name.clone(),
+        rrtype: RrType::Rrsig,
+        class: RrClass::In,
+        ttl: rrset.ttl,
+        rdata: RData::Rrsig {
+            type_covered: rrset.rrtype,
+            algorithm,
+            labels,
+            original_ttl: rrset.ttl,
+            expiration,
+            inception,
+            key_tag,
+            signer_name: signer.clone(),
+            signature,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lookaside_crypto::{ds_rdata, KeyPair};
+    use std::net::Ipv4Addr;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn sample_zone() -> Zone {
+        let mut z = Zone::new(n("example.com"), n("ns1.example.com"));
+        z.add(n("example.com"), 300, RData::A(Ipv4Addr::new(192, 0, 2, 1)));
+        z.add(n("www.example.com"), 300, RData::A(Ipv4Addr::new(192, 0, 2, 2)));
+        z.add(n("alias.example.com"), 300, RData::Cname(n("www.example.com")));
+        z
+    }
+
+    fn signed_zone() -> PublishedZone {
+        PublishedZone::signed(sample_zone(), &SigningKeys::from_seed(1), 1000, 2000)
+    }
+
+    #[test]
+    fn answer_includes_rrsig_in_signed_zone() {
+        let pz = signed_zone();
+        match pz.lookup(&n("www.example.com"), RrType::A) {
+            Lookup::Answer { answer } => {
+                assert!(answer.rrsig.is_some());
+                assert_eq!(answer.rrset.rrtype, RrType::A);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsigned_zone_has_no_sigs_or_proofs() {
+        let pz = PublishedZone::unsigned(sample_zone());
+        match pz.lookup(&n("www.example.com"), RrType::A) {
+            Lookup::Answer { answer } => assert!(answer.rrsig.is_none()),
+            other => panic!("unexpected {other:?}"),
+        }
+        match pz.lookup(&n("missing.example.com"), RrType::A) {
+            Lookup::NxDomain { proof, .. } => assert!(proof.is_none()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rrsig_verifies_against_zsk() {
+        let keys = SigningKeys::from_seed(2);
+        let pz = PublishedZone::signed(sample_zone(), &keys, 1000, 2000);
+        let Lookup::Answer { answer } = pz.lookup(&n("www.example.com"), RrType::A) else {
+            panic!("expected answer");
+        };
+        let sig = answer.rrsig.unwrap();
+        let RData::Rrsig {
+            type_covered,
+            algorithm,
+            labels,
+            original_ttl,
+            expiration,
+            inception,
+            key_tag,
+            signer_name,
+            signature,
+        } = sig.rdata
+        else {
+            panic!("expected rrsig rdata");
+        };
+        let input = rrsig_signing_input(
+            type_covered,
+            algorithm,
+            labels,
+            original_ttl,
+            expiration,
+            inception,
+            key_tag,
+            &signer_name,
+            &answer.rrset,
+        );
+        assert!(keys.zsk.public().verify_bytes(&input, &signature));
+        assert!(!keys.ksk.public().verify_bytes(&input, &signature));
+    }
+
+    #[test]
+    fn dnskey_set_signed_by_ksk() {
+        let keys = SigningKeys::from_seed(3);
+        let pz = PublishedZone::signed(sample_zone(), &keys, 1000, 2000);
+        let Lookup::Answer { answer } = pz.lookup(&n("example.com"), RrType::Dnskey) else {
+            panic!("expected dnskey answer");
+        };
+        assert_eq!(answer.rrset.len(), 2);
+        let RData::Rrsig { key_tag, .. } = &answer.rrsig.as_ref().unwrap().rdata else {
+            panic!("expected rrsig");
+        };
+        assert_eq!(*key_tag, keys.ksk.key_tag());
+    }
+
+    #[test]
+    fn cname_redirects_other_types() {
+        let pz = signed_zone();
+        assert!(matches!(pz.lookup(&n("alias.example.com"), RrType::A), Lookup::Cname { .. }));
+        assert!(matches!(
+            pz.lookup(&n("alias.example.com"), RrType::Cname),
+            Lookup::Answer { .. }
+        ));
+    }
+
+    #[test]
+    fn nxdomain_has_covering_nsec() {
+        let pz = signed_zone();
+        match pz.lookup(&n("missing.example.com"), RrType::A) {
+            Lookup::NxDomain { soa, proof } => {
+                assert!(soa.rrsig.is_some());
+                let proof = proof.expect("signed zone provides proof");
+                assert!(proof.rrsig.is_some());
+                let RData::Nsec { next_name, .. } = &proof.rrset.rdatas[0] else {
+                    panic!("expected nsec");
+                };
+                assert!(crate::nsec::covers(&proof.rrset.name, next_name, &n("missing.example.com")));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nodata_has_type_absence_proof() {
+        let pz = signed_zone();
+        match pz.lookup(&n("www.example.com"), RrType::Mx) {
+            Lookup::NoData { proof, .. } => {
+                let proof = proof.expect("nsec at name");
+                assert_eq!(proof.rrset.name, n("www.example.com"));
+                let RData::Nsec { types, .. } = &proof.rrset.rdatas[0] else {
+                    panic!("expected nsec");
+                };
+                assert!(types.contains(RrType::A));
+                assert!(!types.contains(RrType::Mx));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn referral_below_cut_with_ds() {
+        let mut parent = Zone::new(n("com"), n("a.gtld-servers.net"));
+        parent
+            .delegate(n("secure.com"), &[(n("ns1.secure.com"), Ipv4Addr::new(192, 0, 2, 53))])
+            .unwrap();
+        let child_ksk = KeyPair::generate_ksk(50);
+        parent.add_ds(n("secure.com"), ds_rdata(&n("secure.com"), &child_ksk.public()));
+        let pz = PublishedZone::signed(parent, &SigningKeys::from_seed(4), 0, 100);
+        match pz.lookup(&n("www.secure.com"), RrType::A) {
+            Lookup::Referral { cut, ns, ds, no_ds_proof, glue } => {
+                assert_eq!(cut, n("secure.com"));
+                assert_eq!(ns.len(), 1);
+                assert!(ds.expect("secure delegation").rrsig.is_some());
+                assert!(no_ds_proof.is_none());
+                assert_eq!(glue, vec![(n("ns1.secure.com"), Ipv4Addr::new(192, 0, 2, 53))]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn insecure_delegation_gets_no_ds_proof() {
+        let mut parent = Zone::new(n("com"), n("a.gtld-servers.net"));
+        parent.delegate(n("island.com"), &[(n("ns1.island.com"), Ipv4Addr::new(192, 0, 2, 54))]).unwrap();
+        let pz = PublishedZone::signed(parent, &SigningKeys::from_seed(5), 0, 100);
+        match pz.lookup(&n("island.com"), RrType::A) {
+            Lookup::Referral { ds, no_ds_proof, .. } => {
+                assert!(ds.is_none());
+                let proof = no_ds_proof.expect("signed parent proves no DS");
+                let RData::Nsec { types, .. } = &proof.rrset.rdatas[0] else {
+                    panic!("expected nsec");
+                };
+                assert!(types.contains(RrType::Ns));
+                assert!(!types.contains(RrType::Ds));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ds_at_cut_answered_by_parent() {
+        let mut parent = Zone::new(n("com"), n("a.gtld-servers.net"));
+        parent.delegate(n("secure.com"), &[]).unwrap();
+        let child_ksk = KeyPair::generate_ksk(51);
+        parent.add_ds(n("secure.com"), ds_rdata(&n("secure.com"), &child_ksk.public()));
+        let pz = PublishedZone::signed(parent, &SigningKeys::from_seed(6), 0, 100);
+        match pz.lookup(&n("secure.com"), RrType::Ds) {
+            Lookup::Answer { answer } => assert_eq!(answer.rrset.rrtype, RrType::Ds),
+            other => panic!("unexpected {other:?}"),
+        }
+        // But an A query at the cut is still a referral.
+        assert!(pz.lookup(&n("secure.com"), RrType::A).is_referral());
+    }
+
+    #[test]
+    fn ds_absent_at_insecure_cut_is_nodata() {
+        let mut parent = Zone::new(n("com"), n("a.gtld-servers.net"));
+        parent.delegate(n("island.com"), &[]).unwrap();
+        let pz = PublishedZone::signed(parent, &SigningKeys::from_seed(7), 0, 100);
+        match pz.lookup(&n("island.com"), RrType::Ds) {
+            Lookup::NoData { proof, .. } => {
+                assert!(proof.is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nsec3_zone_proves_nxdomain_with_hashed_records() {
+        let pz = PublishedZone::signed_with_denial(
+            sample_zone(),
+            &SigningKeys::from_seed(11),
+            1000,
+            2000,
+            crate::DenialMode::Nsec3,
+        );
+        match pz.lookup(&n("missing.example.com"), RrType::A) {
+            Lookup::NxDomain { proof, .. } => {
+                let proof = proof.expect("nsec3 proof");
+                assert!(proof.rrsig.is_some());
+                assert!(matches!(proof.rrset.rdatas[0], RData::Nsec3 { .. }));
+                // Hashed owner label, 32 base32hex chars.
+                assert_eq!(proof.rrset.name.labels()[0].len(), 32);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Positive answers are unaffected by the denial mode.
+        assert!(matches!(pz.lookup(&n("www.example.com"), RrType::A), Lookup::Answer { .. }));
+    }
+
+    #[test]
+    fn nsec3_zone_nodata_proof_exists() {
+        let pz = PublishedZone::signed_with_denial(
+            sample_zone(),
+            &SigningKeys::from_seed(12),
+            1000,
+            2000,
+            crate::DenialMode::Nsec3,
+        );
+        match pz.lookup(&n("www.example.com"), RrType::Mx) {
+            Lookup::NoData { proof, .. } => {
+                let proof = proof.expect("nsec3 nodata proof");
+                assert!(matches!(proof.rrset.rdatas[0], RData::Nsec3 { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_zone_detected() {
+        let pz = signed_zone();
+        assert_eq!(pz.lookup(&n("example.org"), RrType::A), Lookup::OutOfZone);
+    }
+
+    #[test]
+    fn delegation_ns_set_is_unsigned() {
+        let mut parent = Zone::new(n("com"), n("a.gtld-servers.net"));
+        parent.delegate(n("child.com"), &[]).unwrap();
+        let pz = PublishedZone::signed(parent, &SigningKeys::from_seed(8), 0, 100);
+        match pz.lookup(&n("x.child.com"), RrType::A) {
+            Lookup::Referral { ns, .. } => {
+                // No RRSIG is stored for the delegation NS set.
+                assert!(!pz.sigs.contains_key(&(ns.name.clone(), RrType::Ns)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

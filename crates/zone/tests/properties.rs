@@ -1,0 +1,81 @@
+//! Property-based tests for the zone layer: the NSEC chain must cover
+//! exactly the names that do not exist, and signed lookups must always
+//! carry verifiable proofs.
+
+use proptest::prelude::*;
+
+use lookaside_wire::{Name, RData, RrType, TypeBitmap};
+use lookaside_zone::{covers, Lookup, NsecChain, PublishedZone, SigningKeys, Zone};
+
+fn label() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z]{1,8}").expect("valid regex")
+}
+
+proptest! {
+    #[test]
+    fn nsec_chain_covers_exactly_non_owners(
+        owners in proptest::collection::btree_set(label(), 1..20),
+        probes in proptest::collection::vec(label(), 1..20),
+    ) {
+        let apex = Name::parse("zone.test.").unwrap();
+        let entries: Vec<(Name, TypeBitmap)> = owners
+            .iter()
+            .map(|l| (apex.prepend(l).unwrap(), TypeBitmap::from_types([RrType::A])))
+            .collect();
+        let chain = NsecChain::build(apex.clone(), entries);
+        for probe in &probes {
+            let name = apex.prepend(probe).unwrap();
+            let exists = owners.contains(probe);
+            let covered = chain.covering(&name, 60).is_some();
+            prop_assert_eq!(covered, !exists, "probe {} exists={}", name, exists);
+        }
+    }
+
+    #[test]
+    fn covers_is_exclusive_of_endpoints(a in label(), b in label(), x in label()) {
+        let apex = Name::parse("zone.test.").unwrap();
+        let owner = apex.prepend(&a).unwrap();
+        let next = apex.prepend(&b).unwrap();
+        let probe = apex.prepend(&x).unwrap();
+        if covers(&owner, &next, &probe) {
+            prop_assert_ne!(&probe, &owner);
+            prop_assert_ne!(&probe, &next);
+        }
+    }
+
+    #[test]
+    fn signed_zone_lookups_always_carry_proofs(
+        hosts in proptest::collection::btree_set(label(), 1..12),
+        probes in proptest::collection::vec(label(), 1..12),
+    ) {
+        let apex = Name::parse("p.example.").unwrap();
+        let mut zone = Zone::new(apex.clone(), apex.prepend("ns1").unwrap());
+        for host in &hosts {
+            zone.add(
+                apex.prepend(host).unwrap(),
+                300,
+                RData::A(std::net::Ipv4Addr::new(192, 0, 2, 7)),
+            );
+        }
+        let published = PublishedZone::signed(zone, &SigningKeys::from_seed(5), 0, u32::MAX);
+        for probe in &probes {
+            let qname = apex.prepend(probe).unwrap();
+            match published.lookup(&qname, RrType::A) {
+                Lookup::Answer { answer } => {
+                    prop_assert!(hosts.contains(probe));
+                    prop_assert!(answer.rrsig.is_some());
+                }
+                Lookup::NxDomain { soa, proof } => {
+                    prop_assert!(!hosts.contains(probe));
+                    prop_assert!(soa.rrsig.is_some());
+                    let proof = proof.expect("signed zone always proves nxdomain");
+                    let RData::Nsec { next_name, .. } = &proof.rrset.rdatas[0] else {
+                        panic!("nsec expected");
+                    };
+                    prop_assert!(covers(&proof.rrset.name, next_name, &qname));
+                }
+                other => panic!("unexpected lookup {other:?}"),
+            }
+        }
+    }
+}
