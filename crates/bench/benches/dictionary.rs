@@ -7,7 +7,8 @@ use lookaside_crypto::hashed_dlv_label;
 use lookaside_workload::{DomainPopulation, PopulationParams};
 
 fn bench_dictionary(c: &mut Criterion) {
-    let pop = DomainPopulation::new(PopulationParams { size: 100_000, ..PopulationParams::default() });
+    let pop =
+        DomainPopulation::new(PopulationParams { size: 100_000, ..PopulationParams::default() });
     let candidates: Vec<_> = (1..=1000).map(|r| pop.domain(r)).collect();
 
     let mut group = c.benchmark_group("dictionary");

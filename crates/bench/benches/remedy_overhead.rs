@@ -38,7 +38,7 @@ fn bench_remedies(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     // Each iteration builds a whole simulated Internet; keep samples small.
     config = Criterion::default().sample_size(10);

@@ -12,12 +12,10 @@ fn bench_resolution(c: &mut Criterion) {
     c.bench_function("resolve/cold_100_domains", |b| {
         b.iter_with_setup(
             || {
-                let population =
-                    PopulationParams { size: 1000, ..PopulationParams::default() };
+                let population = PopulationParams { size: 1000, ..PopulationParams::default() };
                 let internet =
                     Internet::build(InternetParams::for_top(100, population, RemedyMode::None));
-                let resolver =
-                    internet.resolver(ResolverConfig::Bind(BindConfig::correct()), 1);
+                let resolver = internet.resolver(ResolverConfig::Bind(BindConfig::correct()), 1);
                 (internet, resolver)
             },
             |(mut internet, mut resolver)| {
@@ -36,9 +34,7 @@ fn bench_resolution(c: &mut Criterion) {
         let mut resolver = internet.resolver(ResolverConfig::Bind(BindConfig::correct()), 1);
         let qname = internet.population.domain(1);
         let _ = resolver.resolve(&mut internet.net, &qname, RrType::A);
-        b.iter(|| {
-            resolver.resolve(&mut internet.net, black_box(&qname), RrType::A).unwrap()
-        })
+        b.iter(|| resolver.resolve(&mut internet.net, black_box(&qname), RrType::A).unwrap())
     });
 
     c.bench_function("internet/build_1000_domains", |b| {
@@ -49,7 +45,7 @@ fn bench_resolution(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     // Each iteration builds a whole simulated Internet; keep samples small.
     config = Criterion::default().sample_size(10);

@@ -45,9 +45,7 @@ fn bench_codec(c: &mut Criterion) {
     let msg = sample_response();
     let bytes = msg.to_bytes();
 
-    c.bench_function("wire/encode_response", |b| {
-        b.iter(|| black_box(&msg).to_bytes())
-    });
+    c.bench_function("wire/encode_response", |b| b.iter(|| black_box(&msg).to_bytes()));
     c.bench_function("wire/decode_response", |b| {
         b.iter(|| Message::from_bytes(black_box(&bytes)).unwrap())
     });

@@ -65,9 +65,7 @@ fn parse_args() -> Result<Options, ExitCode> {
             "--install" => {
                 install = match args.next().as_deref() {
                     Some("apt-get") => InstallMethod::AptGet,
-                    Some("apt-get2") | Some("apt-get-compliant") => {
-                        InstallMethod::AptGetCompliant
-                    }
+                    Some("apt-get2") | Some("apt-get-compliant") => InstallMethod::AptGetCompliant,
                     Some("yum") => InstallMethod::Yum,
                     Some("manual") => InstallMethod::Manual,
                     _ => return Err(usage()),
@@ -141,14 +139,11 @@ fn main() -> ExitCode {
         Err(code) => return code,
     };
 
-    let population =
-        PopulationParams { size: options.population, ..PopulationParams::default() };
-    let mut params =
-        InternetParams::for_top(options.population, population, options.remedy);
+    let population = PopulationParams { size: options.population, ..PopulationParams::default() };
+    let mut params = InternetParams::for_top(options.population, population, options.remedy);
     params.capture = CaptureFilter::All;
     let mut internet = Internet::build(params);
-    let features =
-        FeatureModel { qname_minimization: options.qmin, ..FeatureModel::default() };
+    let features = FeatureModel { qname_minimization: options.qmin, ..FeatureModel::default() };
     let mut resolver = internet.resolver_with_features(
         ResolverConfig::Bind(options.install.bind_config()),
         features,

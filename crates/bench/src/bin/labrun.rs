@@ -46,8 +46,12 @@ fn main() -> ExitCode {
         }
     };
 
-    println!("running: {:?} queries over a {}-domain population, remedy {} …",
-        config.queries, config.population.size, config.remedy.label());
+    println!(
+        "running: {:?} queries over a {}-domain population, remedy {} …",
+        config.queries,
+        config.population.size,
+        config.remedy.label()
+    );
     let outcome = run(&config);
 
     println!("\n== validation statuses ==");

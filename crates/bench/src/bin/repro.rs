@@ -11,6 +11,7 @@
 use std::env;
 
 use lookaside::attacks;
+use lookaside::chaos::{chaos_outage, ChaosConfig};
 use lookaside::experiments::{
     deployment_sweep, fig11, fig12, fig8_9, nsec3_tradeoff, order_matters, qmin_exposure, table3,
     table4, table5, tld_breakdown, trace_replay, utility, vantage_sweep,
@@ -22,12 +23,8 @@ use lookaside_resolver::{environments, InstallMethod};
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
-    let what = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .unwrap_or("all")
-        .to_string();
+    let what =
+        args.iter().find(|a| !a.starts_with("--")).map(String::as_str).unwrap_or("all").to_string();
 
     let sweep: Vec<usize> = if full {
         let mut sizes = lookaside_bench::SWEEP_SIZES.to_vec();
@@ -102,6 +99,9 @@ fn main() {
     if wants("attacks") {
         print_attacks();
     }
+    if wants("chaos") {
+        print_chaos(if full { 120 } else { 25 });
+    }
 }
 
 fn print_table1() {
@@ -135,10 +135,7 @@ fn print_table2() {
             ]
         })
         .collect();
-    print!(
-        "{}",
-        render_table(&["install", "DNSSEC", "validation", "DLV", "trust anchor"], &rows)
-    );
+    print!("{}", render_table(&["install", "DNSSEC", "validation", "DLV", "trust anchor"], &rows));
 }
 
 fn print_table3() {
@@ -307,10 +304,7 @@ fn print_fig12(scale: u64) {
         .collect();
     print!(
         "{}",
-        render_table(
-            &["minute", "queries/min", "cum queries", "cum base MB", "cum ovh MB"],
-            &rows
-        )
+        render_table(&["minute", "queries/min", "cum queries", "cum base MB", "cum ovh MB"], &rows)
     );
     println!(
         "total overhead: {} MB over 7h = {:.3} Mbps (paper: \u{2248}1.2 GB, 0.38 Mbps)",
@@ -332,10 +326,7 @@ fn print_nsec3(n: usize) {
             ]
         })
         .collect();
-    print!(
-        "{}",
-        render_table(&["denial", "DLV queries", "suppressed", "case-2 leaks"], &rows)
-    );
+    print!("{}", render_table(&["denial", "DLV queries", "suppressed", "case-2 leaks"], &rows));
     println!(
         "(paper \u{a7}7.3: without aggressive negative caching, every query \
          triggers a DLV query — NSEC3 trades enumeration resistance for leakage)"
@@ -402,7 +393,9 @@ fn print_deployment(n: usize) {
         "{}",
         render_table(&["islands depositing", "No error", "No such name", "leak %"], &rows)
     );
-    println!("(paper \u{a7}7.1: findings become less significant as more domains populate the registry)");
+    println!(
+        "(paper \u{a7}7.1: findings become less significant as more domains populate the registry)"
+    );
 }
 
 fn print_tlds(n: usize) {
@@ -422,10 +415,7 @@ fn print_tlds(n: usize) {
         .collect();
     print!(
         "{}",
-        render_table(
-            &["TLD", "zone", "domains", "leaked", "leak %", "secure leaked"],
-            &rows
-        )
+        render_table(&["TLD", "zone", "domains", "leaked", "leak %", "secure leaked"], &rows)
     );
     println!("(secure children — signed with DS — never leak; unsigned TLDs cannot have any)");
 }
@@ -477,11 +467,7 @@ fn print_survey() {
             s.own_config.to_string(),
             format!("{:.1}%", s.pct(s.own_config)),
         ],
-        vec![
-            "use ISC DLV".to_string(),
-            s.isc_dlv.to_string(),
-            format!("{:.1}%", s.pct(s.isc_dlv)),
-        ],
+        vec!["use ISC DLV".to_string(), s.isc_dlv.to_string(), format!("{:.1}%", s.pct(s.isc_dlv))],
     ];
     print!("{}", render_table(&["answer", "count", "share"], &rows));
 }
@@ -517,6 +503,47 @@ fn print_dictionary() {
     println!(
         "(paper: full-space dictionaries are impractical at 350M+ names; a DNSSEC-only \
          dictionary shrinks the search but misses non-DNSSEC leaks)"
+    );
+}
+
+fn print_chaos(n: usize) {
+    println!("\n== \u{a7}7.3.2 chaos sweep: DLV-registry outage vs leakage amplification ({n} queries/cell) ==");
+    let rows: Vec<Vec<String>> = chaos_outage(&ChaosConfig::quick(n))
+        .iter()
+        .map(|p| {
+            vec![
+                p.profile.label().to_string(),
+                p.outage.label(),
+                p.dlv_packets.to_string(),
+                format!("{:.2}", p.dlv_per_query),
+                pct(p.success_rate),
+                format!("{:.1}", p.p50_ms),
+                format!("{:.1}", p.p95_ms),
+                p.retransmissions.to_string(),
+                p.timeouts.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &[
+                "profile",
+                "outage",
+                "DLV pkts",
+                "DLV/query",
+                "answered",
+                "p50 ms",
+                "p95 ms",
+                "rexmit",
+                "timeouts",
+            ],
+            &rows
+        )
+    );
+    println!(
+        "(retries multiply on-wire exposure as the registry degrades; the RFC 2308 \
+         SERVFAIL cache collapses it by holding the dead zone down)"
     );
 }
 

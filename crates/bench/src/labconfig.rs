@@ -151,8 +151,7 @@ pub fn parse_lab_config(text: &str) -> Result<RunConfig, LabConfigError> {
                 };
             }
             "seed" => {
-                config.seed =
-                    value.parse().map_err(|_| err(line_no, "seed must be an integer"))?;
+                config.seed = value.parse().map_err(|_| err(line_no, "seed must be an integer"))?;
             }
             "span_ttl" => {
                 config.dlv_span_ttl =

@@ -134,12 +134,8 @@ where
     config.seed = seed;
     let outcome = run(&config);
     // Observed hashed labels (first label of each leaked query name).
-    let observed: Vec<String> = outcome
-        .leakage
-        .leaked_names
-        .iter()
-        .map(|name| name.labels()[0].to_string())
-        .collect();
+    let observed: Vec<String> =
+        outcome.leakage.leaked_names.iter().map(|name| name.labels()[0].to_string()).collect();
 
     let mut table: HashMap<String, Name> = HashMap::new();
     let mut hash_ops = 0u64;
@@ -177,10 +173,8 @@ mod tests {
 
     #[test]
     fn full_dictionary_recovers_everything() {
-        let pop = DomainPopulation::new(PopulationParams {
-            size: 1000,
-            ..PopulationParams::default()
-        });
+        let pop =
+            DomainPopulation::new(PopulationParams { size: 1000, ..PopulationParams::default() });
         let dictionary: Vec<_> = (1..=200).map(|r| pop.domain(r)).collect();
         let outcome = dictionary_attack(60, 35, dictionary);
         assert!(outcome.observed > 0);
@@ -196,10 +190,8 @@ mod tests {
 
     #[test]
     fn small_dictionary_recovers_little() {
-        let pop = DomainPopulation::new(PopulationParams {
-            size: 1000,
-            ..PopulationParams::default()
-        });
+        let pop =
+            DomainPopulation::new(PopulationParams { size: 1000, ..PopulationParams::default() });
         // Candidates far outside the queried top-60.
         let dictionary: Vec<_> = (500..=520).map(|r| pop.domain(r)).collect();
         let outcome = dictionary_attack(60, 35, dictionary);

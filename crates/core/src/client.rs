@@ -4,9 +4,7 @@
 
 use std::net::Ipv4Addr;
 
-use lookaside_resolver::{
-    BindConfig, RecursiveResolver, Resolution, ResolveError, ResolverConfig,
-};
+use lookaside_resolver::{BindConfig, RecursiveResolver, Resolution, ResolveError, ResolverConfig};
 use lookaside_wire::ext::RemedyMode;
 use lookaside_wire::{Name, RData, RrType, WireError};
 use lookaside_workload::PopulationParams;
@@ -125,8 +123,7 @@ impl ClientBuilder {
     pub fn build(self) -> Client {
         let population =
             PopulationParams { size: self.population_size, ..PopulationParams::default() };
-        let mut params =
-            InternetParams::for_top(self.population_size, population, self.remedy);
+        let mut params = InternetParams::for_top(self.population_size, population, self.remedy);
         params.seed = self.seed;
         let internet = Internet::build(params);
         let resolver = internet.resolver(self.config, self.seed ^ 0xc11e);
@@ -255,10 +252,7 @@ mod tests {
 
     #[test]
     fn remedy_builder_controls_leakage() {
-        let mut client = Client::builder()
-            .population_size(1_000)
-            .remedy(RemedyMode::ZBit)
-            .build();
+        let mut client = Client::builder().population_size(1_000).remedy(RemedyMode::ZBit).build();
         for rank in 1..=20 {
             let name = client.domain(rank).to_string();
             let _ = client.lookup_ip(&name).unwrap();

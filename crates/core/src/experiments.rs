@@ -5,9 +5,7 @@
 //! drives the resolver, and interprets the packet capture.
 
 use lookaside_netsim::{CaptureFilter, TrafficStats};
-use lookaside_resolver::{
-    BindConfig, Counters, InstallMethod, ResolverConfig, SecurityStatus,
-};
+use lookaside_resolver::{BindConfig, Counters, InstallMethod, ResolverConfig, SecurityStatus};
 use lookaside_wire::ext::RemedyMode;
 use lookaside_wire::{Name, RrType};
 use lookaside_workload::{DitlTrace, PopulationParams, Zipf};
@@ -66,7 +64,9 @@ impl QuerySet {
                 }
                 names
             }
-            QuerySet::Huque => lookaside_workload::huque45().iter().map(|d| d.name.clone()).collect(),
+            QuerySet::Huque => {
+                lookaside_workload::huque45().iter().map(|d| d.name.clone()).collect()
+            }
         }
     }
 }
@@ -161,8 +161,7 @@ pub struct RunOutcome {
 /// Executes one run.
 pub fn run(config: &RunConfig) -> RunOutcome {
     let limit = config.queries.max_rank().max(1);
-    let mut params =
-        InternetParams::for_top(limit, config.population, config.remedy);
+    let mut params = InternetParams::for_top(limit, config.population, config.remedy);
     params.dlv_span_ttl = config.dlv_span_ttl;
     params.dlv_denial = config.dlv_denial;
     params.seed = config.seed;
@@ -173,19 +172,17 @@ pub fn run(config: &RunConfig) -> RunOutcome {
     let mut statuses = StatusTally::default();
     for name in &names {
         match resolver.resolve(&mut internet.net, name, RrType::A) {
-            Ok(res) => {
-                match res.status {
-                    SecurityStatus::Secure => {
-                        statuses.secure += 1;
-                        if res.secured_via_dlv {
-                            statuses.secure_via_dlv += 1;
-                        }
+            Ok(res) => match res.status {
+                SecurityStatus::Secure => {
+                    statuses.secure += 1;
+                    if res.secured_via_dlv {
+                        statuses.secure_via_dlv += 1;
                     }
-                    SecurityStatus::Insecure => statuses.insecure += 1,
-                    SecurityStatus::Bogus => statuses.bogus += 1,
-                    SecurityStatus::Indeterminate => statuses.indeterminate += 1,
                 }
-            }
+                SecurityStatus::Insecure => statuses.insecure += 1,
+                SecurityStatus::Bogus => statuses.bogus += 1,
+                SecurityStatus::Indeterminate => statuses.indeterminate += 1,
+            },
             Err(_) => statuses.errors += 1,
         }
     }
@@ -230,13 +227,14 @@ pub fn table3(seed: u64) -> Vec<Table3Row> {
                 capture: CaptureFilter::DlvOnly,
                 seed,
                 dlv_span_ttl: lookaside_server::DLV_SPAN_TTL,
-            dlv_denial: lookaside_zone::DenialMode::Nsec,
+                dlv_denial: lookaside_zone::DenialMode::Nsec,
             };
             let outcome = run(&config);
             let corpus = lookaside_workload::huque45();
-            let secured_leaked = corpus.iter().filter(|d| d.ds_in_parent).any(|d| {
-                outcome.leakage.leaked_names.iter().any(|l| *l == d.name)
-            });
+            let secured_leaked = corpus
+                .iter()
+                .filter(|d| d.ds_in_parent)
+                .any(|d| outcome.leakage.leaked_names.iter().any(|l| *l == d.name));
             let islands_to_dlv = corpus
                 .iter()
                 .filter(|d| !d.ds_in_parent)
@@ -580,8 +578,7 @@ pub fn vantage_sweep(n: usize, seed: u64) -> Vec<VantageRow> {
     crate::internet::VantagePoint::ALL
         .iter()
         .map(|&vantage| {
-            let population =
-                PopulationParams { size: n.max(1000), ..PopulationParams::default() };
+            let population = PopulationParams { size: n.max(1000), ..PopulationParams::default() };
             let mut params = InternetParams::for_top(n, population, RemedyMode::None);
             params.seed = seed;
             params.vantage = vantage;
@@ -663,13 +660,13 @@ pub fn qmin_exposure(n: usize, seed: u64) -> Vec<ExposureRow> {
     [false, true]
         .iter()
         .map(|&minimized| {
-            let population =
-                PopulationParams { size: n.max(1000), ..PopulationParams::default() };
+            let population = PopulationParams { size: n.max(1000), ..PopulationParams::default() };
             let mut params = InternetParams::for_top(n, population, RemedyMode::None);
             params.seed = seed;
             params.capture = CaptureFilter::All;
             let mut internet = Internet::build(params);
-            let features = FeatureModel { qname_minimization: minimized, ..FeatureModel::default() };
+            let features =
+                FeatureModel { qname_minimization: minimized, ..FeatureModel::default() };
             let mut resolver = internet.resolver_with_features(
                 ResolverConfig::Bind(BindConfig::correct()),
                 features,
@@ -691,9 +688,10 @@ pub fn qmin_exposure(n: usize, seed: u64) -> Vec<ExposureRow> {
                 if p.dst == crate::internet::ROOT_ADDR {
                     root_full.insert(p.qname.clone());
                 } else if p.qname.label_count() >= 3
-                    && internet.net.label_of(p.dst).is_some_and(|l| {
-                        lookaside_workload::TLDS.iter().any(|t| t.label == l)
-                    })
+                    && internet
+                        .net
+                        .label_of(p.dst)
+                        .is_some_and(|l| lookaside_workload::TLDS.iter().any(|t| t.label == l))
                 {
                     tld_full.insert(p.qname.clone());
                 }
@@ -1060,11 +1058,7 @@ mod tests {
         assert!(base.distinct_domains < base.stub_queries, "zipf repeats domains");
         // Cache efficiency: far fewer upstream queries than a cold resolve
         // per stub query would cost (~8).
-        assert!(
-            base.upstream_per_query < 4.0,
-            "upstream per query {}",
-            base.upstream_per_query
-        );
+        assert!(base.upstream_per_query < 4.0, "upstream per query {}", base.upstream_per_query);
         // TXT probes track distinct zones (domains + their hosters + TLD
         // probes), not the 400 stub queries.
         assert!(txt.txt_probes >= base.distinct_domains as u64);

@@ -20,9 +20,7 @@ use std::rc::Rc;
 
 use lookaside_crypto::{ds_rdata, KeyPair, PublicKey};
 use lookaside_netsim::{CaptureFilter, LatencyModel, Network};
-use lookaside_resolver::{
-    FeatureModel, RecursiveResolver, ResolverConfig, ResolverSetup,
-};
+use lookaside_resolver::{FeatureModel, RecursiveResolver, ResolverConfig, ResolverSetup};
 use lookaside_server::{
     AuthoritativeServer, DlvDeposit, DlvRegistry, SyntheticAuthority, SyntheticSpec, ZoneOracle,
     DLV_SPAN_TTL,
@@ -364,8 +362,7 @@ impl Internet {
 
         // Everything else — ranked SLDs, hosters, huque zones — is served by
         // the default-route synthetic authority.
-        let sld_authority =
-            SyntheticAuthority::sld_default(oracle.clone(), INCEPTION, EXPIRATION);
+        let sld_authority = SyntheticAuthority::sld_default(oracle.clone(), INCEPTION, EXPIRATION);
         net.set_default_route(Box::new(sld_authority));
 
         Internet {
@@ -445,10 +442,7 @@ mod tests {
     #[test]
     fn popular_domain_resolves() {
         let mut internet = Internet::build(small_params());
-        let mut resolver = internet.resolver(
-            ResolverConfig::Bind(BindConfig::correct()),
-            1,
-        );
+        let mut resolver = internet.resolver(ResolverConfig::Bind(BindConfig::correct()), 1);
         let qname = internet.population.domain(1);
         let res = resolver.resolve(&mut internet.net, &qname, RrType::A).unwrap();
         assert_eq!(res.rcode, lookaside_wire::Rcode::NoError);
@@ -498,14 +492,12 @@ mod tests {
         let res = resolver.resolve(&mut internet.net, &qname, RrType::A).unwrap();
         assert_eq!(res.status, SecurityStatus::Insecure);
         assert!(resolver.counters.dlv_queries_sent >= 1);
-        let leaked: Vec<String> = internet
-            .net
-            .capture()
-            .dlv_queries()
-            .map(|p| p.qname.to_string())
-            .collect();
+        let leaked: Vec<String> =
+            internet.net.capture().dlv_queries().map(|p| p.qname.to_string()).collect();
         assert!(
-            leaked.iter().any(|q| q.starts_with(&qname.to_string().trim_end_matches('.').to_string())),
+            leaked
+                .iter()
+                .any(|q| q.starts_with(&qname.to_string().trim_end_matches('.').to_string())),
             "expected {qname} among {leaked:?}"
         );
     }

@@ -126,18 +126,15 @@ mod tests {
         assert_eq!(report.case2, 3);
         assert!((report.leak_fraction() - 3.0 / 4.0).abs() < 1e-9);
         assert!((report.utility_fraction() - 1.0 / 4.0).abs() < 1e-9);
-        let leaked: Vec<String> =
-            report.leaked_names.iter().map(|n| n.to_string()).collect();
+        let leaked: Vec<String> = report.leaked_names.iter().map(|n| n.to_string()).collect();
         // Canonical order: names under com before net.
         assert_eq!(leaked, ["com.", "leaky.com.", "net."]);
     }
 
     #[test]
     fn empty_capture_yields_zero_fractions() {
-        let report = classify(
-            &Capture::new(CaptureFilter::DlvOnly),
-            &Name::parse("dlv.isc.org.").unwrap(),
-        );
+        let report =
+            classify(&Capture::new(CaptureFilter::DlvOnly), &Name::parse("dlv.isc.org.").unwrap());
         assert_eq!(report.leak_fraction(), 0.0);
         assert_eq!(report.utility_fraction(), 0.0);
         assert_eq!(report.distinct_leaked(), 0);

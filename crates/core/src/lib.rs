@@ -11,6 +11,9 @@
 //! * [`experiments`] — one runner per table/figure of the paper's
 //!   evaluation (Tables 2–5, Figs. 8–12, plus the §5.1/§5.2/§5.3
 //!   headline numbers),
+//! * [`chaos`] — the §7.3.2 registry-outage harness: seeded loss/blackhole
+//!   sweeps of the DLV link reporting leakage amplification under
+//!   retransmission, with and without SERVFAIL caching,
 //! * [`attacks`] — §6.2.3 signaling attacks and the §6.2.4 dictionary
 //!   attack on hashed DLV,
 //! * [`report`] — plain-text table rendering for the `repro` binary.
@@ -29,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod attacks;
+pub mod chaos;
 pub mod client;
 pub mod experiments;
 pub mod internet;

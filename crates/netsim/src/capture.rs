@@ -99,18 +99,14 @@ impl Capture {
     /// DLV queries (not responses) in the capture — the quantity Figs. 8–9
     /// count.
     pub fn dlv_queries(&self) -> impl Iterator<Item = &Packet> {
-        self.packets
-            .iter()
-            .filter(|p| p.qtype == RrType::Dlv && p.direction == Direction::Query)
+        self.packets.iter().filter(|p| p.qtype == RrType::Dlv && p.direction == Direction::Query)
     }
 
     /// DLV responses, used to measure validation utility (§5.3): `NoError`
     /// means the DLV server had a record, `NxDomain` means the query was a
     /// pure leak.
     pub fn dlv_responses(&self) -> impl Iterator<Item = &Packet> {
-        self.packets
-            .iter()
-            .filter(|p| p.qtype == RrType::Dlv && p.direction == Direction::Response)
+        self.packets.iter().filter(|p| p.qtype == RrType::Dlv && p.direction == Direction::Response)
     }
 
     /// Clears retained packets (filter unchanged).
@@ -152,8 +148,21 @@ impl Capture {
         out
     }
 
-    /// Parses a capture previously written by [`Capture::to_text`]. The
-    /// resulting capture keeps everything (filter `All`).
+    /// Like [`Capture::to_text`], with trailing `#`-prefixed comment lines
+    /// summarising the run's loss-and-timeout counters — what a capture
+    /// tool prints after the packet log ("N packets dropped by kernel").
+    pub fn to_text_with_stats(&self, stats: &crate::TrafficStats) -> String {
+        let mut out = self.to_text();
+        out.push_str(&format!(
+            "# timeouts={} retransmissions={} duplicates={}\n",
+            stats.timeouts, stats.retransmissions, stats.duplicates
+        ));
+        out
+    }
+
+    /// Parses a capture previously written by [`Capture::to_text`] or
+    /// [`Capture::to_text_with_stats`] (comment lines starting with `#` are
+    /// skipped). The resulting capture keeps everything (filter `All`).
     ///
     /// # Errors
     ///
@@ -161,7 +170,7 @@ impl Capture {
     pub fn parse_text(text: &str) -> Result<Self, String> {
         let mut capture = Capture::new(CaptureFilter::All);
         for (idx, line) in text.lines().enumerate() {
-            if line.is_empty() {
+            if line.is_empty() || line.starts_with('#') {
                 continue;
             }
             let fields: Vec<&str> = line.split('\t').collect();
@@ -258,6 +267,19 @@ mod tests {
         let err = Capture::parse_text("1\t192.0.2.1\tQ\ta.\t1\t0\t0\n").unwrap_err();
         assert!(err.contains("line 1"), "{err}");
         assert!(Capture::parse_text("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn text_with_stats_round_trips_and_reports_counters() {
+        let mut cap = Capture::new(CaptureFilter::All);
+        cap.record(packet(RrType::Dlv, Direction::Query, Rcode::NoError));
+        let mut stats = crate::TrafficStats::new();
+        stats.record_timeout(RrType::Dlv, 40, 5_000_000_000);
+        stats.retransmissions = 2;
+        let text = cap.to_text_with_stats(&stats);
+        assert!(text.contains("# timeouts=1 retransmissions=2 duplicates=0"));
+        let back = Capture::parse_text(&text).unwrap();
+        assert_eq!(back.packets(), cap.packets());
     }
 
     #[test]

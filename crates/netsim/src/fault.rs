@@ -1,0 +1,256 @@
+//! The fault plane: seeded, deterministic packet-level failure injection.
+//!
+//! The paper's §7.3.2 reliability story — a degrading `dlv.isc.org` making
+//! resolvers retry and re-leak — needs more than clean rcode failures. This
+//! module lets a [`crate::Network`] lose, blackhole, duplicate, or delay
+//! packets per destination link, so `exchange` can time out the way a real
+//! UDP query does.
+//!
+//! Every decision is a pure function of `(seed, link, sequence number)`
+//! via splitmix64 — no ambient randomness, no RNG state. Two runs with the
+//! same seed and the same exchange order take exactly the same faults,
+//! which keeps captures byte-identical and failures replayable. A plane
+//! whose links are all quiet (the default) makes no decisions at all, so
+//! fault-free runs are bit-for-bit unchanged.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+/// Fault configuration for one link (resolver ↔ one destination address).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkFaults {
+    /// Probability, in thousandths, that the query leg is lost.
+    /// The response leg is drawn independently at the same rate.
+    pub loss_milli: u16,
+    /// Drop everything: the destination is unreachable.
+    pub blackhole: bool,
+    /// Probability, in thousandths, that the query is duplicated in
+    /// flight (the server handles it twice; the spare response is
+    /// discarded by the resolver's transaction matching).
+    pub duplicate_milli: u16,
+    /// Fixed extra one-way delay added to the link, nanoseconds.
+    pub extra_delay_ns: u64,
+    /// Upper bound of additional uniformly-drawn delay, nanoseconds.
+    pub jitter_ns: u64,
+}
+
+impl LinkFaults {
+    /// A link with no faults configured.
+    pub fn quiet() -> Self {
+        LinkFaults::default()
+    }
+
+    /// Whether this link never perturbs traffic.
+    pub fn is_quiet(&self) -> bool {
+        *self == LinkFaults::default()
+    }
+
+    /// Sets the per-leg loss probability in thousandths (1000 = every leg).
+    #[must_use]
+    pub fn with_loss_milli(mut self, milli: u16) -> Self {
+        self.loss_milli = milli.min(1000);
+        self
+    }
+
+    /// Makes the link drop everything.
+    #[must_use]
+    pub fn with_blackhole(mut self) -> Self {
+        self.blackhole = true;
+        self
+    }
+
+    /// Sets the duplicate-delivery probability in thousandths.
+    #[must_use]
+    pub fn with_duplicate_milli(mut self, milli: u16) -> Self {
+        self.duplicate_milli = milli.min(1000);
+        self
+    }
+
+    /// Adds a fixed delay in milliseconds.
+    #[must_use]
+    pub fn with_extra_delay_ms(mut self, ms: u64) -> Self {
+        self.extra_delay_ns = ms * 1_000_000;
+        self
+    }
+
+    /// Adds up to `ms` milliseconds of seeded jitter.
+    #[must_use]
+    pub fn with_jitter_ms(mut self, ms: u64) -> Self {
+        self.jitter_ns = ms * 1_000_000;
+        self
+    }
+}
+
+/// The fault decision for one exchange, fully determined by
+/// `(seed, destination, sequence number)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The query leg never reaches the server.
+    pub query_lost: bool,
+    /// The response leg never reaches the resolver.
+    pub response_lost: bool,
+    /// The server receives the query twice.
+    pub duplicate: bool,
+    /// Extra one-way delay charged to the exchange, nanoseconds.
+    pub extra_delay_ns: u64,
+}
+
+/// Per-link fault injection for a [`crate::Network`].
+///
+/// Links not explicitly configured use the default faults (quiet unless
+/// changed), so a single call can degrade a whole topology or just one
+/// registry address.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlane {
+    seed: u64,
+    default_faults: LinkFaults,
+    links: HashMap<Ipv4Addr, LinkFaults>,
+}
+
+impl FaultPlane {
+    /// A quiet plane keyed by `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultPlane { seed, ..FaultPlane::default() }
+    }
+
+    /// Sets the faults applied to links without an explicit entry.
+    pub fn set_default_faults(&mut self, faults: LinkFaults) {
+        self.default_faults = faults;
+    }
+
+    /// Configures one link's faults, replacing any previous entry.
+    pub fn set_link(&mut self, addr: Ipv4Addr, faults: LinkFaults) {
+        self.links.insert(addr, faults);
+    }
+
+    /// Removes a link's explicit entry (it reverts to the default faults).
+    pub fn clear_link(&mut self, addr: Ipv4Addr) {
+        self.links.remove(&addr);
+    }
+
+    /// Heals every link: default and per-link faults all become quiet.
+    pub fn heal_all(&mut self) {
+        self.default_faults = LinkFaults::quiet();
+        self.links.clear();
+    }
+
+    /// The faults in effect for a destination.
+    pub fn faults_for(&self, addr: Ipv4Addr) -> LinkFaults {
+        self.links.get(&addr).copied().unwrap_or(self.default_faults)
+    }
+
+    /// Whether no link can ever perturb traffic.
+    pub fn is_quiet(&self) -> bool {
+        self.default_faults.is_quiet() && self.links.values().all(LinkFaults::is_quiet)
+    }
+
+    /// The deterministic fault decision for exchange number `seq` to `dst`.
+    pub fn plan(&self, dst: Ipv4Addr, seq: u64) -> FaultPlan {
+        let faults = self.faults_for(dst);
+        if faults.is_quiet() {
+            return FaultPlan::default();
+        }
+        if faults.blackhole {
+            return FaultPlan { query_lost: true, ..FaultPlan::default() };
+        }
+        let key = self.seed ^ (u64::from(u32::from(dst)) << 20) ^ seq;
+        let roll = |channel: u64| splitmix64(key.wrapping_add(channel.wrapping_mul(GOLDEN)));
+        let loss = u64::from(faults.loss_milli);
+        let jitter = if faults.jitter_ns > 0 { roll(4) % faults.jitter_ns } else { 0 };
+        FaultPlan {
+            query_lost: loss > 0 && roll(1) % 1000 < loss,
+            response_lost: loss > 0 && roll(2) % 1000 < loss,
+            duplicate: faults.duplicate_milli > 0
+                && roll(3) % 1000 < u64::from(faults.duplicate_milli),
+            extra_delay_ns: faults.extra_delay_ns + jitter,
+        }
+    }
+}
+
+const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(GOLDEN);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(last: u8) -> Ipv4Addr {
+        Ipv4Addr::new(203, 0, 113, last)
+    }
+
+    #[test]
+    fn quiet_plane_never_faults() {
+        let plane = FaultPlane::new(99);
+        assert!(plane.is_quiet());
+        for seq in 0..1000 {
+            assert_eq!(plane.plan(addr(1), seq), FaultPlan::default());
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_seed() {
+        let mut a = FaultPlane::new(7);
+        a.set_link(addr(1), LinkFaults::quiet().with_loss_milli(300).with_jitter_ms(5));
+        let b = a.clone();
+        for seq in 0..500 {
+            assert_eq!(a.plan(addr(1), seq), b.plan(addr(1), seq));
+        }
+        let mut c = FaultPlane::new(8);
+        c.set_link(addr(1), LinkFaults::quiet().with_loss_milli(300).with_jitter_ms(5));
+        let differs = (0..500).any(|seq| a.plan(addr(1), seq) != c.plan(addr(1), seq));
+        assert!(differs, "different seeds must give different schedules");
+    }
+
+    #[test]
+    fn loss_rate_is_roughly_respected() {
+        let mut plane = FaultPlane::new(13);
+        plane.set_link(addr(2), LinkFaults::quiet().with_loss_milli(250));
+        let lost = (0..4000).filter(|&seq| plane.plan(addr(2), seq).query_lost).count();
+        assert!((700..1300).contains(&lost), "expected ~1000 lost of 4000, got {lost}");
+    }
+
+    #[test]
+    fn blackhole_loses_every_query() {
+        let mut plane = FaultPlane::new(13);
+        plane.set_link(addr(3), LinkFaults::quiet().with_blackhole());
+        assert!((0..100).all(|seq| plane.plan(addr(3), seq).query_lost));
+        // Other links stay quiet.
+        assert_eq!(plane.plan(addr(4), 0), FaultPlan::default());
+    }
+
+    #[test]
+    fn default_faults_apply_to_unlisted_links() {
+        let mut plane = FaultPlane::new(13);
+        plane.set_default_faults(LinkFaults::quiet().with_extra_delay_ms(10));
+        assert_eq!(plane.plan(addr(9), 0).extra_delay_ns, 10_000_000);
+        plane.set_link(addr(9), LinkFaults::quiet());
+        assert_eq!(plane.plan(addr(9), 0), FaultPlan::default());
+    }
+
+    #[test]
+    fn heal_all_quiets_everything() {
+        let mut plane = FaultPlane::new(13);
+        plane.set_default_faults(LinkFaults::quiet().with_loss_milli(1000));
+        plane.set_link(addr(1), LinkFaults::quiet().with_blackhole());
+        plane.heal_all();
+        assert!(plane.is_quiet());
+    }
+
+    #[test]
+    fn jitter_stays_bounded() {
+        let mut plane = FaultPlane::new(21);
+        plane.set_link(addr(5), LinkFaults::quiet().with_extra_delay_ms(2).with_jitter_ms(3));
+        for seq in 0..200 {
+            let d = plane.plan(addr(5), seq).extra_delay_ns;
+            assert!((2_000_000..5_000_000).contains(&d), "delay {d} out of range");
+        }
+    }
+}

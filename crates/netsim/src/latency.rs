@@ -86,11 +86,8 @@ impl LatencyModel {
 
     /// The stable base RTT for a destination, nanoseconds.
     pub fn base_rtt_ns(&self, dst: Ipv4Addr) -> u64 {
-        let (min, max) = self
-            .overrides
-            .get(&dst)
-            .copied()
-            .unwrap_or((self.base_min_ms, self.base_max_ms));
+        let (min, max) =
+            self.overrides.get(&dst).copied().unwrap_or((self.base_min_ms, self.base_max_ms));
         let span = (max - min).max(1);
         let h = splitmix64(self.seed ^ u64::from(u32::from(dst)));
         (min + h % span) * MILLIS

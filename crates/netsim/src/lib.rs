@@ -43,13 +43,16 @@
 #![warn(missing_docs)]
 
 mod capture;
+mod fault;
 mod latency;
 mod network;
 mod stats;
 
 pub use capture::{Capture, CaptureFilter, Direction, Packet};
+pub use fault::{FaultPlan, FaultPlane, LinkFaults};
 pub use latency::LatencyModel;
 pub use network::{
-    DnsHandler, Exchange, NetError, Network, Transport, TCP_OVERHEAD_BYTES, UDP_LIMIT_NO_EDNS,
+    DnsHandler, Exchange, NetError, Network, ServerAction, Transport, DEFAULT_TIMEOUT_NS,
+    TCP_OVERHEAD_BYTES, UDP_LIMIT_NO_EDNS,
 };
 pub use stats::TrafficStats;

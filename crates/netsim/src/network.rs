@@ -7,14 +7,43 @@ use std::net::Ipv4Addr;
 use lookaside_wire::{Message, Rcode, RrClass, RrType};
 
 use crate::capture::{Capture, CaptureFilter, Direction, Packet};
+use crate::fault::FaultPlane;
 use crate::latency::LatencyModel;
 use crate::stats::TrafficStats;
+
+/// How a server treats one incoming query — the hook [`crate::FaultPlane`]
+/// companions like `FaultyServer` use to model server-side misbehaviour.
+#[derive(Debug, Clone)]
+pub enum ServerAction {
+    /// Answer normally.
+    Respond(Message),
+    /// Answer, but only after an extra server-side delay. If the delay
+    /// pushes the exchange past the caller's timeout, the resolver gives
+    /// up and the (late) response is wasted.
+    DelayedRespond {
+        /// The response eventually sent.
+        response: Message,
+        /// Server-side processing delay added to the round trip,
+        /// nanoseconds.
+        extra_ns: u64,
+    },
+    /// Swallow the query: the resolver times out.
+    Drop,
+}
 
 /// A node that answers DNS queries (an authoritative server, a DLV server,
 /// or a synthetic authority).
 pub trait DnsHandler {
     /// Produces the response to `query` at simulated time `now_ns`.
     fn handle(&mut self, query: &Message, now_ns: u64) -> Message;
+
+    /// Produces the response together with a server-side fault decision.
+    ///
+    /// The default implementation always answers via [`DnsHandler::handle`];
+    /// fault-injecting servers override this to drop or delay.
+    fn handle_faulty(&mut self, query: &Message, now_ns: u64) -> ServerAction {
+        ServerAction::Respond(self.handle(query, now_ns))
+    }
 }
 
 /// Errors surfaced by the network.
@@ -23,12 +52,16 @@ pub trait DnsHandler {
 pub enum NetError {
     /// No node is registered at the destination address.
     NoRoute(Ipv4Addr),
+    /// No response arrived before the caller's timeout: the query or the
+    /// response was lost, or the server dropped or over-delayed it.
+    Timeout(Ipv4Addr),
 }
 
 impl fmt::Display for NetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NetError::NoRoute(addr) => write!(f, "no server registered at {addr}"),
+            NetError::Timeout(addr) => write!(f, "query to {addr} timed out"),
         }
     }
 }
@@ -49,6 +82,9 @@ pub enum Transport {
 
 /// Maximum UDP payload for queries without EDNS (RFC 1035).
 pub const UDP_LIMIT_NO_EDNS: u16 = 512;
+/// Timeout charged to lost exchanges when the caller does not specify one
+/// (callers implementing retransmission pass their own RTO instead).
+pub const DEFAULT_TIMEOUT_NS: u64 = 5_000_000_000;
 /// Modelled byte overhead of a TCP exchange (SYN/ACK/FIN segments, length
 /// prefixes).
 pub const TCP_OVERHEAD_BYTES: usize = 80;
@@ -83,6 +119,7 @@ pub struct Network {
     seq: u64,
     next_id: u16,
     tamper: Option<Tamper>,
+    faults: FaultPlane,
 }
 
 impl fmt::Debug for Network {
@@ -109,7 +146,25 @@ impl Network {
             seq: 0,
             next_id: 1,
             tamper: None,
+            faults: FaultPlane::new(seed),
         }
+    }
+
+    /// Replaces the fault plane (a quiet plane keyed by the network seed is
+    /// installed at construction).
+    pub fn set_fault_plane(&mut self, faults: FaultPlane) {
+        self.faults = faults;
+    }
+
+    /// The fault plane.
+    pub fn fault_plane(&self) -> &FaultPlane {
+        &self.faults
+    }
+
+    /// Mutable access to the fault plane, for degrading or healing links
+    /// mid-run.
+    pub fn fault_plane_mut(&mut self) -> &mut FaultPlane {
+        &mut self.faults
     }
 
     /// Replaces the latency model.
@@ -187,13 +242,43 @@ impl Network {
     ///
     /// # Errors
     ///
-    /// Returns [`NetError::NoRoute`] when nothing is registered at `dst`.
+    /// Returns [`NetError::NoRoute`] when nothing is registered at `dst`,
+    /// or [`NetError::Timeout`] when the fault plane or server loses the
+    /// exchange (the simulated clock then advances by
+    /// [`DEFAULT_TIMEOUT_NS`]).
     pub fn exchange_with(
         &mut self,
         dst: Ipv4Addr,
         query: &Message,
         transport: Transport,
     ) -> Result<Exchange, NetError> {
+        self.exchange_with_opts(dst, query, transport, DEFAULT_TIMEOUT_NS)
+    }
+
+    /// Sends `query` with an explicit retransmission timeout.
+    ///
+    /// When the exchange is lost — the fault plane drops a leg, the server
+    /// swallows the query, or delays push the round trip past `timeout_ns`
+    /// — the caller waits out its timer: the clock advances by
+    /// `timeout_ns` and [`NetError::Timeout`] is returned. The transmitted
+    /// query is still captured and counted (it was on the wire; for DLV
+    /// traffic it leaked regardless of the answer's fate).
+    ///
+    /// With a quiet fault plane and well-behaved servers this is identical
+    /// to [`Network::exchange_with`] on every byte of capture and stats.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::NoRoute`] when nothing is registered at `dst`,
+    /// or [`NetError::Timeout`] as described above.
+    pub fn exchange_with_opts(
+        &mut self,
+        dst: Ipv4Addr,
+        query: &Message,
+        transport: Transport,
+        timeout_ns: u64,
+    ) -> Result<Exchange, NetError> {
+        let plan = self.faults.plan(dst, self.seq);
         let mut query = query.clone();
         if let Some(tamper) = &mut self.tamper {
             tamper(&mut query, Direction::Query);
@@ -205,6 +290,7 @@ impl Network {
             rtt_ns *= 2;
             query_bytes += TCP_OVERHEAD_BYTES;
         }
+        rtt_ns += plan.extra_delay_ns;
         self.seq += 1;
 
         let (qname, qtype) = match query.question() {
@@ -222,11 +308,29 @@ impl Network {
             size: query_bytes,
         });
 
+        if plan.query_lost {
+            return Err(self.time_out(dst, qtype, query_bytes, timeout_ns));
+        }
+
         let node = match self.nodes.get_mut(&dst) {
             Some(node) => node,
             None => self.default_route.as_mut().ok_or(NetError::NoRoute(dst))?,
         };
-        let mut response = node.handle(&query, self.clock_ns);
+        let action = node.handle_faulty(&query, self.clock_ns);
+        if plan.duplicate {
+            // The spare copy reaches the server too; its response loses the
+            // transaction-id race at the resolver and is discarded.
+            let _ = node.handle_faulty(&query, self.clock_ns);
+            self.stats.duplicates += 1;
+        }
+        let mut response = match action {
+            ServerAction::Respond(response) => response,
+            ServerAction::DelayedRespond { response, extra_ns } => {
+                rtt_ns += extra_ns;
+                response
+            }
+            ServerAction::Drop => return Err(self.time_out(dst, qtype, query_bytes, timeout_ns)),
+        };
         if let Some(tamper) = &mut self.tamper {
             tamper(&mut response, Direction::Response);
         }
@@ -239,6 +343,9 @@ impl Network {
                 response.additionals.clear();
                 response.header.flags.tc = true;
             }
+        }
+        if plan.response_lost || rtt_ns >= timeout_ns {
+            return Err(self.time_out(dst, qtype, query_bytes, timeout_ns));
         }
         let response_bytes = response.wire_len();
         self.clock_ns += rtt_ns;
@@ -256,6 +363,19 @@ impl Network {
         self.stats.record(qtype, response.rcode(), query_bytes, response_bytes, rtt_ns);
 
         Ok(Exchange { response, rtt_ns, query_bytes, response_bytes })
+    }
+
+    /// Charges a full timeout wait for a lost exchange.
+    fn time_out(
+        &mut self,
+        dst: Ipv4Addr,
+        qtype: RrType,
+        query_bytes: usize,
+        timeout_ns: u64,
+    ) -> NetError {
+        self.clock_ns += timeout_ns;
+        self.stats.record_timeout(qtype, query_bytes, timeout_ns);
+        NetError::Timeout(dst)
     }
 
     /// Convenience: build and send a DNSSEC (`DO`-bit) query.
@@ -280,9 +400,30 @@ impl Network {
         self.clock_ns
     }
 
+    /// Advances the simulated clock without traffic — idle time between
+    /// client queries, or a test waiting out cache TTLs. There are no wall
+    /// clocks anywhere in the simulator; this is the only way time passes
+    /// outside an exchange.
+    pub fn advance(&mut self, ns: u64) {
+        self.clock_ns += ns;
+    }
+
+    /// Counts one resolver-side retransmission (the retried exchange
+    /// itself is recorded when it happens; this counter tracks how many
+    /// exchanges were repeats of an earlier transmission).
+    pub fn note_retransmission(&mut self) {
+        self.stats.retransmissions += 1;
+    }
+
     /// The packet capture.
     pub fn capture(&self) -> &Capture {
         &self.capture
+    }
+
+    /// The capture's text export, annotated with the loss/retry counters
+    /// (see [`Capture::to_text_with_stats`]).
+    pub fn capture_text(&self) -> String {
+        self.capture.to_text_with_stats(&self.stats)
     }
 
     /// Aggregate statistics.

@@ -28,6 +28,12 @@ pub struct TrafficStats {
     pub response_bytes: u64,
     /// Accumulated round-trip time, nanoseconds.
     pub total_time_ns: u64,
+    /// Exchanges that got no response before the caller's timeout.
+    pub timeouts: u64,
+    /// Exchanges that were retransmissions of an earlier query.
+    pub retransmissions: u64,
+    /// Queries delivered to a server more than once by the fault plane.
+    pub duplicates: u64,
 }
 
 impl TrafficStats {
@@ -53,6 +59,19 @@ impl TrafficStats {
         self.query_bytes += query_bytes as u64;
         self.response_bytes += response_bytes as u64;
         self.total_time_ns += rtt_ns;
+    }
+
+    /// Records one exchange that timed out after `waited_ns`. The query
+    /// was issued (it counts toward query totals and its wait toward
+    /// accumulated time) but no response arrived.
+    pub fn record_timeout(&mut self, qtype: RrType, query_bytes: usize, waited_ns: u64) {
+        *self.queries_by_type.entry(qtype).or_insert(0) += 1;
+        *self.bytes_by_type.entry(qtype).or_insert(0) += query_bytes as u64;
+        *self.time_by_type.entry(qtype).or_insert(0) += waited_ns;
+        self.total_queries += 1;
+        self.query_bytes += query_bytes as u64;
+        self.total_time_ns += waited_ns;
+        self.timeouts += 1;
     }
 
     /// Queries of a given type.
@@ -122,6 +141,9 @@ impl TrafficStats {
             query_bytes: self.query_bytes.saturating_sub(baseline.query_bytes),
             response_bytes: self.response_bytes.saturating_sub(baseline.response_bytes),
             total_time_ns: self.total_time_ns.saturating_sub(baseline.total_time_ns),
+            timeouts: self.timeouts.saturating_sub(baseline.timeouts),
+            retransmissions: self.retransmissions.saturating_sub(baseline.retransmissions),
+            duplicates: self.duplicates.saturating_sub(baseline.duplicates),
         }
     }
 
@@ -143,6 +165,9 @@ impl TrafficStats {
         self.query_bytes += other.query_bytes;
         self.response_bytes += other.response_bytes;
         self.total_time_ns += other.total_time_ns;
+        self.timeouts += other.timeouts;
+        self.retransmissions += other.retransmissions;
+        self.duplicates += other.duplicates;
     }
 }
 

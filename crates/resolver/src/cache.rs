@@ -62,13 +62,18 @@ impl AnswerCache {
 
     /// Fetches an unexpired positive RRset.
     pub fn get(&self, name: &Name, rrtype: RrType, now_ns: u64) -> Option<&CachedRrSet> {
-        self.positive
-            .get(&(name.clone(), rrtype))
-            .filter(|c| c.expires_ns > now_ns)
+        self.positive.get(&(name.clone(), rrtype)).filter(|c| c.expires_ns > now_ns)
     }
 
     /// Stores a negative (NODATA/NXDOMAIN) result.
-    pub fn put_negative(&mut self, name: Name, rrtype: RrType, rcode: Rcode, ttl: u32, now_ns: u64) {
+    pub fn put_negative(
+        &mut self,
+        name: Name,
+        rrtype: RrType,
+        rcode: Rcode,
+        ttl: u32,
+        now_ns: u64,
+    ) {
         self.maybe_purge(now_ns);
         let expires = now_ns + u64::from(ttl) * 1_000_000_000;
         self.negative.insert((name, rrtype), (rcode, expires));

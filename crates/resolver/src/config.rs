@@ -399,16 +399,12 @@ mod tests {
         assert_eq!(envs.len(), 16);
         assert_eq!(envs.iter().filter(|e| e.software == Software::Bind).count(), 8);
         // Spot-check two cells of Table 1.
-        let debian7_bind = envs
-            .iter()
-            .find(|e| e.os == "Debian 7" && e.software == Software::Bind)
-            .unwrap();
+        let debian7_bind =
+            envs.iter().find(|e| e.os == "Debian 7" && e.software == Software::Bind).unwrap();
         assert_eq!(debian7_bind.package_version, "9.8.4");
         assert_eq!(debian7_bind.manual_version, "9.10.3");
-        let fedora21_unbound = envs
-            .iter()
-            .find(|e| e.os == "Fedora 21" && e.software == Software::Unbound)
-            .unwrap();
+        let fedora21_unbound =
+            envs.iter().find(|e| e.os == "Fedora 21" && e.software == Software::Unbound).unwrap();
         assert_eq!(fedora21_unbound.package_version, "1.5.7");
     }
 

@@ -25,6 +25,7 @@
 pub mod cache;
 pub mod config;
 mod resolver;
+pub mod retry;
 mod validate;
 
 pub use config::{
@@ -32,4 +33,5 @@ pub use config::{
     InstallMethod, Lookaside, ResolverConfig, Software, UnboundConfig,
 };
 pub use resolver::{Counters, RecursiveResolver, Resolution, ResolveError, ResolverSetup};
+pub use retry::{InfraCache, RetryPolicy, ServfailCache};
 pub use validate::{verify_rrset, SecurityStatus};

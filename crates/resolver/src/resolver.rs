@@ -18,6 +18,7 @@ use lookaside_wire::{Message, Name, RData, Rcode, Record, RrSet, RrType};
 
 use crate::cache::{AnswerCache, NsecSpanCache, ZoneServerCache};
 use crate::config::{EffectiveBehavior, FeatureModel, ResolverConfig};
+use crate::retry::{InfraCache, RetryPolicy, ServfailCache};
 use crate::validate::SecurityStatus;
 
 /// Maximum recursion depth across referral chasing, CNAME chains, and
@@ -40,6 +41,18 @@ pub enum ResolveError {
         /// Its response code.
         rcode: Rcode,
     },
+    /// Every transmission in the retry budget went unanswered on every
+    /// candidate server.
+    Timeout {
+        /// The last server tried.
+        server: Ipv4Addr,
+    },
+    /// The failure was answered from the RFC 2308 §7 SERVFAIL cache — no
+    /// queries reached the wire.
+    ServfailCached {
+        /// The cached tuple's name, or the dead zone's apex.
+        subject: Name,
+    },
 }
 
 impl fmt::Display for ResolveError {
@@ -49,6 +62,12 @@ impl fmt::Display for ResolveError {
             ResolveError::DepthExceeded => write!(f, "resolution depth exceeded"),
             ResolveError::Lame { server, rcode } => {
                 write!(f, "lame server {server} answered {rcode}")
+            }
+            ResolveError::Timeout { server } => {
+                write!(f, "no response from any server (last tried {server})")
+            }
+            ResolveError::ServfailCached { subject } => {
+                write!(f, "failure cached for {subject} (RFC 2308 servfail cache)")
             }
         }
     }
@@ -179,6 +198,9 @@ pub struct RecursiveResolver {
     pub(crate) seen_addrs: HashSet<Ipv4Addr>,
     pub(crate) validating: HashSet<Name>,
     pub(crate) salt: u64,
+    pub(crate) retry: RetryPolicy,
+    pub(crate) infra: InfraCache,
+    pub(crate) servfail: ServfailCache,
     /// Counters the experiments inspect.
     pub counters: Counters,
 }
@@ -237,6 +259,9 @@ impl RecursiveResolver {
             seen_addrs: HashSet::new(),
             validating: HashSet::new(),
             salt: setup.salt,
+            retry: RetryPolicy::default(),
+            infra: InfraCache::new(),
+            servfail: ServfailCache::new(),
             counters: Counters::default(),
         }
     }
@@ -244,6 +269,27 @@ impl RecursiveResolver {
     /// The resolver's effective behaviour.
     pub fn behavior(&self) -> EffectiveBehavior {
         self.behavior
+    }
+
+    /// Replaces the retransmission/backoff policy (defaults to
+    /// [`RetryPolicy::default`]).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// The active retransmission policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// The per-server RTT/holddown cache (inspection for experiments).
+    pub fn infra(&self) -> &InfraCache {
+        &self.infra
+    }
+
+    /// The RFC 2308 §7 SERVFAIL cache (inspection for experiments).
+    pub fn servfail_cache(&self) -> &ServfailCache {
+        &self.servfail
     }
 
     /// The aggressive NSEC span cache (inspection for experiments).
@@ -322,7 +368,8 @@ impl RecursiveResolver {
         })
     }
 
-    /// One upstream query to a specific zone's servers.
+    /// One upstream query to a specific zone's servers, with timeout
+    /// failover across siblings.
     pub(crate) fn query_zone(
         &mut self,
         net: &mut Network,
@@ -330,26 +377,118 @@ impl RecursiveResolver {
         qname: &Name,
         qtype: RrType,
     ) -> Result<Message, ResolveError> {
-        let (_, addrs) = self.zone_servers(zone);
-        let addr = addrs[0];
-        self.ptr_probe(net, addr)?;
-        let id = net.allocate_id();
-        let query = if self.behavior.validate {
-            Message::dnssec_query(id, qname.clone(), qtype)
-        } else {
-            Message::query(id, qname.clone(), qtype)
-        };
-        let mut response = net.exchange(addr, &query)?.response;
-        if response.header.flags.tc {
-            response =
-                net.exchange_with(addr, &query, lookaside_netsim::Transport::Tcp)?.response;
+        let (cut, addrs) = self.zone_servers(zone);
+        if self.retry.servfail_ttl_ns.is_some() && self.servfail.zone_dead(&cut, net.now_ns()) {
+            return Err(ResolveError::ServfailCached { subject: cut });
         }
-        Ok(response)
+        let candidates = self.candidate_servers(addrs, net.now_ns());
+        let mut timed_out = None;
+        for &addr in &candidates {
+            self.ptr_probe(net, addr)?;
+            let id = net.allocate_id();
+            let query = if self.behavior.validate {
+                Message::dnssec_query(id, qname.clone(), qtype)
+            } else {
+                Message::query(id, qname.clone(), qtype)
+            };
+            match self.send_to_server(net, addr, &query)? {
+                Some(response) => return Ok(response),
+                None => {
+                    let policy = self.retry;
+                    self.infra.hold_down(addr, net.now_ns(), &policy);
+                    timed_out = Some(addr);
+                }
+            }
+        }
+        let server = timed_out.expect("zone has servers");
+        self.note_all_servers_failed(&cut, qname, qtype, net.now_ns(), true);
+        Err(ResolveError::Timeout { server })
     }
 
     fn zone_servers(&self, qname: &Name) -> (Name, Vec<Ipv4Addr>) {
         let (cut, addrs) = self.zones.deepest_for(qname);
         (cut, addrs.to_vec())
+    }
+
+    /// Orders a zone's servers best-SRTT-first and filters out held-down
+    /// ones — unless that would leave nothing, in which case the holddowns
+    /// are ignored (a resolver with no better option retries dead servers).
+    fn candidate_servers(&self, mut addrs: Vec<Ipv4Addr>, now_ns: u64) -> Vec<Ipv4Addr> {
+        self.infra.order_by_srtt(&mut addrs);
+        let live: Vec<Ipv4Addr> =
+            addrs.iter().copied().filter(|&a| !self.infra.is_held_down(a, now_ns)).collect();
+        if live.is_empty() {
+            addrs
+        } else {
+            live
+        }
+    }
+
+    /// Sends one query to one server, retransmitting with exponential
+    /// backoff within the policy's attempt budget. `Ok(None)` means the
+    /// budget was exhausted without a response (the caller fails over or
+    /// gives up); truncated UDP answers are retried over TCP.
+    pub(crate) fn send_to_server(
+        &mut self,
+        net: &mut Network,
+        addr: Ipv4Addr,
+        query: &Message,
+    ) -> Result<Option<Message>, ResolveError> {
+        let mut timeout_ns = self.infra.rto_ns(addr, &self.retry);
+        for attempt in 0..self.retry.max_attempts.max(1) {
+            if attempt > 0 {
+                net.note_retransmission();
+            }
+            match net.exchange_with_opts(addr, query, lookaside_netsim::Transport::Udp, timeout_ns)
+            {
+                Ok(exchange) => {
+                    self.infra.note_rtt(addr, exchange.rtt_ns);
+                    self.infra.redeem(addr);
+                    let mut response = exchange.response;
+                    if response.header.flags.tc {
+                        // Truncated over UDP: retry over TCP (RFC 7766).
+                        match net.exchange_with_opts(
+                            addr,
+                            query,
+                            lookaside_netsim::Transport::Tcp,
+                            self.retry.backed_off(timeout_ns),
+                        ) {
+                            Ok(ex) => response = ex.response,
+                            Err(NetError::Timeout(_)) => {
+                                timeout_ns = self.retry.backed_off(timeout_ns);
+                                continue;
+                            }
+                            Err(e) => return Err(e.into()),
+                        }
+                    }
+                    return Ok(Some(response));
+                }
+                Err(NetError::Timeout(_)) => {
+                    timeout_ns = self.retry.backed_off(timeout_ns);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(None)
+    }
+
+    /// Records a resolution failure in the SERVFAIL cache (when enabled):
+    /// always the `(qname, qtype)` tuple (§7.1), and additionally the whole
+    /// zone as dead when every server went unanswered (§7.2).
+    fn note_all_servers_failed(
+        &mut self,
+        cut: &Name,
+        qname: &Name,
+        qtype: RrType,
+        now_ns: u64,
+        all_timed_out: bool,
+    ) {
+        if let Some(ttl_ns) = self.retry.servfail_ttl_ns {
+            self.servfail.put(qname.clone(), qtype, now_ns, ttl_ns);
+            if all_timed_out {
+                self.servfail.mark_zone_dead(cut.clone(), now_ns, ttl_ns);
+            }
+        }
     }
 
     /// The iterative resolution loop.
@@ -373,6 +512,9 @@ impl RecursiveResolver {
             let zone = self.zones.deepest_for(qname).0;
             return Ok(IterOutcome::Negative { rcode, zone, authority: Vec::new() });
         }
+        if self.retry.servfail_ttl_ns.is_some() && self.servfail.contains(qname, qtype, now) {
+            return Err(ResolveError::ServfailCached { subject: qname.clone() });
+        }
 
         let current = qname.clone();
         let mut hops = 0usize;
@@ -385,6 +527,9 @@ impl RecursiveResolver {
                 return Err(ResolveError::DepthExceeded);
             }
             let (cut, addrs) = self.zone_servers(&current);
+            if self.retry.servfail_ttl_ns.is_some() && self.servfail.zone_dead(&cut, net.now_ns()) {
+                return Err(ResolveError::ServfailCached { subject: cut });
+            }
 
             // Minimisation: show this server one label below its cut, with
             // a neutral NS qtype until the full name is revealed.
@@ -399,13 +544,16 @@ impl RecursiveResolver {
             let send_name = current.suffix(send_labels);
             let send_type = if minimized { RrType::Ns } else { qtype };
 
-            // Try each server of the zone in turn; a REFUSED/SERVFAIL from
-            // one NS must not fail the resolution while siblings work.
+            // Try each server of the zone in turn (best SRTT first); a
+            // REFUSED/SERVFAIL from one NS — or a full timeout budget spent
+            // on it — must not fail the resolution while siblings work.
+            let candidates = self.candidate_servers(addrs, net.now_ns());
             let mut response = None;
-            let mut answered_by = *addrs.first().expect("zone has servers");
-            let mut last_lame =
-                ResolveError::Lame { server: answered_by, rcode: Rcode::ServFail };
-            for &addr in &addrs {
+            let mut answered_by = *candidates.first().expect("zone has servers");
+            let mut last_lame = ResolveError::Lame { server: answered_by, rcode: Rcode::ServFail };
+            let mut timeouts = 0usize;
+            let mut last_timeout = None;
+            for &addr in &candidates {
                 self.ptr_probe(net, addr)?;
                 let id = net.allocate_id();
                 let query = if self.behavior.validate {
@@ -413,25 +561,43 @@ impl RecursiveResolver {
                 } else {
                     Message::query(id, send_name.clone(), send_type)
                 };
-                let mut candidate = net.exchange(addr, &query)?.response;
-                if candidate.header.flags.tc {
-                    // Truncated over UDP: retry over TCP (RFC 7766).
-                    candidate = net
-                        .exchange_with(addr, &query, lookaside_netsim::Transport::Tcp)?
-                        .response;
-                }
-                match candidate.rcode() {
-                    Rcode::NoError | Rcode::NxDomain => {
-                        answered_by = addr;
-                        response = Some(candidate);
-                        break;
-                    }
-                    other => {
-                        last_lame = ResolveError::Lame { server: addr, rcode: other };
+                match self.send_to_server(net, addr, &query)? {
+                    Some(candidate) => match candidate.rcode() {
+                        Rcode::NoError | Rcode::NxDomain => {
+                            answered_by = addr;
+                            response = Some(candidate);
+                            break;
+                        }
+                        other => {
+                            let policy = self.retry;
+                            self.infra.hold_down(addr, net.now_ns(), &policy);
+                            last_lame = ResolveError::Lame { server: addr, rcode: other };
+                        }
+                    },
+                    None => {
+                        // Retry budget spent on this server: hold it down
+                        // and fail over to a sibling. The zone itself is
+                        // only written off if *every* server stays silent.
+                        let policy = self.retry;
+                        self.infra.hold_down(addr, net.now_ns(), &policy);
+                        timeouts += 1;
+                        last_timeout = Some(addr);
                     }
                 }
             }
-            let Some(response) = response else { return Err(last_lame) };
+            let Some(response) = response else {
+                self.note_all_servers_failed(
+                    &cut,
+                    &current,
+                    qtype,
+                    net.now_ns(),
+                    timeouts == candidates.len(),
+                );
+                return Err(match last_timeout {
+                    Some(server) => ResolveError::Timeout { server },
+                    None => last_lame,
+                });
+            };
 
             match response.rcode() {
                 Rcode::NoError => {}
@@ -493,8 +659,8 @@ impl RecursiveResolver {
             }
 
             // Referral?
-            let is_referral = !response.header.flags.aa
-                && response.authorities_of(RrType::Ns).next().is_some();
+            let is_referral =
+                !response.header.flags.aa && response.authorities_of(RrType::Ns).next().is_some();
             if is_referral {
                 let child = self.ingest_referral(net, &cut, &response, depth)?;
                 if !child.is_subdomain_of(&cut) || child == cut {
@@ -530,12 +696,8 @@ impl RecursiveResolver {
         qtype: RrType,
         now: u64,
     ) -> (Vec<(RrSet, Option<Record>)>, Option<Name>) {
-        let data: Vec<Record> = response
-            .answers
-            .iter()
-            .filter(|r| r.rrtype != RrType::Rrsig)
-            .cloned()
-            .collect();
+        let data: Vec<Record> =
+            response.answers.iter().filter(|r| r.rrtype != RrType::Rrsig).cloned().collect();
         let sets: Vec<RrSet> = data.into_iter().collect();
         let mut out = Vec::new();
         let mut cname_target = None;
@@ -643,7 +805,13 @@ impl RecursiveResolver {
 
         if addrs.is_empty() {
             return Err(ResolveError::Lame {
-                server: self.zones.deepest_for(parent).1.first().copied().unwrap_or(Ipv4Addr::UNSPECIFIED),
+                server: self
+                    .zones
+                    .deepest_for(parent)
+                    .1
+                    .first()
+                    .copied()
+                    .unwrap_or(Ipv4Addr::UNSPECIFIED),
                 rcode: Rcode::ServFail,
             });
         }
@@ -676,7 +844,11 @@ impl RecursiveResolver {
             let (_, root_addrs) = self.zone_servers(&Name::root());
             let id = net.allocate_id();
             let q = Message::query(id, reverse, RrType::Ptr);
-            let _ = net.exchange(root_addrs[0], &q)?;
+            // Fire-and-forget: a lost probe is never retransmitted.
+            match net.exchange(root_addrs[0], &q) {
+                Ok(_) | Err(NetError::Timeout(_)) => {}
+                Err(e) => return Err(e.into()),
+            }
         }
         Ok(())
     }

@@ -161,11 +161,7 @@ impl RecursiveResolver {
             return self.validate_apex_keys(net, zone, anchor);
         }
 
-        let parent = self
-            .zone_parent
-            .get(zone)
-            .cloned()
-            .unwrap_or_else(Name::root);
+        let parent = self.zone_parent.get(zone).cloned().unwrap_or_else(Name::root);
         let parent_status = self.validate_zone(net, &parent)?;
         match parent_status {
             SecurityStatus::Bogus => Ok(SecurityStatus::Bogus),
@@ -210,10 +206,8 @@ impl RecursiveResolver {
         if !anchored {
             return Ok(SecurityStatus::Bogus);
         }
-        let self_signed = key_sig
-            .as_ref()
-            .map(|sig| verify_rrset(&key_set, sig, &keys, now))
-            .unwrap_or(false);
+        let self_signed =
+            key_sig.as_ref().map(|sig| verify_rrset(&key_set, sig, &keys, now)).unwrap_or(false);
         if !self_signed {
             return Ok(SecurityStatus::Bogus);
         }
@@ -287,12 +281,8 @@ impl RecursiveResolver {
             return Ok(None);
         }
         let response = self.query_zone(net, parent, zone, RrType::Ds)?;
-        let data: Vec<Record> = response
-            .answers
-            .iter()
-            .filter(|r| r.rrtype == RrType::Ds)
-            .cloned()
-            .collect();
+        let data: Vec<Record> =
+            response.answers.iter().filter(|r| r.rrtype == RrType::Ds).cloned().collect();
         if data.is_empty() {
             self.answers.put_negative(zone.clone(), RrType::Ds, response.rcode(), 60, now);
             // Fall back to what the referral may have proven.
@@ -500,10 +490,8 @@ impl RecursiveResolver {
             return Ok(SecurityStatus::Bogus);
         }
         let now = now_secs(net);
-        let ok = key_sig
-            .as_ref()
-            .map(|sig| verify_rrset(&key_set, sig, &keys, now))
-            .unwrap_or(false);
+        let ok =
+            key_sig.as_ref().map(|sig| verify_rrset(&key_set, sig, &keys, now)).unwrap_or(false);
         if !ok {
             return Ok(SecurityStatus::Bogus);
         }

@@ -129,12 +129,25 @@ fn build_world(remedy: RemedyMode) -> World {
     if remedy == RemedyMode::TxtSignal {
         plain.add(n("plain.com"), 300, RData::Txt(vec!["dlv=0".into()]));
     }
-    net.register(PLAIN, "plain.com", Box::new(AuthoritativeServer::single(PublishedZone::unsigned(plain))));
+    net.register(
+        PLAIN,
+        "plain.com",
+        Box::new(AuthoritativeServer::single(PublishedZone::unsigned(plain))),
+    );
 
     let mut lonely = Zone::new(n("lonely.com"), n("ns1.lonely.com"));
     lonely.add(n("ns1.lonely.com"), 3600, RData::A(LONELY));
     lonely.add(n("www.lonely.com"), 300, RData::A(Ipv4Addr::new(192, 0, 2, 4)));
-    net.register(LONELY, "lonely.com", Box::new(AuthoritativeServer::single(PublishedZone::signed(lonely, &lonely_keys, 0, EXPIRE))));
+    net.register(
+        LONELY,
+        "lonely.com",
+        Box::new(AuthoritativeServer::single(PublishedZone::signed(
+            lonely,
+            &lonely_keys,
+            0,
+            EXPIRE,
+        ))),
+    );
 
     World { net, root_keys, dlv_keys }
 }
@@ -192,8 +205,7 @@ fn unsigned_zone_leaks_to_dlv_and_stays_insecure() {
     assert_eq!(res.status, SecurityStatus::Insecure);
     // This is the paper's Case-2 leak: the DLV server observed plain.com
     // although it holds no record for it.
-    let leaked: Vec<String> =
-        w.net.capture().dlv_queries().map(|p| p.qname.to_string()).collect();
+    let leaked: Vec<String> = w.net.capture().dlv_queries().map(|p| p.qname.to_string()).collect();
     assert!(leaked.iter().any(|q| q.starts_with("plain.com.")), "leaked: {leaked:?}");
 }
 
@@ -245,8 +257,7 @@ fn missing_root_anchor_sends_everything_to_dlv() {
     // example.com is fully secure on-path, yet without the root anchor the
     // resolver still asks the DLV server about it.
     assert_ne!(res.status, SecurityStatus::Secure);
-    let leaked: Vec<String> =
-        w.net.capture().dlv_queries().map(|p| p.qname.to_string()).collect();
+    let leaked: Vec<String> = w.net.capture().dlv_queries().map(|p| p.qname.to_string()).collect();
     assert!(leaked.iter().any(|q| q.starts_with("example.com.")), "leaked: {leaked:?}");
 }
 
@@ -256,8 +267,7 @@ fn txt_remedy_suppresses_leak_but_keeps_utility() {
     let mut r = resolver_with(&w, BindConfig::correct(), RemedyMode::TxtSignal);
     // plain.com advertises dlv=0: no DLV query may be sent for it.
     r.resolve(&mut w.net, &n("www.plain.com"), RrType::A).unwrap();
-    let leaked: Vec<String> =
-        w.net.capture().dlv_queries().map(|p| p.qname.to_string()).collect();
+    let leaked: Vec<String> = w.net.capture().dlv_queries().map(|p| p.qname.to_string()).collect();
     assert!(leaked.iter().all(|q| !q.starts_with("plain.com.")), "leaked: {leaked:?}");
     assert!(r.counters.dlv_skipped_by_signal >= 1);
     // island.com advertises dlv=1: DLV still used, validation still works.
@@ -271,8 +281,7 @@ fn zbit_remedy_suppresses_leak_but_keeps_utility() {
     let mut w = build_world(RemedyMode::ZBit);
     let mut r = resolver_with(&w, BindConfig::correct(), RemedyMode::ZBit);
     r.resolve(&mut w.net, &n("www.plain.com"), RrType::A).unwrap();
-    let leaked: Vec<String> =
-        w.net.capture().dlv_queries().map(|p| p.qname.to_string()).collect();
+    let leaked: Vec<String> = w.net.capture().dlv_queries().map(|p| p.qname.to_string()).collect();
     assert!(leaked.iter().all(|q| !q.starts_with("plain.com.")));
     let res = r.resolve(&mut w.net, &n("www.island.com"), RrType::A).unwrap();
     assert_eq!(res.status, SecurityStatus::Secure);
@@ -326,8 +335,11 @@ fn truncated_responses_retry_over_tcp() {
     for i in 0..12 {
         z.add(n("big.com"), 300, RData::Txt(vec![format!("{i:0100}")]));
     }
-    w.net
-        .register(big_addr, "big.com", Box::new(AuthoritativeServer::single(PublishedZone::unsigned(z))));
+    w.net.register(
+        big_addr,
+        "big.com",
+        Box::new(AuthoritativeServer::single(PublishedZone::unsigned(z))),
+    );
 
     // Non-validating resolver: no EDNS, so the 512-byte UDP limit applies
     // and the ~1.3 KiB TXT answer must arrive via the TCP retry.
@@ -362,8 +374,7 @@ fn resolver_fails_over_to_sibling_name_server() {
         "twins-lame",
         Box::new(FlakyServer::always_lame(Box::new(AuthoritativeServer::single(build_zone())))),
     );
-    w.net
-        .register(good_addr, "twins-good", Box::new(AuthoritativeServer::single(build_zone())));
+    w.net.register(good_addr, "twins-good", Box::new(AuthoritativeServer::single(build_zone())));
     // Hook the delegation into com via a second com zone? Simpler: extend
     // the resolver's world by querying through a fresh com delegation is
     // not possible post-build, so install the cut directly the way a
@@ -374,6 +385,98 @@ fn resolver_fails_over_to_sibling_name_server() {
     r.install_zone_for_test(n("twins.com"), vec![lame_addr, good_addr], n("com"));
     let res = r.resolve(&mut w.net, &n("www.twins.com"), RrType::A).unwrap();
     assert_eq!(res.rcode, Rcode::NoError, "failover must succeed");
+    assert_eq!(res.answers.len(), 1);
+}
+
+#[test]
+fn midchain_timeout_fails_over_without_marking_zone_dead() {
+    use lookaside_netsim::LinkFaults;
+    use lookaside_resolver::RetryPolicy;
+    let mut w = build_world(RemedyMode::None);
+    // twins.com again, but this time the first name server is *silent*
+    // (blackholed link), not lame: the resolver must burn its retry budget
+    // against ns1, fail over to ns2, and — because a sibling answered —
+    // leave the zone itself alive in the SERVFAIL cache.
+    let dead_addr = Ipv4Addr::new(10, 9, 0, 3);
+    let good_addr = Ipv4Addr::new(10, 9, 0, 4);
+    let twins_keys = SigningKeys::from_seed(301);
+    let build_zone = || {
+        let mut z = Zone::new(n("twins.com"), n("ns1.twins.com"));
+        z.add(n("twins.com"), 3600, RData::Ns(n("ns2.twins.com")));
+        z.add(n("ns1.twins.com"), 3600, RData::A(dead_addr));
+        z.add(n("ns2.twins.com"), 3600, RData::A(good_addr));
+        z.add(n("www.twins.com"), 300, RData::A(Ipv4Addr::new(192, 0, 2, 9)));
+        PublishedZone::signed(z, &twins_keys, 0, EXPIRE)
+    };
+    w.net.register(dead_addr, "twins-dead", Box::new(AuthoritativeServer::single(build_zone())));
+    w.net.register(good_addr, "twins-good", Box::new(AuthoritativeServer::single(build_zone())));
+    w.net.fault_plane_mut().set_link(dead_addr, LinkFaults::quiet().with_blackhole());
+
+    let mut r = correct_resolver(&w);
+    r.set_retry_policy(RetryPolicy::default().with_servfail_cache(30));
+    r.install_zone_for_test(n("twins.com"), vec![dead_addr, good_addr], n("com"));
+    let res = r.resolve(&mut w.net, &n("www.twins.com"), RrType::A).unwrap();
+    assert_eq!(res.rcode, Rcode::NoError, "sibling must answer after the timeout");
+    assert_eq!(res.answers.len(), 1);
+    assert!(w.net.stats().timeouts >= 1, "ns1 must have timed out");
+    assert!(w.net.stats().retransmissions >= 1, "ns1 must have been retried");
+    let now = w.net.now_ns();
+    assert!(
+        !r.servfail_cache().zone_dead(&n("twins.com"), now),
+        "one silent sibling must not kill the zone"
+    );
+    // The silent server is held down: a second lookup goes straight to the
+    // live sibling without waiting out another timeout.
+    let before = w.net.stats().timeouts;
+    let res = r.resolve(&mut w.net, &n("twins.com"), RrType::A).unwrap();
+    assert_eq!(res.rcode, Rcode::NoError);
+    assert_eq!(w.net.stats().timeouts, before, "held-down server must be skipped");
+}
+
+#[test]
+fn servfail_cache_expires_and_the_resolver_recovers() {
+    use lookaside_netsim::LinkFaults;
+    use lookaside_resolver::{ResolveError, RetryPolicy};
+    let mut w = build_world(RemedyMode::None);
+    // solo.com has a single name server, and its link is blackholed.
+    let solo_addr = Ipv4Addr::new(10, 9, 0, 5);
+    let mut z = Zone::new(n("solo.com"), n("ns1.solo.com"));
+    z.add(n("ns1.solo.com"), 3600, RData::A(solo_addr));
+    z.add(n("www.solo.com"), 300, RData::A(Ipv4Addr::new(192, 0, 2, 10)));
+    z.add(n("mail.solo.com"), 300, RData::A(Ipv4Addr::new(192, 0, 2, 11)));
+    w.net.register(
+        solo_addr,
+        "solo",
+        Box::new(AuthoritativeServer::single(PublishedZone::unsigned(z))),
+    );
+    w.net.fault_plane_mut().set_link(solo_addr, LinkFaults::quiet().with_blackhole());
+
+    let mut cfg = BindConfig::correct();
+    cfg.validation = lookaside_resolver::DnssecValidation::No;
+    let mut r = resolver_with(&w, cfg, RemedyMode::None);
+    r.set_retry_policy(RetryPolicy::default().with_servfail_cache(30));
+    r.install_zone_for_test(n("solo.com"), vec![solo_addr], n("com"));
+
+    // First lookup exhausts the retry budget and fails; every server timed
+    // out, so the whole zone goes into the SERVFAIL cache.
+    let err = r.resolve(&mut w.net, &n("www.solo.com"), RrType::A).unwrap_err();
+    assert!(matches!(err, ResolveError::Timeout { .. }), "got {err}");
+    assert!(r.servfail_cache().zone_dead(&n("solo.com"), w.net.now_ns()));
+
+    // While the entry lives, other names in the zone fail from cache —
+    // no packets, no timeout stalls.
+    let packets_before = w.net.stats().total_queries;
+    let err = r.resolve(&mut w.net, &n("mail.solo.com"), RrType::A).unwrap_err();
+    assert!(matches!(err, ResolveError::ServfailCached { .. }), "got {err}");
+    assert_eq!(w.net.stats().total_queries, packets_before, "served from the failure cache");
+
+    // The server comes back and the cache entry (and holddown) expire:
+    // resolution recovers on its own.
+    w.net.fault_plane_mut().heal_all();
+    w.net.advance(61_000_000_000);
+    assert!(!r.servfail_cache().zone_dead(&n("solo.com"), w.net.now_ns()));
+    let res = r.resolve(&mut w.net, &n("www.solo.com"), RrType::A).unwrap();
+    assert_eq!(res.rcode, Rcode::NoError, "recovery after expiry");
     assert_eq!(res.answers.len(), 1);
 }
 
@@ -405,8 +508,7 @@ fn tampered_signed_txt_signal_fails_closed() {
     assert_ne!(res.status, SecurityStatus::Secure);
     // …but the signature check kept the decision fail-closed: no island
     // query reached the registry.
-    let leaked: Vec<String> =
-        w.net.capture().dlv_queries().map(|p| p.qname.to_string()).collect();
+    let leaked: Vec<String> = w.net.capture().dlv_queries().map(|p| p.qname.to_string()).collect();
     assert!(leaked.iter().all(|q| !q.starts_with("island.com.")), "leaked: {leaked:?}");
     assert!(r.counters.dlv_skipped_by_signal >= 1);
 }
@@ -432,27 +534,16 @@ fn qname_minimization_hides_names_from_upper_servers() {
     // queries legitimately name zones, so restrict to the resolution types).
     for p in w.net.capture().packets() {
         if p.dst == ROOT && matches!(p.qtype, RrType::A | RrType::Ns) {
-            assert!(
-                p.qname.label_count() <= 1,
-                "root saw {} ({})",
-                p.qname,
-                p.qtype
-            );
+            assert!(p.qname.label_count() <= 1, "root saw {} ({})", p.qname, p.qtype);
         }
         if p.dst == COM && matches!(p.qtype, RrType::A | RrType::Ns) {
-            assert!(
-                p.qname.label_count() <= 2,
-                "com TLD saw {} ({})",
-                p.qname,
-                p.qtype
-            );
+            assert!(p.qname.label_count() <= 2, "com TLD saw {} ({})", p.qname, p.qtype);
         }
     }
     // But minimisation cannot stop DLV leakage: an unsigned domain still
     // reaches the registry with its full name.
     r.resolve(&mut w.net, &n("www.plain.com"), RrType::A).unwrap();
-    let leaked: Vec<String> =
-        w.net.capture().dlv_queries().map(|p| p.qname.to_string()).collect();
+    let leaked: Vec<String> = w.net.capture().dlv_queries().map(|p| p.qname.to_string()).collect();
     assert!(leaked.iter().any(|q| q.starts_with("plain.com.")), "leaked: {leaked:?}");
 }
 

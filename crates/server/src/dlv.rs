@@ -74,7 +74,14 @@ impl DlvRegistry {
         span_ttl: u32,
     ) -> Self {
         Self::with_denial(
-            apex, deposits, keys, inception, expiration, hashed, span_ttl, DenialMode::Nsec,
+            apex,
+            deposits,
+            keys,
+            inception,
+            expiration,
+            hashed,
+            span_ttl,
+            DenialMode::Nsec,
         )
     }
 
@@ -106,7 +113,8 @@ impl DlvRegistry {
             zone.add(owner, DEFAULT_TTL, dlv_rdata(&deposit.domain, &deposit.ksk));
             deposited.insert(deposit.domain.clone());
         }
-        let published = PublishedZone::signed_with_denial(zone, keys, inception, expiration, denial);
+        let published =
+            PublishedZone::signed_with_denial(zone, keys, inception, expiration, denial);
         DlvRegistry {
             apex,
             server: AuthoritativeServer::single(published),
@@ -219,11 +227,7 @@ mod tests {
         let plain = Message::dnssec_query(3, n("island.com.dlv.isc.org"), RrType::Dlv);
         assert_eq!(reg.handle(&plain, 0).rcode(), Rcode::NxDomain);
         let label = hashed_dlv_label(&n("island.com"));
-        let hashed = Message::dnssec_query(
-            4,
-            n(&format!("{label}.dlv.isc.org")),
-            RrType::Dlv,
-        );
+        let hashed = Message::dnssec_query(4, n(&format!("{label}.dlv.isc.org")), RrType::Dlv);
         assert_eq!(reg.handle(&hashed, 0).rcode(), Rcode::NoError);
     }
 

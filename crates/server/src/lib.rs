@@ -31,6 +31,6 @@ mod synthetic;
 
 pub use authority::AuthoritativeServer;
 pub use dlv::{DlvDeposit, DlvRegistry, DLV_SPAN_TTL};
-pub use flaky::FlakyServer;
+pub use flaky::{FaultyServer, FlakyServer};
 pub use render::render_lookup;
 pub use synthetic::{SyntheticAuthority, SyntheticSpec, ZoneOracle};

@@ -23,7 +23,9 @@ use std::rc::Rc;
 use lookaside_crypto::ds_rdata;
 use lookaside_netsim::DnsHandler;
 use lookaside_wire::ext::txt_signal;
-use lookaside_wire::{Message, MessageBuilder, Name, RData, Rcode, Record, RrClass, RrType, Section, TypeBitmap};
+use lookaside_wire::{
+    Message, MessageBuilder, Name, RData, Rcode, Record, RrClass, RrType, Section, TypeBitmap,
+};
 use lookaside_zone::{rrsig_signing_input, PublishedZone, SigningKeys, Zone, DEFAULT_TTL};
 
 use crate::render::{glue_record, render_lookup};
@@ -82,12 +84,7 @@ enum Mode {
         expiration: u32,
     },
     /// Serve SLD zone content for any oracle-known domain.
-    Sld {
-        inception: u32,
-        expiration: u32,
-        cache: HashMap<Name, PublishedZone>,
-        cache_cap: usize,
-    },
+    Sld { inception: u32, expiration: u32, cache: HashMap<Name, PublishedZone>, cache_cap: usize },
 }
 
 /// A fabricating authoritative server (see module docs).
@@ -292,16 +289,14 @@ impl SyntheticAuthority {
                 let secure_child = *signed && spec.signed && spec.ds_in_parent;
                 if qname == &child && question.rrtype == RrType::Ds {
                     // The parent answers DS at the cut.
-                    let mut msg =
-                        MessageBuilder::respond_to(query).authoritative(true).build();
+                    let mut msg = MessageBuilder::respond_to(query).authoritative(true).build();
                     if secure_child {
                         let ds = lookaside_wire::RrSet::single(
                             child.clone(),
                             DEFAULT_TTL,
                             ds_rdata(&child, &spec.keys().ksk.public()),
                         );
-                        let sig =
-                            Self::sign_fabricated(&ds, apex, keys, *inception, *expiration);
+                        let sig = Self::sign_fabricated(&ds, apex, keys, *inception, *expiration);
                         for rec in ds.to_records() {
                             msg.push(Section::Answer, rec);
                         }
@@ -319,9 +314,8 @@ impl SyntheticAuthority {
                                 true,
                                 TypeBitmap::from_types([RrType::Ns]),
                             );
-                            let sig = Self::sign_fabricated(
-                                &nsec, apex, keys, *inception, *expiration,
-                            );
+                            let sig =
+                                Self::sign_fabricated(&nsec, apex, keys, *inception, *expiration);
                             for rec in nsec.to_records() {
                                 msg.push(Section::Authority, rec);
                             }
@@ -348,8 +342,7 @@ impl SyntheticAuthority {
                             DEFAULT_TTL,
                             ds_rdata(&child, &spec.keys().ksk.public()),
                         );
-                        let sig =
-                            Self::sign_fabricated(&ds, apex, keys, *inception, *expiration);
+                        let sig = Self::sign_fabricated(&ds, apex, keys, *inception, *expiration);
                         for rec in ds.to_records() {
                             msg.push(Section::Authority, rec);
                         }
@@ -360,8 +353,7 @@ impl SyntheticAuthority {
                             true,
                             TypeBitmap::from_types([RrType::Ns]),
                         );
-                        let sig =
-                            Self::sign_fabricated(&nsec, apex, keys, *inception, *expiration);
+                        let sig = Self::sign_fabricated(&nsec, apex, keys, *inception, *expiration);
                         for rec in nsec.to_records() {
                             msg.push(Section::Authority, rec);
                         }
@@ -383,11 +375,8 @@ impl SyntheticAuthority {
 /// population names (which never end in `-`).
 fn close_predecessor(name: &Name) -> Name {
     let first = name.labels()[0].to_string();
-    let trimmed: String = if first.len() > 1 {
-        first[..first.len() - 1].to_string()
-    } else {
-        "0".into()
-    };
+    let trimmed: String =
+        if first.len() > 1 { first[..first.len() - 1].to_string() } else { "0".into() };
     let parent = name.parent().expect("child names have parents");
     parent.prepend(&trimmed).expect("predecessor label fits")
 }

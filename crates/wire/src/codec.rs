@@ -83,8 +83,8 @@ impl Writer {
     pub fn write_name(&mut self, name: &Name) {
         let labels = name.labels();
         for start in 0..labels.len() {
-            let tail = Name::from_labels(labels[start..].to_vec())
-                .expect("tail of a valid name is valid");
+            let tail =
+                Name::from_labels(labels[start..].to_vec()).expect("tail of a valid name is valid");
             let mut key = Vec::with_capacity(tail.wire_len());
             tail.encode_uncompressed(&mut key);
             if let Some(&offset) = self.names.get(&key) {

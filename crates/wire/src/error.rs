@@ -52,7 +52,9 @@ impl fmt::Display for WireError {
             WireError::LabelTooLong(n) => write!(f, "label of {n} octets exceeds 63"),
             WireError::NameTooLong(n) => write!(f, "name of {n} octets exceeds 255"),
             WireError::BadNameSyntax(s) => write!(f, "invalid domain name syntax: {s:?}"),
-            WireError::Truncated { context } => write!(f, "message truncated while decoding {context}"),
+            WireError::Truncated { context } => {
+                write!(f, "message truncated while decoding {context}")
+            }
             WireError::BadPointer(off) => write!(f, "invalid compression pointer to offset {off}"),
             WireError::BadRdataLength { rrtype, declared, consumed } => write!(
                 f,

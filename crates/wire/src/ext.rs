@@ -79,7 +79,11 @@ pub fn parse_txt_signal(segments: &[String]) -> Option<bool> {
 
 /// Renders the TXT signaling payload for a zone.
 pub fn txt_signal(present: bool) -> String {
-    if present { TXT_SIGNAL_PRESENT.into() } else { TXT_SIGNAL_ABSENT.into() }
+    if present {
+        TXT_SIGNAL_PRESENT.into()
+    } else {
+        TXT_SIGNAL_ABSENT.into()
+    }
 }
 
 #[cfg(test)]

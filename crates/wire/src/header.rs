@@ -38,7 +38,9 @@ impl Opcode {
 /// validated by DLV records deposited in the DLV server") or `NxDomain`
 /// ("No such name"), which is exactly how §5.3 of the paper classifies
 /// validation utility versus leakage.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
 pub enum Rcode {
     /// No error (0).
     #[default]

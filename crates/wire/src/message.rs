@@ -444,11 +444,21 @@ mod tests {
             .authenticated(true)
             .answer(Record::new(n("www.example.com"), 300, RData::A(Ipv4Addr::new(192, 0, 2, 8))))
             .authority(Record::new(n("example.com"), 3600, RData::Ns(n("ns1.example.com"))))
-            .additional(Record::new(n("ns1.example.com"), 3600, RData::A(Ipv4Addr::new(192, 0, 2, 53))))
+            .additional(Record::new(
+                n("ns1.example.com"),
+                3600,
+                RData::A(Ipv4Addr::new(192, 0, 2, 53)),
+            ))
             .build();
         let bytes = resp.to_bytes();
         let back = Message::from_bytes(&bytes).unwrap();
-        assert_eq!(back, Message { header: Header { qdcount: 1, ancount: 1, nscount: 1, arcount: 2, ..back.header }, ..resp.clone() });
+        assert_eq!(
+            back,
+            Message {
+                header: Header { qdcount: 1, ancount: 1, nscount: 1, arcount: 2, ..back.header },
+                ..resp.clone()
+            }
+        );
         assert!(back.header.flags.aa);
         assert!(back.header.flags.ad);
         assert_eq!(back.answers.len(), 1);

@@ -287,10 +287,9 @@ impl RData {
                 expire: r.read_u32("SOA expire")?,
                 minimum: r.read_u32("SOA minimum")?,
             }),
-            RrType::Mx => RData::Mx {
-                preference: r.read_u16("MX preference")?,
-                exchange: r.read_name()?,
-            },
+            RrType::Mx => {
+                RData::Mx { preference: r.read_u16("MX preference")?, exchange: r.read_name()? }
+            }
             RrType::Txt => {
                 let mut segments = Vec::new();
                 while r.position() < end {
@@ -304,9 +303,9 @@ impl RData {
                 let flags = r.read_u16("DNSKEY flags")?;
                 let protocol = r.read_u8("DNSKEY protocol")?;
                 let algorithm = r.read_u8("DNSKEY algorithm")?;
-                let key_len = end.checked_sub(r.position()).ok_or(WireError::Truncated {
-                    context: "DNSKEY key",
-                })?;
+                let key_len = end
+                    .checked_sub(r.position())
+                    .ok_or(WireError::Truncated { context: "DNSKEY key" })?;
                 let public_key = r.read_bytes(key_len, "DNSKEY key")?.to_vec();
                 RData::Dnskey { flags, protocol, algorithm, public_key }
             }
@@ -314,9 +313,9 @@ impl RData {
                 let key_tag = r.read_u16("DS key tag")?;
                 let algorithm = r.read_u8("DS algorithm")?;
                 let digest_type = r.read_u8("DS digest type")?;
-                let digest_len = end.checked_sub(r.position()).ok_or(WireError::Truncated {
-                    context: "DS digest",
-                })?;
+                let digest_len = end
+                    .checked_sub(r.position())
+                    .ok_or(WireError::Truncated { context: "DS digest" })?;
                 let digest = r.read_bytes(digest_len, "DS digest")?.to_vec();
                 if rrtype == RrType::Ds {
                     RData::Ds { key_tag, algorithm, digest_type, digest }
@@ -333,9 +332,9 @@ impl RData {
                 let inception = r.read_u32("RRSIG inception")?;
                 let key_tag = r.read_u16("RRSIG key tag")?;
                 let signer_name = r.read_name()?;
-                let sig_len = end.checked_sub(r.position()).ok_or(WireError::Truncated {
-                    context: "RRSIG signature",
-                })?;
+                let sig_len = end
+                    .checked_sub(r.position())
+                    .ok_or(WireError::Truncated { context: "RRSIG signature" })?;
                 let signature = r.read_bytes(sig_len, "RRSIG signature")?.to_vec();
                 RData::Rrsig {
                     type_covered,
@@ -351,9 +350,9 @@ impl RData {
             }
             RrType::Nsec => {
                 let next_name = r.read_name()?;
-                let bm_len = end.checked_sub(r.position()).ok_or(WireError::Truncated {
-                    context: "NSEC bitmap",
-                })?;
+                let bm_len = end
+                    .checked_sub(r.position())
+                    .ok_or(WireError::Truncated { context: "NSEC bitmap" })?;
                 let bytes = r.read_bytes(bm_len, "NSEC bitmap")?;
                 RData::Nsec { next_name, types: TypeBitmap::decode(bytes)? }
             }
@@ -365,9 +364,9 @@ impl RData {
                 let salt = r.read_bytes(salt_len, "NSEC3 salt")?.to_vec();
                 let hash_len = r.read_u8("NSEC3 hash length")? as usize;
                 let next_hashed = r.read_bytes(hash_len, "NSEC3 hash")?.to_vec();
-                let bm_len = end.checked_sub(r.position()).ok_or(WireError::Truncated {
-                    context: "NSEC3 bitmap",
-                })?;
+                let bm_len = end
+                    .checked_sub(r.position())
+                    .ok_or(WireError::Truncated { context: "NSEC3 bitmap" })?;
                 let bytes = r.read_bytes(bm_len, "NSEC3 bitmap")?;
                 RData::Nsec3 {
                     hash_algorithm,
@@ -419,7 +418,12 @@ impl fmt::Display for RData {
                 write!(f, "NSEC {next_name} ({} types)", types.len())
             }
             RData::Nsec3 { iterations, next_hashed, types, .. } => {
-                write!(f, "NSEC3 iter={iterations} next={}B ({} types)", next_hashed.len(), types.len())
+                write!(
+                    f,
+                    "NSEC3 iter={iterations} next={}B ({} types)",
+                    next_hashed.len(),
+                    types.len()
+                )
             }
             RData::Unknown(b) => write!(f, "\\# {}", b.len()),
         }

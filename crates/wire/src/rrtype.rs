@@ -96,7 +96,12 @@ impl RrType {
     pub fn is_dnssec_meta(self) -> bool {
         matches!(
             self,
-            RrType::Ds | RrType::Rrsig | RrType::Nsec | RrType::Dnskey | RrType::Nsec3 | RrType::Dlv
+            RrType::Ds
+                | RrType::Rrsig
+                | RrType::Nsec
+                | RrType::Dnskey
+                | RrType::Nsec3
+                | RrType::Dlv
         )
     }
 }

@@ -279,8 +279,9 @@ impl DomainPopulation {
         let name = self.domain(rank);
         let tld = self.tld_of_rank(rank);
         let signed = self.roll(0x7369, rank as u64, self.params.signed_milli);
-        let ds_in_parent =
-            signed && tld.signed && self.roll(0x6473, rank as u64, self.params.ds_given_signed_milli);
+        let ds_in_parent = signed
+            && tld.signed
+            && self.roll(0x6473, rank as u64, self.params.ds_given_signed_milli);
         let island = signed && !ds_in_parent;
         let deposited =
             island && self.roll(0x646c76, rank as u64, self.params.deposited_given_island_milli);
@@ -313,12 +314,8 @@ impl DomainPopulation {
         assert!(index < self.params.hoster_pool, "hoster {index} out of range");
         let tld = {
             let roll = (mix(self.params.seed ^ 0x6874_6c64, index as u64) % 1000) as u16;
-            let idx = self
-                .tld_cum
-                .iter()
-                .find(|(cum, _)| roll < *cum)
-                .map(|(_, i)| *i)
-                .unwrap_or(0);
+            let idx =
+                self.tld_cum.iter().find(|(cum, _)| roll < *cum).map(|(_, i)| *i).unwrap_or(0);
             &TLDS[idx]
         };
         let signed = self.roll(0x687369, index as u64, 100);
@@ -542,10 +539,7 @@ mod tests {
         // π̄ over 1..100 ≈ 0.87 with clamping; allow sampling slack.
         assert!((75..95).contains(&included_top100), "top-100 inclusions {included_top100}");
         let included_10k = p.repo_neighbours(10_000).count();
-        assert!(
-            (4_200..5_200).contains(&included_10k),
-            "top-10k inclusions {included_10k}"
-        );
+        assert!((4_200..5_200).contains(&included_10k), "top-10k inclusions {included_10k}");
     }
 
     #[test]

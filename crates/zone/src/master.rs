@@ -190,10 +190,7 @@ fn hex_encode(bytes: &[u8]) -> String {
 }
 
 fn parse_u<T: std::str::FromStr>(tok: &str, what: &str, line: usize) -> Result<T, MasterError> {
-    tok.parse().map_err(|_| MasterError::BadRdata {
-        line,
-        message: format!("bad {what} {tok:?}"),
-    })
+    tok.parse().map_err(|_| MasterError::BadRdata { line, message: format!("bad {what} {tok:?}") })
 }
 
 fn parse_rdata(
@@ -250,10 +247,7 @@ fn parse_rdata(
         }
         "TXT" => {
             need(1)?;
-            let segments = args
-                .iter()
-                .map(|s| s.trim_matches('"').to_string())
-                .collect();
+            let segments = args.iter().map(|s| s.trim_matches('"').to_string()).collect();
             Ok(RData::Txt(segments))
         }
         "SOA" => {
@@ -289,10 +283,9 @@ fn parse_rdata(
                 public_key: hex_decode(&args[3], line)?,
             })
         }
-        other => Err(MasterError::Syntax {
-            line,
-            message: format!("unsupported record type {other:?}"),
-        }),
+        other => {
+            Err(MasterError::Syntax { line, message: format!("unsupported record type {other:?}") })
+        }
     }
 }
 
@@ -303,10 +296,7 @@ fn parse_rdata(
 /// # Errors
 ///
 /// Returns the first [`MasterError`] encountered; parsing is strict.
-pub fn parse_records(
-    text: &str,
-    default_origin: &Name,
-) -> Result<Vec<MasterRecord>, MasterError> {
+pub fn parse_records(text: &str, default_origin: &Name) -> Result<Vec<MasterRecord>, MasterError> {
     let mut origin = default_origin.clone();
     let mut default_ttl = DEFAULT_TTL;
     let mut last_name: Option<Name> = None;
@@ -370,7 +360,10 @@ pub fn parse_records(
             }
         }
         let Some(rrtype) = tokens.get(idx) else {
-            return Err(MasterError::Syntax { line: line_no, message: "missing record type".into() });
+            return Err(MasterError::Syntax {
+                line: line_no,
+                message: "missing record type".into(),
+            });
         };
         let rdata = parse_rdata(&rrtype.to_uppercase(), &tokens[idx + 1..], &origin, line_no)?;
         records.push(MasterRecord { name, ttl, rdata });
@@ -442,10 +435,9 @@ fn rdata_text(rdata: &RData) -> Option<(&'static str, String)> {
         RData::Cname(n) => ("CNAME", n.to_string()),
         RData::Ptr(n) => ("PTR", n.to_string()),
         RData::Mx { preference, exchange } => ("MX", format!("{preference} {exchange}")),
-        RData::Txt(segments) => (
-            "TXT",
-            segments.iter().map(|s| format!("\"{s}\"")).collect::<Vec<_>>().join(" "),
-        ),
+        RData::Txt(segments) => {
+            ("TXT", segments.iter().map(|s| format!("\"{s}\"")).collect::<Vec<_>>().join(" "))
+        }
         RData::Soa(soa) => (
             "SOA",
             format!(
@@ -560,9 +552,7 @@ child   IN DS  12345 253 2 00ff
         assert!(zone.is_cut(&Name::parse("sub.example.com.").unwrap()));
         assert!(!zone.is_cut(&Name::parse("www.example.com.").unwrap()));
         assert_eq!(zone.soa().minimum, 300);
-        let www = zone
-            .rrset(&Name::parse("www.example.com.").unwrap(), RrType::A)
-            .unwrap();
+        let www = zone.rrset(&Name::parse("www.example.com.").unwrap(), RrType::A).unwrap();
         assert_eq!(www.len(), 2);
     }
 
@@ -576,9 +566,9 @@ child   IN DS  12345 253 2 00ff
             if set.rrtype == RrType::Soa {
                 continue; // rebuilt by Zone::new with parsed values
             }
-            let again = back.rrset(&set.name, set.rrtype).unwrap_or_else(|| {
-                panic!("{} {} lost in round trip", set.name, set.rrtype)
-            });
+            let again = back
+                .rrset(&set.name, set.rrtype)
+                .unwrap_or_else(|| panic!("{} {} lost in round trip", set.name, set.rrtype));
             assert_eq!(again.rdatas.len(), set.rdatas.len());
         }
     }

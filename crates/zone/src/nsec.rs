@@ -60,6 +60,11 @@ impl NsecChain {
         NsecChain { apex, entries }
     }
 
+    /// The apex the chain was built for.
+    pub fn apex(&self) -> &Name {
+        &self.apex
+    }
+
     /// Number of NSEC records (owner names) in the chain.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -98,7 +103,7 @@ impl NsecChain {
     /// Panics if the chain is somehow empty (cannot happen via `build`).
     pub fn covering(&self, name: &Name, ttl: u32) -> Option<RrSet> {
         let idx = match self.entries.binary_search_by(|(n, _)| n.canonical_cmp(name)) {
-            Ok(_) => return None, // name exists
+            Ok(_) => return None,             // name exists
             Err(0) => self.entries.len() - 1, // before apex: wrap-around span
             Err(i) => i - 1,
         };
@@ -125,9 +130,7 @@ pub fn covers(owner: &Name, next: &Name, name: &Name) -> bool {
         Less => owner.canonical_cmp(name) == Less && name.canonical_cmp(next) == Less,
         // Wrap-around (next is the apex) — covers everything after owner and
         // everything before next within the zone.
-        Greater | Equal => {
-            owner.canonical_cmp(name) == Less || name.canonical_cmp(next) == Less
-        }
+        Greater | Equal => owner.canonical_cmp(name) == Less || name.canonical_cmp(next) == Less,
     }
 }
 

@@ -134,10 +134,7 @@ impl Nsec3Chain {
     pub fn record_at(&self, idx: usize, ttl: u32) -> RrSet {
         let (hash, types) = &self.entries[idx];
         let next = self.entries[(idx + 1) % self.entries.len()].0;
-        let owner = self
-            .apex
-            .prepend(&base32hex(hash))
-            .expect("base32hex label fits");
+        let owner = self.apex.prepend(&base32hex(hash)).expect("base32hex label fits");
         RrSet::single(
             owner,
             ttl,
@@ -239,9 +236,7 @@ mod tests {
         let owners: Vec<[u8; NSEC3_HASH_LEN]> = c.entries.iter().map(|(h, _)| *h).collect();
         for idx in 0..c.len() {
             let rec = c.record_at(idx, 60);
-            let RData::Nsec3 { next_hashed, .. } = &rec.rdatas[0] else {
-                panic!("nsec3 rdata")
-            };
+            let RData::Nsec3 { next_hashed, .. } = &rec.rdatas[0] else { panic!("nsec3 rdata") };
             let mut next = [0u8; NSEC3_HASH_LEN];
             next.copy_from_slice(next_hashed);
             assert!(owners.contains(&next));
@@ -257,5 +252,4 @@ mod tests {
         let c = Nsec3Chain::build(n("z"), names, vec![], 0);
         assert_eq!(c.len(), 1);
     }
-
 }

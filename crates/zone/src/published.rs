@@ -301,11 +301,8 @@ impl PublishedZone {
     }
 
     fn referral(&self, cut: &Name) -> Lookup {
-        let ns = self
-            .zone
-            .rrset(cut, RrType::Ns)
-            .cloned()
-            .expect("cut names always own an NS RRset");
+        let ns =
+            self.zone.rrset(cut, RrType::Ns).cloned().expect("cut names always own an NS RRset");
         let ds = self.zone.rrset(cut, RrType::Ds).map(|set| self.with_sig(set.clone()));
         let no_ds_proof = if ds.is_none() && self.signed { self.nodata_proof(cut) } else { None };
         let glue = ns
@@ -463,10 +460,7 @@ mod tests {
     fn cname_redirects_other_types() {
         let pz = signed_zone();
         assert!(matches!(pz.lookup(&n("alias.example.com"), RrType::A), Lookup::Cname { .. }));
-        assert!(matches!(
-            pz.lookup(&n("alias.example.com"), RrType::Cname),
-            Lookup::Answer { .. }
-        ));
+        assert!(matches!(pz.lookup(&n("alias.example.com"), RrType::Cname), Lookup::Answer { .. }));
     }
 
     #[test]
@@ -480,7 +474,11 @@ mod tests {
                 let RData::Nsec { next_name, .. } = &proof.rrset.rdatas[0] else {
                     panic!("expected nsec");
                 };
-                assert!(crate::nsec::covers(&proof.rrset.name, next_name, &n("missing.example.com")));
+                assert!(crate::nsec::covers(
+                    &proof.rrset.name,
+                    next_name,
+                    &n("missing.example.com")
+                ));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -527,7 +525,9 @@ mod tests {
     #[test]
     fn insecure_delegation_gets_no_ds_proof() {
         let mut parent = Zone::new(n("com"), n("a.gtld-servers.net"));
-        parent.delegate(n("island.com"), &[(n("ns1.island.com"), Ipv4Addr::new(192, 0, 2, 54))]).unwrap();
+        parent
+            .delegate(n("island.com"), &[(n("ns1.island.com"), Ipv4Addr::new(192, 0, 2, 54))])
+            .unwrap();
         let pz = PublishedZone::signed(parent, &SigningKeys::from_seed(5), 0, 100);
         match pz.lookup(&n("island.com"), RrType::A) {
             Lookup::Referral { ds, no_ds_proof, .. } => {

@@ -71,10 +71,8 @@ impl Zone {
     }
 
     fn refresh_soa_rrset(&mut self) {
-        if let Some(soa_set) = self
-            .records
-            .get_mut(&self.apex.clone())
-            .and_then(|sets| sets.get_mut(&RrType::Soa))
+        if let Some(soa_set) =
+            self.records.get_mut(&self.apex.clone()).and_then(|sets| sets.get_mut(&RrType::Soa))
         {
             *soa_set =
                 RrSet::single(self.apex.clone(), self.soa.minimum, RData::Soa(self.soa.clone()));
@@ -169,10 +167,7 @@ impl Zone {
     }
 
     fn insert_rrset(&mut self, set: RrSet) {
-        self.records
-            .entry(set.name.clone())
-            .or_default()
-            .insert(set.rrtype, set);
+        self.records.entry(set.name.clone()).or_default().insert(set.rrtype, set);
     }
 
     /// Whether `name` is a delegation point in this zone.
@@ -292,10 +287,7 @@ mod tests {
     #[test]
     fn delegation_at_apex_rejected() {
         let mut z = zone();
-        assert!(matches!(
-            z.delegate(n("example.com"), &[]),
-            Err(ZoneError::DelegationAtApex(_))
-        ));
+        assert!(matches!(z.delegate(n("example.com"), &[]), Err(ZoneError::DelegationAtApex(_))));
     }
 
     #[test]

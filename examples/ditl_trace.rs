@@ -34,10 +34,7 @@ fn main() {
     println!("\ncomputing the TXT-signaling overhead (Fig. 12c, sampling 1/{scale}) ...");
     let data = fig12(23, scale);
     let last = data.per_minute.len() - 1;
-    println!(
-        "  cumulative queries  : {:>12}",
-        data.cumulative_queries[last]
-    );
+    println!("  cumulative queries  : {:>12}", data.cumulative_queries[last]);
     println!(
         "  baseline volume     : {:>9.2} GB",
         data.cumulative_baseline_bytes[last] as f64 / 1e9

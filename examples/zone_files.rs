@@ -54,21 +54,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Name::parse("com.")?,
         lookaside_crypto::ds_rdata(&Name::parse("com.")?, &com_keys.ksk.public()),
     );
-    net.register(ROOT, "root", Box::new(AuthoritativeServer::single(
-        PublishedZone::signed(root, &root_keys, 0, u32::MAX),
-    )));
+    net.register(
+        ROOT,
+        "root",
+        Box::new(AuthoritativeServer::single(PublishedZone::signed(root, &root_keys, 0, u32::MAX))),
+    );
 
     let mut com = Zone::new(Name::parse("com.")?, Name::parse("ns.com.")?);
     com.add(Name::parse("ns.com.")?, 3600, lookaside_wire::RData::A(COM));
     com.delegate(origin.clone(), &[(Name::parse("ns1.corp.com.")?, CORP)])?;
     com.add_ds(origin.clone(), lookaside_crypto::ds_rdata(&origin, &corp_keys.ksk.public()));
-    net.register(COM, "com", Box::new(AuthoritativeServer::single(
-        PublishedZone::signed(com, &com_keys, 0, u32::MAX),
-    )));
+    net.register(
+        COM,
+        "com",
+        Box::new(AuthoritativeServer::single(PublishedZone::signed(com, &com_keys, 0, u32::MAX))),
+    );
 
-    net.register(CORP, "corp.com", Box::new(AuthoritativeServer::single(
-        PublishedZone::signed(corp.clone(), &corp_keys, 0, u32::MAX),
-    )));
+    net.register(
+        CORP,
+        "corp.com",
+        Box::new(AuthoritativeServer::single(PublishedZone::signed(
+            corp.clone(),
+            &corp_keys,
+            0,
+            u32::MAX,
+        ))),
+    );
 
     // 3. Resolve and validate through a correctly configured resolver.
     let mut resolver = RecursiveResolver::new(ResolverSetup {
@@ -105,10 +116,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 5. Export the packet capture like the study's tcpdump step.
     let capture_text = net.capture().to_text();
-    println!(
-        "\ncaptured {} packets; first three:",
-        net.capture().len()
-    );
+    println!("\ncaptured {} packets; first three:", net.capture().len());
     for line in capture_text.lines().take(3) {
         println!("  {line}");
     }

@@ -1,0 +1,195 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no access to crates.io. This shim keeps the
+//! workspace's Criterion benches compiling and runnable: every registered
+//! routine executes its body a handful of times and reports wall-clock
+//! timings to stdout. There is no statistical analysis — the benches act
+//! as smoke tests plus a rough timing signal.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Measurement context handed to bench closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters_run: u64,
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Times `routine` over a few iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        const ITERS: u64 = 3;
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            black_box(routine());
+        }
+        self.elapsed_ns += start.elapsed().as_nanos();
+        self.iters_run += ITERS;
+    }
+
+    /// Times `routine` over fresh inputs built by `setup` (setup excluded
+    /// from the measurement).
+    pub fn iter_with_setup<S, O, FS, FR>(&mut self, mut setup: FS, mut routine: FR)
+    where
+        FS: FnMut() -> S,
+        FR: FnMut(S) -> O,
+    {
+        const ITERS: u64 = 3;
+        for _ in 0..ITERS {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed_ns += start.elapsed().as_nanos();
+        }
+        self.iters_run += ITERS;
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters_run > 0 {
+            let per_iter = self.elapsed_ns / u128::from(self.iters_run);
+            println!("bench {name}: {per_iter} ns/iter ({} iters)", self.iters_run);
+        }
+    }
+}
+
+/// Throughput annotation (accepted, not analysed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for one parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new<D: fmt::Display>(name: &str, parameter: D) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// An id made of the parameter alone.
+    pub fn from_parameter<D: fmt::Display>(parameter: D) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Top-level bench registry and runner.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepted for API compatibility; sampling is fixed in this shim.
+    #[must_use]
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one named bench routine.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Opens a named group of related benches.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.to_string() }
+    }
+
+    /// No-op; summaries print as benches run.
+    pub fn final_summary(&self) {}
+}
+
+/// A group of related benches sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates the group's throughput (accepted, not analysed).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one bench routine inside the group.
+    pub fn bench_function<D, F>(&mut self, id: D, mut f: F) -> &mut Self
+    where
+        D: fmt::Display,
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Runs one bench routine with a borrowed input.
+    pub fn bench_with_input<D, I, F>(&mut self, id: D, input: &I, mut f: F) -> &mut Self
+    where
+        D: fmt::Display,
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a bench group function that runs each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Bench binaries are also built (and run) under `cargo test
+            // --benches`; the test harness passes flags this shim ignores.
+            $($group();)+
+        }
+    };
+}

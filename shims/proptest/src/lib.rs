@@ -1,0 +1,609 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! a deterministic, dependency-free subset of the proptest API that the
+//! workspace's property tests actually use:
+//!
+//! * the [`proptest!`] macro (each test body runs for a fixed number of
+//!   cases with inputs drawn from a splitmix64 stream seeded by the test
+//!   name — fully deterministic across runs and machines),
+//! * [`Strategy`] with `prop_map`, integer range strategies, tuple
+//!   strategies, [`any`] for primitives,
+//! * [`collection::vec`], [`collection::btree_set`],
+//! * [`string::string_regex`] for the simple character-class regexes the
+//!   tests generate names from,
+//! * [`sample::Index`], and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Shrinking is intentionally not implemented: on failure the macro panics
+//! with the failing case number, which is reproducible as-is.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic splitmix64 generator driving all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// An rng for one named test case, derived only from the test's
+    /// identifier and the case number.
+    pub fn for_case(test_id: &str, case: u64) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_id.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15) }
+    }
+
+    /// Next raw 64-bit value (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[lo, hi)`; `hi` must exceed `lo`.
+    pub fn below(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(hi > lo);
+        lo + self.next_u64() % (hi - lo)
+    }
+}
+
+/// A generator of values for one test input.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.below(self.start as u64, self.end as u64) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as u64, *self.end() as u64);
+                if hi == u64::MAX {
+                    rng.next_u64() as $t
+                } else {
+                    rng.below(lo, hi + 1) as $t
+                }
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = FullRange<$t>;
+            fn arbitrary() -> FullRange<$t> {
+                FullRange(std::marker::PhantomData)
+            }
+        }
+        impl Strategy for FullRange<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let frac = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                self.start + frac * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+float_strategies!(f32, f64);
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        string::string_regex(self)
+            .unwrap_or_else(|e| panic!("string literal strategy: {e}"))
+            .generate(rng)
+    }
+}
+
+/// Strategy over a primitive type's whole domain.
+#[derive(Debug, Clone, Copy)]
+pub struct FullRange<T>(std::marker::PhantomData<T>);
+
+impl Strategy for FullRange<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary {
+    /// The strategy [`any`] returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The whole-domain strategy for this type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+impl Arbitrary for bool {
+    type Strategy = FullRange<bool>;
+
+    fn arbitrary() -> FullRange<bool> {
+        FullRange(std::marker::PhantomData)
+    }
+}
+
+/// The canonical strategy for `T`'s whole domain.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident/$i:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A/0);
+    (A/0, B/1);
+    (A/0, B/1, C/2);
+    (A/0, B/1, C/2, D/3);
+    (A/0, B/1, C/2, D/3, E/4);
+    (A/0, B/1, C/2, D/3, E/4, F/5);
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6);
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7);
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7, I/8);
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7, I/8, J/9);
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.below(self.len.start as u64, self.len.end as u64) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` with a size drawn from `len`.
+    ///
+    /// Duplicates are redrawn; if the element domain is too small to reach
+    /// the requested minimum the set is returned as large as it got.
+    pub fn btree_set<S>(element: S, len: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, len }
+    }
+
+    /// Strategy returned by [`btree_set`].
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let want = rng.below(self.len.start as u64, self.len.end as u64) as usize;
+            let mut out = BTreeSet::new();
+            let mut attempts = 0usize;
+            while out.len() < want && attempts < want * 20 + 50 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// String strategies.
+pub mod string {
+    use super::{Strategy, TestRng};
+    use std::fmt;
+
+    /// Error from [`string_regex`] on an unsupported pattern.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(String);
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "unsupported regex: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// One parsed regex atom with its repetition bounds.
+    #[derive(Debug, Clone)]
+    enum Node {
+        /// A set of candidate characters.
+        Class(Vec<char>),
+        /// A nested group.
+        Group(Vec<(Node, u32, u32)>),
+    }
+
+    /// Strategy generating strings matched by a simple regex.
+    #[derive(Debug, Clone)]
+    pub struct RegexStrategy {
+        nodes: Vec<(Node, u32, u32)>,
+    }
+
+    /// Builds a generator for the character-class subset of regex syntax:
+    /// literals, escaped literals, `[...]` classes with ranges, `(...)`
+    /// groups, and the `{m}`, `{m,n}`, `?`, `*`, `+` quantifiers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] on syntax outside that subset (alternation,
+    /// anchors, etc.).
+    pub fn string_regex(pattern: &str) -> Result<RegexStrategy, Error> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0;
+        let nodes = parse_sequence(&chars, &mut pos, pattern)?;
+        if pos != chars.len() {
+            return Err(Error(pattern.to_string()));
+        }
+        Ok(RegexStrategy { nodes })
+    }
+
+    fn parse_sequence(
+        chars: &[char],
+        pos: &mut usize,
+        pattern: &str,
+    ) -> Result<Vec<(Node, u32, u32)>, Error> {
+        let mut out = Vec::new();
+        while *pos < chars.len() && chars[*pos] != ')' {
+            let node = match chars[*pos] {
+                '[' => {
+                    *pos += 1;
+                    let mut set = Vec::new();
+                    while *pos < chars.len() && chars[*pos] != ']' {
+                        let lo = chars[*pos];
+                        if lo == '\\' {
+                            *pos += 1;
+                            set.push(chars[*pos]);
+                            *pos += 1;
+                            continue;
+                        }
+                        if *pos + 2 < chars.len()
+                            && chars[*pos + 1] == '-'
+                            && chars[*pos + 2] != ']'
+                        {
+                            let hi = chars[*pos + 2];
+                            for c in lo..=hi {
+                                set.push(c);
+                            }
+                            *pos += 3;
+                        } else {
+                            set.push(lo);
+                            *pos += 1;
+                        }
+                    }
+                    if *pos >= chars.len() || set.is_empty() {
+                        return Err(Error(pattern.to_string()));
+                    }
+                    *pos += 1; // ']'
+                    Node::Class(set)
+                }
+                '(' => {
+                    *pos += 1;
+                    let inner = parse_sequence(chars, pos, pattern)?;
+                    if *pos >= chars.len() || chars[*pos] != ')' {
+                        return Err(Error(pattern.to_string()));
+                    }
+                    *pos += 1; // ')'
+                    Node::Group(inner)
+                }
+                '\\' => {
+                    *pos += 1;
+                    if *pos >= chars.len() {
+                        return Err(Error(pattern.to_string()));
+                    }
+                    let c = chars[*pos];
+                    *pos += 1;
+                    Node::Class(vec![c])
+                }
+                '|' | '^' | '$' | '.' | '{' | '}' | '?' | '*' | '+' => {
+                    return Err(Error(pattern.to_string()))
+                }
+                c => {
+                    *pos += 1;
+                    Node::Class(vec![c])
+                }
+            };
+            let (min, max) = parse_quantifier(chars, pos, pattern)?;
+            out.push((node, min, max));
+        }
+        Ok(out)
+    }
+
+    fn parse_quantifier(
+        chars: &[char],
+        pos: &mut usize,
+        pattern: &str,
+    ) -> Result<(u32, u32), Error> {
+        if *pos >= chars.len() {
+            return Ok((1, 1));
+        }
+        match chars[*pos] {
+            '?' => {
+                *pos += 1;
+                Ok((0, 1))
+            }
+            '*' => {
+                *pos += 1;
+                Ok((0, 8))
+            }
+            '+' => {
+                *pos += 1;
+                Ok((1, 8))
+            }
+            '{' => {
+                *pos += 1;
+                let mut min = 0u32;
+                while *pos < chars.len() && chars[*pos].is_ascii_digit() {
+                    min = min * 10 + chars[*pos].to_digit(10).unwrap();
+                    *pos += 1;
+                }
+                let max = if *pos < chars.len() && chars[*pos] == ',' {
+                    *pos += 1;
+                    let mut m = 0u32;
+                    while *pos < chars.len() && chars[*pos].is_ascii_digit() {
+                        m = m * 10 + chars[*pos].to_digit(10).unwrap();
+                        *pos += 1;
+                    }
+                    m
+                } else {
+                    min
+                };
+                if *pos >= chars.len() || chars[*pos] != '}' || max < min {
+                    return Err(Error(pattern.to_string()));
+                }
+                *pos += 1;
+                Ok((min, max))
+            }
+            _ => Ok((1, 1)),
+        }
+    }
+
+    fn emit(nodes: &[(Node, u32, u32)], rng: &mut TestRng, out: &mut String) {
+        for (node, min, max) in nodes {
+            let reps = if max > min {
+                rng.below(u64::from(*min), u64::from(*max) + 1) as u32
+            } else {
+                *min
+            };
+            for _ in 0..reps {
+                match node {
+                    Node::Class(set) => {
+                        let i = rng.below(0, set.len() as u64) as usize;
+                        out.push(set[i]);
+                    }
+                    Node::Group(inner) => emit(inner, rng, out),
+                }
+            }
+        }
+    }
+
+    impl Strategy for RegexStrategy {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            emit(&self.nodes, rng, &mut out);
+            out
+        }
+    }
+}
+
+/// Sampling helpers.
+pub mod sample {
+    use super::{Arbitrary, FullRange, Strategy, TestRng};
+
+    /// An index into a collection whose length is only known at use time.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Projects this sample onto `0..len` (`len` of 0 maps to 0).
+        pub fn index(&self, len: usize) -> usize {
+            if len == 0 {
+                0
+            } else {
+                (self.0 % len as u64) as usize
+            }
+        }
+    }
+
+    impl Arbitrary for Index {
+        type Strategy = FullRange<Index>;
+
+        fn arbitrary() -> FullRange<Index> {
+            FullRange(std::marker::PhantomData)
+        }
+    }
+
+    impl Strategy for FullRange<Index> {
+        type Value = Index;
+
+        fn generate(&self, rng: &mut TestRng) -> Index {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+/// The common imports property tests start from.
+pub mod prelude {
+    /// Alias letting tests write `prop::sample::Index` etc.
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary, Just,
+        Strategy,
+    };
+}
+
+/// Runs each enclosed test function over a deterministic stream of cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            const CASES: u64 = 48;
+            for case in 0..CASES {
+                let mut __proptest_rng = $crate::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __proptest_rng);)+
+                let __proptest_run = || $body;
+                __proptest_run();
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = crate::TestRng::for_case("t", 3);
+        let mut b = crate::TestRng::for_case("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3u8..9, y in 1u64..=4) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((1..=4).contains(&y));
+        }
+
+        #[test]
+        fn regex_subset_generates_matching_shapes(
+            s in crate::string::string_regex("[a-z]{2,4}(\\.[a-z]{2,4}){0,2}").unwrap()
+        ) {
+            for part in s.split('.') {
+                prop_assert!((2..=4).contains(&part.len()));
+                prop_assert!(part.bytes().all(|b| b.is_ascii_lowercase()));
+            }
+        }
+    }
+}

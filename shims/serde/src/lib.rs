@@ -1,0 +1,10 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, and the workspace only
+//! uses serde for `#[derive(Serialize, Deserialize)]` annotations on data
+//! types — nothing is ever serialized (there is no format crate in the
+//! dependency graph). This shim re-exports no-op derive macros so those
+//! annotations keep compiling unchanged.
+
+/// No-op derive macros standing in for the real serde derives.
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on data types but never
+//! actually serializes anything (no `serde_json`/`bincode` dependency), so
+//! the derives only need to parse — they can expand to nothing. This keeps
+//! the workspace building in environments with no access to crates.io.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and any `#[serde(...)]` helper
+/// attributes) and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and any `#[serde(...)]` helper
+/// attributes) and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

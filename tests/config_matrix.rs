@@ -50,7 +50,7 @@ fn huque_run(method: InstallMethod) -> lookaside::leakage::LeakageReport {
         capture: CaptureFilter::DlvOnly,
         seed: 21,
         dlv_span_ttl: lookaside_server::DLV_SPAN_TTL,
-            dlv_denial: lookaside_zone::DenialMode::Nsec,
+        dlv_denial: lookaside_zone::DenialMode::Nsec,
     };
     run(&config).leakage
 }
@@ -82,10 +82,7 @@ fn islands_reach_dlv_under_every_method() {
         let report = huque_run(method);
         let reached = islands
             .iter()
-            .filter(|d| {
-                report.leaked_names.contains(&d.name)
-                    || (d.deposited && report.case1 > 0)
-            })
+            .filter(|d| report.leaked_names.contains(&d.name) || (d.deposited && report.case1 > 0))
             .count();
         assert!(reached >= 3, "method {method:?}: only {reached} islands reached DLV");
     }
@@ -106,16 +103,12 @@ fn unbound_never_leaks_secured_domains() {
         capture: CaptureFilter::DlvOnly,
         seed: 22,
         dlv_span_ttl: lookaside_server::DLV_SPAN_TTL,
-            dlv_denial: lookaside_zone::DenialMode::Nsec,
+        dlv_denial: lookaside_zone::DenialMode::Nsec,
     };
     let report = run(&config).leakage;
     let corpus = lookaside_workload::huque45();
     for d in corpus.iter().filter(|d| d.ds_in_parent) {
-        assert!(
-            !report.leaked_names.contains(&d.name),
-            "{} leaked under correct Unbound",
-            d.name
-        );
+        assert!(!report.leaked_names.contains(&d.name), "{} leaked under correct Unbound", d.name);
     }
 }
 
@@ -131,7 +124,7 @@ fn disabling_lookaside_stops_all_dlv_traffic() {
         capture: CaptureFilter::DlvOnly,
         seed: 23,
         dlv_span_ttl: lookaside_server::DLV_SPAN_TTL,
-            dlv_denial: lookaside_zone::DenialMode::Nsec,
+        dlv_denial: lookaside_zone::DenialMode::Nsec,
     };
     let outcome = run(&config);
     assert_eq!(outcome.leakage.dlv_queries, 0);

@@ -62,10 +62,7 @@ fn capture_and_classifier_agree_with_ground_truth() {
     // Every leaked name must really have no deposit, and every Case-1 hit
     // must have one (ground truth from the registry build).
     for name in &report.leaked_names {
-        assert!(
-            !internet.is_deposited(name),
-            "{name} was classified leaked but has a deposit"
-        );
+        assert!(!internet.is_deposited(name), "{name} was classified leaked but has a deposit");
     }
     assert!(report.case2 > 20, "popular domains leak ({})", report.case2);
     assert_eq!(report.dlv_queries, report.dlv_responses);
@@ -157,7 +154,7 @@ fn run_outcomes_are_reproducible_end_to_end() {
         capture: CaptureFilter::DlvOnly,
         seed: 99,
         dlv_span_ttl: lookaside_server::DLV_SPAN_TTL,
-            dlv_denial: lookaside_zone::DenialMode::Nsec,
+        dlv_denial: lookaside_zone::DenialMode::Nsec,
     };
     let a = run(&config);
     let b = run(&config);

@@ -60,8 +60,7 @@ fn table5_ratio_ordering_and_growth() {
 #[test]
 fn table4_per_domain_rates_fall_with_caching() {
     let rows = table4(&[100, 1_000], 5);
-    let per_domain =
-        |r: &lookaside::experiments::Table4Row| r.total() as f64 / r.n as f64;
+    let per_domain = |r: &lookaside::experiments::Table4Row| r.total() as f64 / r.n as f64;
     assert!(
         per_domain(&rows[1]) < per_domain(&rows[0]),
         "infrastructure caching amortises: {:.2} vs {:.2}",

@@ -74,8 +74,7 @@ fn txt_poison_attack_restores_leakage() {
 
 #[test]
 fn dictionary_attack_scales_with_dictionary_coverage() {
-    let pop =
-        DomainPopulation::new(PopulationParams { size: 2000, ..PopulationParams::default() });
+    let pop = DomainPopulation::new(PopulationParams { size: 2000, ..PopulationParams::default() });
     let full: Vec<_> = (1..=500).map(|r| pop.domain(r)).collect();
     let partial: Vec<_> = (1..=500).step_by(10).map(|r| pop.domain(r)).collect();
     let big = dictionary_attack(120, 49, full);
