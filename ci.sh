@@ -1,11 +1,28 @@
 #!/usr/bin/env bash
-# Full CI gate: build, tests, lints, formatting. Run from the repo root.
+# Full CI gate: build, tests, lints, formatting, and the parallel-engine
+# determinism check. Run from the repo root.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo build --release
-cargo test -q
+
+# Tier-1 tests must pass at both worker-pool extremes: the engine's
+# contract is that LOOKASIDE_JOBS changes wall-clock time only, never
+# results.
+LOOKASIDE_JOBS=1 cargo test -q
+LOOKASIDE_JOBS=4 cargo test -q
+
 cargo clippy --workspace -- -D warnings
 cargo fmt --check
+
+# Byte-identity gate: `repro fig9` must print the same bytes at --jobs 1
+# and --jobs 4.
+mkdir -p target/ci
+./target/release/repro fig9 --jobs 1 > target/ci/fig9.jobs1.txt
+./target/release/repro fig9 --jobs 4 > target/ci/fig9.jobs4.txt
+if ! diff -u target/ci/fig9.jobs1.txt target/ci/fig9.jobs4.txt; then
+    echo "ci: FAIL — repro fig9 output diverges between --jobs 1 and --jobs 4" >&2
+    exit 1
+fi
 
 echo "ci: all green"

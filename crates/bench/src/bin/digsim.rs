@@ -191,9 +191,9 @@ fn main() -> ExitCode {
     let stats = internet.net.stats();
     println!(
         "\n;; upstream: {} queries, {} bytes, {:.1} ms simulated",
-        stats.total_queries,
+        stats.total_queries(),
         stats.total_bytes(),
-        stats.total_time_ns as f64 / 1e6
+        stats.total_time_ns() as f64 / 1e6
     );
 
     if options.trace {

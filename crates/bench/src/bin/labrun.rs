@@ -93,7 +93,7 @@ fn main() -> ExitCode {
         render_table(
             &["upstream queries", "bytes", "sim time (s)"],
             &[vec![
-                outcome.stats.total_queries.to_string(),
+                outcome.stats.total_queries().to_string(),
                 outcome.stats.total_bytes().to_string(),
                 format!("{:.2}", outcome.stats.total_seconds()),
             ]]

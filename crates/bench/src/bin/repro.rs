@@ -1,12 +1,18 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--full] [table1|table2|table3|table4|table5|fig8|fig9|fig10|
-//!                 fig11|fig12|order|utility|survey|dict|attacks|all]
+//! repro [--full] [--jobs N] [table1|table2|table3|table4|table5|fig8|fig9|
+//!                            fig10|fig11|fig12|order|utility|survey|dict|
+//!                            attacks|all]
 //! ```
 //!
 //! Without `--full`, dataset sweeps stop at 10k domains (seconds); with it
 //! they include the 100k and 1M points (minutes).
+//!
+//! `--jobs N` (or the `LOOKASIDE_JOBS` environment variable) sets the
+//! worker-pool size the experiment engine shards sweeps across. The output
+//! is byte-identical for every N — parallelism only changes wall-clock
+//! time, never results.
 
 use std::env;
 
@@ -23,8 +29,24 @@ use lookaside_resolver::{environments, InstallMethod};
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
-    let what =
-        args.iter().find(|a| !a.starts_with("--")).map(String::as_str).unwrap_or("all").to_string();
+    if let Some(jobs) = parse_jobs(&args) {
+        // The engine reads LOOKASIDE_JOBS when experiments construct their
+        // executor; setting it here makes --jobs authoritative for the
+        // whole process.
+        env::set_var(lookaside::engine::JOBS_ENV, jobs.to_string());
+    }
+    let mut skip_next = false;
+    let what = args
+        .iter()
+        .filter(|a| {
+            let keep = !skip_next;
+            skip_next = **a == "--jobs";
+            keep && !a.starts_with("--")
+        })
+        .map(String::as_str)
+        .next()
+        .unwrap_or("all")
+        .to_string();
 
     let sweep: Vec<usize> = if full {
         let mut sizes = lookaside_bench::SWEEP_SIZES.to_vec();
@@ -102,6 +124,20 @@ fn main() {
     if wants("chaos") {
         print_chaos(if full { 120 } else { 25 });
     }
+}
+
+/// Extracts `--jobs N` / `--jobs=N` from the argument list.
+fn parse_jobs(args: &[String]) -> Option<usize> {
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--jobs" {
+            return it.next().and_then(|v| v.parse().ok());
+        }
+        if let Some(v) = arg.strip_prefix("--jobs=") {
+            return v.parse().ok();
+        }
+    }
+    None
 }
 
 fn print_table1() {
@@ -222,25 +258,7 @@ fn print_table5_fig10(sizes: &[usize]) {
 
 fn print_fig8_9(sizes: &[usize]) {
     println!("\n== Figs. 8\u{2013}9: DLV queries and leaked proportion ==");
-    let rows: Vec<Vec<String>> = fig8_9(sizes, 11)
-        .iter()
-        .map(|p| {
-            vec![
-                p.n.to_string(),
-                p.dlv_queries.to_string(),
-                p.leaked_domains.to_string(),
-                pct(p.proportion),
-                p.suppressed.to_string(),
-            ]
-        })
-        .collect();
-    print!(
-        "{}",
-        render_table(
-            &["#domains", "DLV queries", "leaked domains", "leaked %", "suppressed"],
-            &rows
-        )
-    );
+    print!("{}", lookaside::report::fig8_9_table(&fig8_9(sizes, 11)));
     println!("(paper: 84% @100 decaying ~linearly in log N to 6.8% @1M)");
 }
 

@@ -174,16 +174,31 @@ pub struct ChaosPoint {
     pub servfail_entries: (usize, usize),
 }
 
-/// Runs the full sweep: every fault level crossed with every timer
-/// profile, in the given order.
+/// Runs the full sweep on the session executor (`--jobs` /
+/// `LOOKASIDE_JOBS`): every fault level crossed with every timer profile,
+/// in profile-major order.
 pub fn chaos_outage(config: &ChaosConfig) -> Vec<ChaosPoint> {
-    let mut points = Vec::with_capacity(config.outages.len() * config.profiles.len());
+    chaos_outage_with(&crate::parallel::executor(), config)
+}
+
+/// [`chaos_outage`] on an explicit executor. Every grid cell already
+/// builds a fresh Internet replica, so cells are natural shards: the
+/// point list comes back in the same profile-major order the serial loop
+/// produced, identical for every worker count.
+pub fn chaos_outage_with(
+    exec: &lookaside_engine::Executor,
+    config: &ChaosConfig,
+) -> Vec<ChaosPoint> {
+    let mut cells = Vec::with_capacity(config.outages.len() * config.profiles.len());
     for &profile in &config.profiles {
         for &outage in &config.outages {
-            points.push(run_cell(config, outage, profile));
+            cells.push((outage, profile));
         }
     }
-    points
+    let shards = lookaside_engine::ShardPlan::new(config.seed).over(cells);
+    lookaside_engine::expect_all(
+        exec.run(&shards, |shard| run_cell(config, shard.input.0, shard.input.1)),
+    )
 }
 
 fn run_cell(config: &ChaosConfig, outage: Outage, profile: TimerProfile) -> ChaosPoint {

@@ -4,8 +4,9 @@
 //! simulated Internet (cold caches, like the paper's per-dataset runs),
 //! drives the resolver, and interprets the packet capture.
 
+use lookaside_engine::{expect_all, Executor, ShardPlan};
 use lookaside_netsim::{CaptureFilter, TrafficStats};
-use lookaside_resolver::{BindConfig, Counters, InstallMethod, ResolverConfig, SecurityStatus};
+use lookaside_resolver::{BindConfig, Counters, InstallMethod, ResolverConfig};
 use lookaside_wire::ext::RemedyMode;
 use lookaside_wire::{Name, RrType};
 use lookaside_workload::{DitlTrace, PopulationParams, Zipf};
@@ -33,7 +34,7 @@ pub enum QuerySet {
 }
 
 impl QuerySet {
-    fn max_rank(&self) -> usize {
+    pub(crate) fn max_rank(&self) -> usize {
         match self {
             QuerySet::Top(n) | QuerySet::Shuffled { n, .. } => *n,
             QuerySet::Ranks(ranks) => ranks.iter().copied().max().unwrap_or(0),
@@ -141,6 +142,18 @@ pub struct StatusTally {
     pub errors: usize,
 }
 
+impl StatusTally {
+    /// Adds another shard's tallies — all fields are additive counts.
+    pub fn merge(&mut self, other: &StatusTally) {
+        self.secure += other.secure;
+        self.secure_via_dlv += other.secure_via_dlv;
+        self.insecure += other.insecure;
+        self.bogus += other.bogus;
+        self.indeterminate += other.indeterminate;
+        self.errors += other.errors;
+    }
+}
+
 /// Everything a run produced.
 #[derive(Debug, Clone)]
 pub struct RunOutcome {
@@ -171,20 +184,8 @@ pub fn run(config: &RunConfig) -> RunOutcome {
     let names = config.queries.names(&internet);
     let mut statuses = StatusTally::default();
     for name in &names {
-        match resolver.resolve(&mut internet.net, name, RrType::A) {
-            Ok(res) => match res.status {
-                SecurityStatus::Secure => {
-                    statuses.secure += 1;
-                    if res.secured_via_dlv {
-                        statuses.secure_via_dlv += 1;
-                    }
-                }
-                SecurityStatus::Insecure => statuses.insecure += 1,
-                SecurityStatus::Bogus => statuses.bogus += 1,
-                SecurityStatus::Indeterminate => statuses.indeterminate += 1,
-            },
-            Err(_) => statuses.errors += 1,
-        }
+        let result = resolver.resolve(&mut internet.net, name, RrType::A);
+        crate::parallel::tally(&mut statuses, &result);
     }
     RunOutcome {
         stats: internet.net.stats().clone(),
@@ -392,23 +393,30 @@ pub struct LeakPoint {
     pub suppressed: u64,
 }
 
-/// Runs the Fig. 8 / Fig. 9 sweep.
+/// Runs the Fig. 8 / Fig. 9 sweep on the session executor (`--jobs` /
+/// `LOOKASIDE_JOBS`).
 pub fn fig8_9(sizes: &[usize], seed: u64) -> Vec<LeakPoint> {
-    sizes
-        .iter()
-        .map(|&n| {
-            let mut config = RunConfig::for_top(n, RemedyMode::None);
-            config.seed = seed;
-            let outcome = run(&config);
-            LeakPoint {
-                n,
-                dlv_queries: outcome.leakage.dlv_queries,
-                leaked_domains: count_leaked_ranked(&outcome),
-                proportion: count_leaked_ranked(&outcome) as f64 / n as f64,
-                suppressed: outcome.counters.dlv_suppressed_by_nsec,
-            }
-        })
-        .collect()
+    fig8_9_with(&crate::parallel::executor(), sizes, seed)
+}
+
+/// [`fig8_9`] on an explicit executor. Each dataset size is one shard — a
+/// full cold-cache run, exactly as the serial sweep performed them — so
+/// the reduced point list is identical for every worker count.
+pub fn fig8_9_with(exec: &Executor, sizes: &[usize], seed: u64) -> Vec<LeakPoint> {
+    let shards = ShardPlan::new(seed).over(sizes.iter().copied());
+    expect_all(exec.run(&shards, |shard| {
+        let n = shard.input;
+        let mut config = RunConfig::for_top(n, RemedyMode::None);
+        config.seed = seed;
+        let outcome = run(&config);
+        LeakPoint {
+            n,
+            dlv_queries: outcome.leakage.dlv_queries,
+            leaked_domains: count_leaked_ranked(&outcome),
+            proportion: count_leaked_ranked(&outcome) as f64 / n as f64,
+            suppressed: outcome.counters.dlv_suppressed_by_nsec,
+        }
+    }))
 }
 
 /// Distinct leaked *ranked domains* (TLD-level strip leaks and hoster-zone
@@ -482,7 +490,7 @@ pub fn fig11(n: usize, seed: u64) -> Vec<Fig11Row> {
                 remedy: remedy.label().to_string(),
                 seconds: outcome.stats.total_seconds(),
                 megabytes: outcome.stats.total_megabytes(),
-                queries: outcome.stats.total_queries,
+                queries: outcome.stats.total_queries(),
                 leaks: outcome.leakage.case2,
             }
         })
@@ -575,29 +583,34 @@ pub struct VantageRow {
 /// returns the leakage per vantage — identical by construction of the
 /// mechanism, which is the point being verified.
 pub fn vantage_sweep(n: usize, seed: u64) -> Vec<VantageRow> {
-    crate::internet::VantagePoint::ALL
-        .iter()
-        .map(|&vantage| {
-            let population = PopulationParams { size: n.max(1000), ..PopulationParams::default() };
-            let mut params = InternetParams::for_top(n, population, RemedyMode::None);
-            params.seed = seed;
-            params.vantage = vantage;
-            let mut internet = Internet::build(params);
-            let mut resolver =
-                internet.resolver(ResolverConfig::Bind(BindConfig::correct()), seed ^ 0x7a);
-            for rank in 1..=n {
-                let qname = internet.population.domain(rank);
-                let _ = resolver.resolve(&mut internet.net, &qname, RrType::A);
-            }
-            let leakage = classify(internet.net.capture(), &internet.dlv_apex);
-            VantageRow {
-                vantage: vantage.label().to_string(),
-                leaks: leakage.case2,
-                distinct_leaked: leakage.distinct_leaked(),
-                seconds: internet.net.stats().total_seconds(),
-            }
-        })
-        .collect()
+    vantage_sweep_with(&crate::parallel::executor(), n, seed)
+}
+
+/// [`vantage_sweep`] on an explicit executor: one shard per vantage, each
+/// building its own Internet replica with that vantage's latency profile.
+pub fn vantage_sweep_with(exec: &Executor, n: usize, seed: u64) -> Vec<VantageRow> {
+    let shards = ShardPlan::new(seed).over(crate::internet::VantagePoint::ALL);
+    expect_all(exec.run(&shards, |shard| {
+        let vantage = shard.input;
+        let population = PopulationParams { size: n.max(1000), ..PopulationParams::default() };
+        let mut params = InternetParams::for_top(n, population, RemedyMode::None);
+        params.seed = seed;
+        params.vantage = vantage;
+        let mut internet = Internet::build(params);
+        let mut resolver =
+            internet.resolver(ResolverConfig::Bind(BindConfig::correct()), seed ^ 0x7a);
+        for rank in 1..=n {
+            let qname = internet.population.domain(rank);
+            let _ = resolver.resolve(&mut internet.net, &qname, RrType::A);
+        }
+        let leakage = classify(internet.net.capture(), &internet.dlv_apex);
+        VantageRow {
+            vantage: vantage.label().to_string(),
+            leaks: leakage.case2,
+            distinct_leaked: leakage.distinct_leaked(),
+            seconds: internet.net.stats().total_seconds(),
+        }
+    }))
 }
 
 /// One side of the §7.3 NSEC-vs-NSEC3 trade-off.
@@ -725,21 +738,30 @@ pub struct DeploymentPoint {
 /// become less significant as more domains are populated in the registry.
 /// Sweeps the deposit density and measures the leak fraction.
 pub fn deployment_sweep(n: usize, densities_milli: &[u16], seed: u64) -> Vec<DeploymentPoint> {
-    densities_milli
-        .iter()
-        .map(|&density| {
-            let mut config = RunConfig::for_top(n, RemedyMode::None);
-            config.seed = seed;
-            config.population.deposited_given_island_milli = density;
-            let outcome = run(&config);
-            DeploymentPoint {
-                deposited_given_island_milli: density,
-                case1: outcome.leakage.case1,
-                case2: outcome.leakage.case2,
-                leak_fraction: outcome.leakage.leak_fraction(),
-            }
-        })
-        .collect()
+    deployment_sweep_with(&crate::parallel::executor(), n, densities_milli, seed)
+}
+
+/// [`deployment_sweep`] on an explicit executor: one shard per density.
+pub fn deployment_sweep_with(
+    exec: &Executor,
+    n: usize,
+    densities_milli: &[u16],
+    seed: u64,
+) -> Vec<DeploymentPoint> {
+    let shards = ShardPlan::new(seed).over(densities_milli.iter().copied());
+    expect_all(exec.run(&shards, |shard| {
+        let density = shard.input;
+        let mut config = RunConfig::for_top(n, RemedyMode::None);
+        config.seed = seed;
+        config.population.deposited_given_island_milli = density;
+        let outcome = run(&config);
+        DeploymentPoint {
+            deposited_given_island_milli: density,
+            case1: outcome.leakage.case1,
+            case2: outcome.leakage.case2,
+            leak_fraction: outcome.leakage.leak_fraction(),
+        }
+    }))
 }
 
 /// Results of replaying a repeat-heavy query trace through the *real*
@@ -797,8 +819,8 @@ pub fn trace_replay(draws: usize, support: usize, seed: u64) -> Vec<TraceReplayR
                 remedy: remedy.label().to_string(),
                 stub_queries: draws,
                 distinct_domains: distinct.len(),
-                upstream_queries: stats.total_queries,
-                upstream_per_query: stats.total_queries as f64 / draws as f64,
+                upstream_queries: stats.total_queries(),
+                upstream_per_query: stats.total_queries() as f64 / draws as f64,
                 txt_probes: stats.queries_of(RrType::Txt),
             }
         })
@@ -828,62 +850,89 @@ pub struct Fig12Data {
 /// aggregate volumes). `scale` divides the trace volume for cheap test
 /// runs; use 1 for the full figure.
 pub fn fig12(seed: u64, scale: u64) -> Fig12Data {
+    fig12_with(&crate::parallel::executor(), seed, scale)
+}
+
+/// [`fig12`] on an explicit executor.
+///
+/// Parallel decomposition: the cache model resets its TTL window every 60
+/// minutes, so the 420-minute trace is seven *independent* windows. Each
+/// window is one shard with its own splitmix draw stream (seeded from the
+/// shard seed), simulated in isolation; reduction concatenates the
+/// windows in shard order and prefix-sums the cumulative series — the
+/// same totals at any worker count. The two calibration runs (baseline
+/// and TXT remedy) are likewise independent shards.
+pub fn fig12_with(exec: &Executor, seed: u64, scale: u64) -> Fig12Data {
     assert!(scale >= 1);
     let trace = DitlTrace::generate(seed);
 
     // Calibration: measure average upstream bytes per cold resolution and
-    // per TXT probe from a small real run.
-    let base = run(&RunConfig { capture: CaptureFilter::None, ..RunConfig::quick(60) });
-    let mut txt_cfg = RunConfig::quick(60);
-    txt_cfg.remedy = RemedyMode::TxtSignal;
-    txt_cfg.capture = CaptureFilter::None;
-    let txt = run(&txt_cfg);
+    // per TXT probe from a small real run of each configuration.
+    let calib = ShardPlan::new(seed ^ 0xca11b).over([RemedyMode::None, RemedyMode::TxtSignal]);
+    let calibrated = expect_all(exec.run(&calib, |shard| {
+        let mut cfg = RunConfig::quick(60);
+        cfg.remedy = shard.input;
+        cfg.capture = CaptureFilter::None;
+        run(&cfg)
+    }));
+    let (base, txt) = (&calibrated[0], &calibrated[1]);
     let cold_bytes_per_resolution = base.stats.total_bytes() as f64 / base.queried as f64;
     let txt_probes = txt.stats.queries_of(RrType::Txt).max(1);
     let txt_bytes_per_probe = txt.stats.bytes_of(RrType::Txt) as f64 / txt_probes as f64;
     // Stub-side cost of answering one query (query + typical answer).
     let stub_bytes_per_query = 130.0;
 
-    // Cache model over the trace: domains drawn Zipf(0.86) over 1M; a
-    // cache miss pays the cold upstream cost and (with the remedy) one TXT
-    // probe. TTL-window resets every 60 minutes. The exponent is calibrated
-    // so the full-scale (scale = 1) run lands near the paper's ≈1.2 GB /
-    // 0.38 Mbps signaling overhead; sampled runs (scale > 1) overstate the
-    // miss rate and are for smoke-testing only.
-    let zipf = Zipf::new(2_000_000, 0.92);
-    let mut seen = vec![false; zipf.n() + 1];
+    // Cache model over the trace: domains drawn Zipf over 2M; a cache
+    // miss pays the cold upstream cost and (with the remedy) one TXT
+    // probe. The exponent is calibrated so the full-scale (scale = 1) run
+    // lands near the paper's ≈1.2 GB / 0.38 Mbps signaling overhead;
+    // sampled runs (scale > 1) overstate the miss rate and are for
+    // smoke-testing only.
+    let windows: Vec<Vec<u64>> =
+        trace.per_minute().chunks(60).map(|chunk| chunk.to_vec()).collect();
+    let shards = ShardPlan::new(seed ^ 0xd17f).over(windows);
+    let per_window = expect_all(exec.run(&shards, |shard| {
+        let zipf = Zipf::new(2_000_000, 0.92);
+        let mut seen = vec![false; zipf.n() + 1];
+        let mut rng_state = shard.seed;
+        let mut next = || {
+            rng_state = rng_state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = rng_state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut minutes = Vec::with_capacity(shard.input.len());
+        for &volume in &shard.input {
+            let sampled = volume / scale;
+            let mut misses = 0u64;
+            for _ in 0..sampled {
+                let domain = zipf.sample_hash(next());
+                if !seen[domain] {
+                    seen[domain] = true;
+                    misses += 1;
+                }
+            }
+            let scaled_misses = misses * scale;
+            let base_bytes = (volume as f64 * stub_bytes_per_query) as u64
+                + (scaled_misses as f64 * cold_bytes_per_resolution) as u64;
+            let overhead_bytes = (scaled_misses as f64 * txt_bytes_per_probe) as u64;
+            minutes.push((volume, base_bytes, overhead_bytes));
+        }
+        minutes
+    }));
+
+    // Reduce in window order: concatenate, then prefix-sum.
     let mut cum_q = 0u64;
     let mut cum_base = 0u64;
     let mut cum_overhead = 0u64;
     let mut cumulative_queries = Vec::with_capacity(trace.per_minute().len());
     let mut cumulative_baseline_bytes = Vec::with_capacity(trace.per_minute().len());
     let mut cumulative_overhead_bytes = Vec::with_capacity(trace.per_minute().len());
-    let mut rng_state = seed ^ 0xd17f;
-    let mut next = || {
-        rng_state = rng_state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = rng_state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    };
-    for (minute, &volume) in trace.per_minute().iter().enumerate() {
-        if minute % 60 == 0 {
-            seen.iter_mut().for_each(|s| *s = false);
-        }
-        let sampled = volume / scale;
-        let mut misses = 0u64;
-        for _ in 0..sampled {
-            let domain = zipf.sample_hash(next());
-            if !seen[domain] {
-                seen[domain] = true;
-                misses += 1;
-            }
-        }
+    for (volume, base_bytes, overhead_bytes) in per_window.into_iter().flatten() {
         cum_q += volume;
-        let scaled_misses = misses * scale;
-        cum_base += (volume as f64 * stub_bytes_per_query) as u64
-            + (scaled_misses as f64 * cold_bytes_per_resolution) as u64;
-        cum_overhead += (scaled_misses as f64 * txt_bytes_per_probe) as u64;
+        cum_base += base_bytes;
+        cum_overhead += overhead_bytes;
         cumulative_queries.push(cum_q);
         cumulative_baseline_bytes.push(cum_base);
         cumulative_overhead_bytes.push(cum_overhead);
@@ -908,7 +957,7 @@ mod tests {
         let outcome = run(&RunConfig::quick(40));
         assert_eq!(outcome.queried, 40);
         assert!(outcome.leakage.case2 > 0, "popular domains leak");
-        assert!(outcome.stats.total_queries > 40, "ambient traffic present");
+        assert!(outcome.stats.total_queries() > 40, "ambient traffic present");
         assert!(outcome.elapsed_ns > 0);
         assert_eq!(
             outcome.statuses.secure

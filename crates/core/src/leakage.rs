@@ -50,6 +50,19 @@ impl LeakageReport {
     pub fn distinct_leaked(&self) -> usize {
         self.leaked_names.len()
     }
+
+    /// Merges another shard's report into this one: counts add, leaked
+    /// name sets union. Because [`classify`] examines each packet
+    /// independently and `leaked_names` is an order-insensitive set,
+    /// merging per-shard reports equals classifying the shards' merged
+    /// capture — a property the engine determinism tests pin down.
+    pub fn merge(&mut self, other: &LeakageReport) {
+        self.dlv_queries += other.dlv_queries;
+        self.dlv_responses += other.dlv_responses;
+        self.case1 += other.case1;
+        self.case2 += other.case2;
+        self.leaked_names.extend(other.leaked_names.iter().cloned());
+    }
 }
 
 /// Classifies a capture's DLV traffic against the registry apex.
@@ -129,6 +142,32 @@ mod tests {
         let leaked: Vec<String> = report.leaked_names.iter().map(|n| n.to_string()).collect();
         // Canonical order: names under com before net.
         assert_eq!(leaked, ["com.", "leaky.com.", "net."]);
+    }
+
+    #[test]
+    fn merged_reports_equal_report_of_merged_capture() {
+        let apex = Name::parse("dlv.isc.org.").unwrap();
+        let mut shard0 = Capture::new(CaptureFilter::DlvOnly);
+        shard0.record(packet("island.com.dlv.isc.org.", Direction::Query, Rcode::NoError));
+        shard0.record(packet("island.com.dlv.isc.org.", Direction::Response, Rcode::NoError));
+        shard0.record(packet("leaky.com.dlv.isc.org.", Direction::Query, Rcode::NoError));
+        shard0.record(packet("leaky.com.dlv.isc.org.", Direction::Response, Rcode::NxDomain));
+        let mut shard1 = Capture::new(CaptureFilter::DlvOnly);
+        shard1.record(packet("other.net.dlv.isc.org.", Direction::Query, Rcode::NoError));
+        shard1.record(packet("other.net.dlv.isc.org.", Direction::Response, Rcode::NxDomain));
+        // Same leaked name observed by both shards: the set must dedup.
+        shard1.record(packet("leaky.com.dlv.isc.org.", Direction::Query, Rcode::NoError));
+        shard1.record(packet("leaky.com.dlv.isc.org.", Direction::Response, Rcode::NxDomain));
+
+        let mut merged_reports = classify(&shard0, &apex);
+        merged_reports.merge(&classify(&shard1, &apex));
+
+        let mut merged_capture = Capture::new(CaptureFilter::DlvOnly);
+        merged_capture.merge(&shard0);
+        merged_capture.merge(&shard1);
+        assert_eq!(merged_reports, classify(&merged_capture, &apex));
+        assert_eq!(merged_reports.distinct_leaked(), 2);
+        assert_eq!(merged_reports.case2, 3);
     }
 
     #[test]

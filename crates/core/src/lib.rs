@@ -16,6 +16,10 @@
 //!   retransmission, with and without SERVFAIL caching,
 //! * [`attacks`] — §6.2.3 signaling attacks and the §6.2.4 dictionary
 //!   attack on hashed DLV,
+//! * [`parallel`] — the deterministic sharded execution glue: per-shard
+//!   [`parallel::Worker`]s owning private Internet replicas, driven by the
+//!   `lookaside-engine` thread pool (`--jobs` / `LOOKASIDE_JOBS`), with
+//!   reduction in shard-id order so any worker count is byte-identical,
 //! * [`report`] — plain-text table rendering for the `repro` binary.
 //!
 //! # Quickstart
@@ -37,12 +41,15 @@ pub mod client;
 pub mod experiments;
 pub mod internet;
 pub mod leakage;
+pub mod parallel;
 pub mod report;
 
 pub use client::Client;
 pub use internet::{Internet, InternetParams, VantagePoint};
 pub use leakage::{classify, LeakageReport};
+pub use parallel::{executor, run_sharded, Worker};
 
+pub use lookaside_engine as engine;
 pub use lookaside_netsim as netsim;
 pub use lookaside_resolver as resolver;
 pub use lookaside_server as server;

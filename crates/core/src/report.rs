@@ -1,5 +1,7 @@
 //! Plain-text table rendering for the `repro` binary and EXPERIMENTS.md.
 
+use crate::experiments::LeakPoint;
+
 /// Renders a fixed-width table with a header row and separator.
 ///
 /// # Example
@@ -46,6 +48,26 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
         out.push_str(&fmt_row(row, &widths));
     }
     out
+}
+
+/// Renders the Figs. 8–9 sweep as the canonical text table — the exact
+/// bytes `repro fig9` prints. Shared by the binary and the engine
+/// determinism tests, so "`--jobs 1` and `--jobs N` are byte-identical"
+/// is asserted against the same rendering the user sees.
+pub fn fig8_9_table(points: &[LeakPoint]) -> String {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.n.to_string(),
+                p.dlv_queries.to_string(),
+                p.leaked_domains.to_string(),
+                pct(p.proportion),
+                p.suppressed.to_string(),
+            ]
+        })
+        .collect();
+    render_table(&["#domains", "DLV queries", "leaked domains", "leaked %", "suppressed"], &rows)
 }
 
 /// Formats a fraction as a percentage with one decimal.

@@ -1,0 +1,123 @@
+//! Shard plans: deterministic decomposition of a workload.
+//!
+//! A [`ShardPlan`] turns one experiment's workload — sweep points, chaos
+//! grid cells, domain rank ranges, DITL trace windows — into numbered
+//! [`Shard`]s. The decomposition is a pure function of the inputs: shard
+//! `k` always receives the same slice of work and the same derived seed,
+//! so the executor may run shards on any number of threads in any order
+//! and reduction by shard id reproduces the single-threaded result
+//! bit for bit.
+
+use std::ops::Range;
+
+use crate::seed::splitmix64;
+
+/// One unit of schedulable work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shard<I> {
+    /// Position in the plan (0-based); also the reduction order.
+    pub id: usize,
+    /// The shard's private RNG seed, `splitmix64(root_seed, id)`.
+    pub seed: u64,
+    /// The slice of workload this shard owns.
+    pub input: I,
+}
+
+/// Factory for deterministic shard decompositions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    root_seed: u64,
+}
+
+impl ShardPlan {
+    /// A plan deriving every shard seed from `root_seed`.
+    pub fn new(root_seed: u64) -> Self {
+        ShardPlan { root_seed }
+    }
+
+    /// The root seed shard seeds derive from.
+    pub fn root_seed(self) -> u64 {
+        self.root_seed
+    }
+
+    /// One shard per item, in iteration order — the natural plan for
+    /// sweeps whose points are independent cells (dataset sizes, chaos
+    /// grid cells, vantage points, trace windows).
+    pub fn over<I>(self, items: impl IntoIterator<Item = I>) -> Vec<Shard<I>> {
+        items
+            .into_iter()
+            .enumerate()
+            .map(|(id, input)| Shard { id, seed: splitmix64(self.root_seed, id as u64), input })
+            .collect()
+    }
+
+    /// Splits a contiguous range into at most `shards` non-empty,
+    /// near-equal contiguous sub-ranges (earlier shards take the
+    /// remainder). Concatenating the sub-ranges in shard order always
+    /// reproduces `range` exactly.
+    pub fn split_range(self, range: Range<usize>, shards: usize) -> Vec<Shard<Range<usize>>> {
+        let len = range.end.saturating_sub(range.start);
+        if len == 0 {
+            return Vec::new();
+        }
+        let shards = shards.clamp(1, len);
+        let base = len / shards;
+        let extra = len % shards;
+        let mut out = Vec::with_capacity(shards);
+        let mut lo = range.start;
+        for id in 0..shards {
+            let take = base + usize::from(id < extra);
+            let hi = lo + take;
+            out.push(Shard { id, seed: splitmix64(self.root_seed, id as u64), input: lo..hi });
+            lo = hi;
+        }
+        debug_assert_eq!(lo, range.end);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn over_numbers_and_seeds_in_order() {
+        let shards = ShardPlan::new(9).over(["a", "b", "c"]);
+        assert_eq!(shards.len(), 3);
+        for (i, s) in shards.iter().enumerate() {
+            assert_eq!(s.id, i);
+            assert_eq!(s.seed, splitmix64(9, i as u64));
+        }
+        assert_eq!(shards[2].input, "c");
+    }
+
+    #[test]
+    fn split_range_concatenates_back() {
+        for (lo, hi, k) in [(1usize, 101, 4), (0, 7, 3), (5, 6, 8), (10, 10, 2), (1, 9, 1)] {
+            let shards = ShardPlan::new(1).split_range(lo..hi, k);
+            let mut walked = lo;
+            for (i, s) in shards.iter().enumerate() {
+                assert_eq!(s.id, i);
+                assert_eq!(s.input.start, walked, "contiguous");
+                assert!(!s.input.is_empty(), "no empty shards");
+                walked = s.input.end;
+            }
+            assert_eq!(walked, if lo == hi { lo } else { hi });
+            assert!(shards.len() <= k.max(1));
+        }
+    }
+
+    #[test]
+    fn split_range_balances_sizes() {
+        let shards = ShardPlan::new(0).split_range(0..10, 4);
+        let sizes: Vec<usize> = shards.iter().map(|s| s.input.len()).collect();
+        assert_eq!(sizes, [3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let a = ShardPlan::new(77).split_range(1..1000, 8);
+        let b = ShardPlan::new(77).split_range(1..1000, 8);
+        assert_eq!(a, b);
+    }
+}

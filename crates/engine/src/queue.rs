@@ -1,0 +1,143 @@
+//! A bounded multi-producer/multi-consumer work queue.
+//!
+//! The executor feeds shards through this queue so that a plan with
+//! thousands of shards never materialises thousands of in-flight tasks:
+//! the producer blocks once `capacity` items are waiting, and workers
+//! drain in FIFO order. Closing the queue wakes everyone; a closed,
+//! drained queue yields `None` to consumers.
+//!
+//! Ordering note: the queue preserves *submission* order, but the engine
+//! never relies on it for determinism — results are keyed by shard id, so
+//! any interleaving of workers reduces to the same output.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A blocking FIFO queue with a hard capacity bound.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(State { items: VecDeque::new(), closed: false }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueues `item`, blocking while the queue is full. Returns `false`
+    /// (dropping the item) if the queue was closed.
+    pub fn push(&self, item: T) -> bool {
+        let mut state = self.state.lock().expect("queue poisoned");
+        while state.items.len() >= self.capacity && !state.closed {
+            state = self.not_full.wait(state).expect("queue poisoned");
+        }
+        if state.closed {
+            return false;
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Dequeues the oldest item, blocking while the queue is empty and
+    /// open. Returns `None` once the queue is closed and drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: producers stop, consumers drain what remains.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let q = BoundedQueue::new(4);
+        assert!(q.push(1));
+        assert!(q.push(2));
+        q.close();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn push_after_close_is_rejected() {
+        let q: BoundedQueue<u8> = BoundedQueue::new(1);
+        q.close();
+        assert!(!q.push(9));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn producer_blocks_at_capacity_until_drained() {
+        let q = Arc::new(BoundedQueue::new(2));
+        let producer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                for i in 0..100u32 {
+                    assert!(q.push(i));
+                }
+                q.close();
+            })
+        };
+        let consumer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                let mut seen = Vec::new();
+                while let Some(i) = q.pop() {
+                    seen.push(i);
+                }
+                seen
+            })
+        };
+        producer.join().expect("producer");
+        let seen = consumer.join().expect("consumer");
+        assert_eq!(seen, (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let q: BoundedQueue<u8> = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+    }
+}

@@ -109,6 +109,25 @@ impl Capture {
         self.packets.iter().filter(|p| p.qtype == RrType::Dlv && p.direction == Direction::Response)
     }
 
+    /// Appends another capture's packets to this one, preserving each
+    /// capture's internal order — the simulator's "mergecap".
+    ///
+    /// Ordering contract: shard reductions call this in ascending shard
+    /// id, so the merged log is totally ordered by `(shard_id, seq)` —
+    /// packets from shard *k* all precede packets from shard *k+1*, and
+    /// within a shard capture order (the shard's virtual-time order) is
+    /// kept. Each shard runs its own virtual clock from zero, so
+    /// timestamps are **not** globally monotone after a merge; analyses
+    /// that classify per-name (leakage Case 1/Case 2) are insensitive to
+    /// this, exactly as the paper's offline pcap analysis is insensitive
+    /// to which measurement box captured a packet first.
+    ///
+    /// `other`'s packets were already filtered by its own filter at
+    /// record time; they are appended verbatim, not re-filtered.
+    pub fn merge(&mut self, other: &Capture) {
+        self.packets.extend(other.packets.iter().cloned());
+    }
+
     /// Clears retained packets (filter unchanged).
     pub fn clear(&mut self) {
         self.packets.clear();
@@ -280,6 +299,24 @@ mod tests {
         assert!(text.contains("# timeouts=1 retransmissions=2 duplicates=0"));
         let back = Capture::parse_text(&text).unwrap();
         assert_eq!(back.packets(), cap.packets());
+    }
+
+    #[test]
+    fn merge_appends_in_shard_order() {
+        let mut shard0 = Capture::new(CaptureFilter::All);
+        shard0.record(packet(RrType::Dlv, Direction::Query, Rcode::NoError));
+        shard0.record(packet(RrType::Dlv, Direction::Response, Rcode::NoError));
+        let mut shard1 = Capture::new(CaptureFilter::DlvOnly);
+        shard1.record(packet(RrType::A, Direction::Query, Rcode::NoError)); // dropped at record
+        shard1.record(packet(RrType::Dlv, Direction::Query, Rcode::NxDomain));
+        let mut merged = Capture::new(CaptureFilter::All);
+        merged.merge(&shard0);
+        merged.merge(&shard1);
+        assert_eq!(merged.len(), 3);
+        // Shard 0's packets precede shard 1's; order within a shard kept.
+        assert_eq!(merged.packets()[0], shard0.packets()[0]);
+        assert_eq!(merged.packets()[1], shard0.packets()[1]);
+        assert_eq!(merged.packets()[2], shard1.packets()[0]);
     }
 
     #[test]

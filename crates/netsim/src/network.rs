@@ -473,7 +473,7 @@ mod tests {
         let ex = net.exchange(addr(1), &q("example.com", RrType::A)).unwrap();
         assert_eq!(ex.response.rcode(), Rcode::NoError);
         assert!(ex.query_bytes > 12);
-        assert_eq!(net.stats().total_queries, 1);
+        assert_eq!(net.stats().total_queries(), 1);
         assert_eq!(net.stats().queries_of(RrType::A), 1);
         assert_eq!(net.now_ns(), ex.rtt_ns);
     }
@@ -507,7 +507,7 @@ mod tests {
         let a = net.exchange(addr(1), &q("a.com", RrType::A)).unwrap();
         let b = net.exchange(addr(1), &q("b.com", RrType::A)).unwrap();
         assert_eq!(net.now_ns(), a.rtt_ns + b.rtt_ns);
-        assert_eq!(net.stats().total_time_ns, net.now_ns());
+        assert_eq!(net.stats().total_time_ns(), net.now_ns());
     }
 
     #[test]
@@ -528,7 +528,7 @@ mod tests {
         net.exchange(addr(1), &q("a.com", RrType::A)).unwrap();
         net.reset_measurement();
         assert_eq!(net.now_ns(), 0);
-        assert_eq!(net.stats().total_queries, 0);
+        assert_eq!(net.stats().total_queries(), 0);
         assert!(net.has_node(addr(1)));
         assert!(net.exchange(addr(1), &q("b.com", RrType::A)).is_ok());
     }

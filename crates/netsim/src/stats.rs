@@ -3,6 +3,13 @@
 //! These counters feed the paper's overhead metrics directly: Table 4
 //! (queries by type), Table 5 and Fig. 10 (response time, traffic volume,
 //! issued queries), and Fig. 12 (cumulative bytes).
+//!
+//! Merge safety: every stored field is a primary additive counter, so
+//! [`TrafficStats::merge`] is plain component-wise addition and sharded
+//! runs reduce to exactly the totals a single run would have produced.
+//! Derived quantities — total queries, accumulated time, byte/ratio
+//! summaries — are computed on read from the per-type maps rather than
+//! stored, so there is no cached value a merge could leave stale.
 
 use std::collections::BTreeMap;
 
@@ -20,14 +27,10 @@ pub struct TrafficStats {
     pub time_by_type: BTreeMap<RrType, u64>,
     /// Responses received, by rcode.
     pub responses_by_rcode: BTreeMap<Rcode, u64>,
-    /// Total queries issued.
-    pub total_queries: u64,
     /// Octets sent in queries.
     pub query_bytes: u64,
     /// Octets received in responses.
     pub response_bytes: u64,
-    /// Accumulated round-trip time, nanoseconds.
-    pub total_time_ns: u64,
     /// Exchanges that got no response before the caller's timeout.
     pub timeouts: u64,
     /// Exchanges that were retransmissions of an earlier query.
@@ -55,10 +58,8 @@ impl TrafficStats {
         *self.bytes_by_type.entry(qtype).or_insert(0) += (query_bytes + response_bytes) as u64;
         *self.time_by_type.entry(qtype).or_insert(0) += rtt_ns;
         *self.responses_by_rcode.entry(rcode).or_insert(0) += 1;
-        self.total_queries += 1;
         self.query_bytes += query_bytes as u64;
         self.response_bytes += response_bytes as u64;
-        self.total_time_ns += rtt_ns;
     }
 
     /// Records one exchange that timed out after `waited_ns`. The query
@@ -68,9 +69,7 @@ impl TrafficStats {
         *self.queries_by_type.entry(qtype).or_insert(0) += 1;
         *self.bytes_by_type.entry(qtype).or_insert(0) += query_bytes as u64;
         *self.time_by_type.entry(qtype).or_insert(0) += waited_ns;
-        self.total_queries += 1;
         self.query_bytes += query_bytes as u64;
-        self.total_time_ns += waited_ns;
         self.timeouts += 1;
     }
 
@@ -89,6 +88,18 @@ impl TrafficStats {
         self.time_by_type.get(&qtype).copied().unwrap_or(0)
     }
 
+    /// Total queries issued — the sum over [`TrafficStats::queries_by_type`].
+    /// Computed on read so merged shards can never disagree with the maps.
+    pub fn total_queries(&self) -> u64 {
+        self.queries_by_type.values().sum()
+    }
+
+    /// Accumulated round-trip time in nanoseconds — the sum over
+    /// [`TrafficStats::time_by_type`] (timeout waits included).
+    pub fn total_time_ns(&self) -> u64 {
+        self.time_by_type.values().sum()
+    }
+
     /// Total traffic volume in octets (both directions).
     pub fn total_bytes(&self) -> u64 {
         self.query_bytes + self.response_bytes
@@ -101,17 +112,17 @@ impl TrafficStats {
 
     /// Accumulated response time in seconds.
     pub fn total_seconds(&self) -> f64 {
-        self.total_time_ns as f64 / 1e9
+        self.total_time_ns() as f64 / 1e9
     }
 
     /// Component-wise difference (`self - baseline`), for overhead tables.
     ///
     /// # Panics
     ///
-    /// Panics in debug builds if `baseline` exceeds `self` in any scalar
-    /// component (overhead must be non-negative).
+    /// Panics in debug builds if `baseline` exceeds `self` in total query
+    /// count (overhead must be non-negative).
     pub fn overhead_versus(&self, baseline: &TrafficStats) -> TrafficStats {
-        debug_assert!(self.total_queries >= baseline.total_queries);
+        debug_assert!(self.total_queries() >= baseline.total_queries());
         let mut queries_by_type = self.queries_by_type.clone();
         for (t, n) in &baseline.queries_by_type {
             let e = queries_by_type.entry(*t).or_insert(0);
@@ -137,17 +148,20 @@ impl TrafficStats {
             bytes_by_type,
             time_by_type,
             responses_by_rcode,
-            total_queries: self.total_queries - baseline.total_queries,
             query_bytes: self.query_bytes.saturating_sub(baseline.query_bytes),
             response_bytes: self.response_bytes.saturating_sub(baseline.response_bytes),
-            total_time_ns: self.total_time_ns.saturating_sub(baseline.total_time_ns),
             timeouts: self.timeouts.saturating_sub(baseline.timeouts),
             retransmissions: self.retransmissions.saturating_sub(baseline.retransmissions),
             duplicates: self.duplicates.saturating_sub(baseline.duplicates),
         }
     }
 
-    /// Merges another run's totals into this one.
+    /// Merges another run's totals into this one, component-wise.
+    ///
+    /// Addition is commutative, so the merged totals are independent of
+    /// merge order; shard reductions still merge in ascending shard id for
+    /// uniformity with [`crate::Capture::merge`], where order *does*
+    /// matter.
     pub fn merge(&mut self, other: &TrafficStats) {
         for (t, n) in &other.queries_by_type {
             *self.queries_by_type.entry(*t).or_insert(0) += n;
@@ -155,16 +169,14 @@ impl TrafficStats {
         for (t, n) in &other.bytes_by_type {
             *self.bytes_by_type.entry(*t).or_insert(0) += n;
         }
-        for (t, n) in &other.time_by_type {
-            *self.time_by_type.entry(*t).or_insert(0) += n;
-        }
         for (c, n) in &other.responses_by_rcode {
             *self.responses_by_rcode.entry(*c).or_insert(0) += n;
         }
-        self.total_queries += other.total_queries;
+        for (t, n) in &other.time_by_type {
+            *self.time_by_type.entry(*t).or_insert(0) += n;
+        }
         self.query_bytes += other.query_bytes;
         self.response_bytes += other.response_bytes;
-        self.total_time_ns += other.total_time_ns;
         self.timeouts += other.timeouts;
         self.retransmissions += other.retransmissions;
         self.duplicates += other.duplicates;
@@ -186,13 +198,23 @@ mod tests {
     #[test]
     fn record_accumulates() {
         let s = sample();
-        assert_eq!(s.total_queries, 3);
+        assert_eq!(s.total_queries(), 3);
         assert_eq!(s.queries_of(RrType::A), 2);
         assert_eq!(s.queries_of(RrType::Dlv), 1);
         assert_eq!(s.queries_of(RrType::Mx), 0);
         assert_eq!(s.total_bytes(), 30 + 100 + 30 + 80 + 50 + 120);
-        assert_eq!(s.total_time_ns, 6_000_000);
+        assert_eq!(s.total_time_ns(), 6_000_000);
         assert_eq!(s.responses_by_rcode[&Rcode::NxDomain], 2);
+    }
+
+    #[test]
+    fn timeout_counts_query_and_wait() {
+        let mut s = TrafficStats::new();
+        s.record_timeout(RrType::Dlv, 40, 5_000_000_000);
+        assert_eq!(s.total_queries(), 1);
+        assert_eq!(s.total_time_ns(), 5_000_000_000);
+        assert_eq!(s.timeouts, 1);
+        assert_eq!(s.response_bytes, 0);
     }
 
     #[test]
@@ -209,11 +231,11 @@ mod tests {
         let mut with_remedy = sample();
         with_remedy.record(RrType::Txt, Rcode::NoError, 40, 90, 4_000_000);
         let overhead = with_remedy.overhead_versus(&base);
-        assert_eq!(overhead.total_queries, 1);
+        assert_eq!(overhead.total_queries(), 1);
         assert_eq!(overhead.queries_of(RrType::Txt), 1);
         assert_eq!(overhead.queries_of(RrType::A), 0);
         assert_eq!(overhead.total_bytes(), 130);
-        assert_eq!(overhead.total_time_ns, 4_000_000);
+        assert_eq!(overhead.total_time_ns(), 4_000_000);
     }
 
     #[test]
@@ -221,7 +243,31 @@ mod tests {
         let mut a = sample();
         let b = sample();
         a.merge(&b);
-        assert_eq!(a.total_queries, 6);
+        assert_eq!(a.total_queries(), 6);
         assert_eq!(a.queries_of(RrType::A), 4);
+    }
+
+    #[test]
+    fn sharded_merge_equals_one_pass() {
+        // The merge-safety contract: recording exchanges across two stats
+        // and merging is indistinguishable from recording them into one.
+        let mut one_pass = TrafficStats::new();
+        let mut shard_a = TrafficStats::new();
+        let mut shard_b = TrafficStats::new();
+        one_pass.record(RrType::A, Rcode::NoError, 30, 100, 1_000_000);
+        shard_a.record(RrType::A, Rcode::NoError, 30, 100, 1_000_000);
+        one_pass.record_timeout(RrType::Dlv, 44, 2_000_000_000);
+        shard_b.record_timeout(RrType::Dlv, 44, 2_000_000_000);
+        one_pass.record(RrType::Dlv, Rcode::NxDomain, 50, 120, 3_000_000);
+        shard_b.record(RrType::Dlv, Rcode::NxDomain, 50, 120, 3_000_000);
+        let mut merged = TrafficStats::new();
+        merged.merge(&shard_a);
+        merged.merge(&shard_b);
+        assert_eq!(merged, one_pass);
+        // And order-independence, since every field is additive:
+        let mut reversed = TrafficStats::new();
+        reversed.merge(&shard_b);
+        reversed.merge(&shard_a);
+        assert_eq!(reversed, one_pass);
     }
 }

@@ -122,6 +122,19 @@ pub struct Counters {
     pub bogus: u64,
 }
 
+impl Counters {
+    /// Adds another resolver's counters into this one — every field is a
+    /// primary additive count, so a fleet of per-shard resolvers reduces
+    /// to exactly the totals one resolver doing all the work would show.
+    pub fn merge(&mut self, other: &Counters) {
+        self.resolutions += other.resolutions;
+        self.dlv_queries_sent += other.dlv_queries_sent;
+        self.dlv_suppressed_by_nsec += other.dlv_suppressed_by_nsec;
+        self.dlv_skipped_by_signal += other.dlv_skipped_by_signal;
+        self.bogus += other.bogus;
+    }
+}
+
 /// Everything the harness supplies to build a resolver.
 #[derive(Debug, Clone)]
 pub struct ResolverSetup {

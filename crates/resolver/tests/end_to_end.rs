@@ -465,10 +465,10 @@ fn servfail_cache_expires_and_the_resolver_recovers() {
 
     // While the entry lives, other names in the zone fail from cache —
     // no packets, no timeout stalls.
-    let packets_before = w.net.stats().total_queries;
+    let packets_before = w.net.stats().total_queries();
     let err = r.resolve(&mut w.net, &n("mail.solo.com"), RrType::A).unwrap_err();
     assert!(matches!(err, ResolveError::ServfailCached { .. }), "got {err}");
-    assert_eq!(w.net.stats().total_queries, packets_before, "served from the failure cache");
+    assert_eq!(w.net.stats().total_queries(), packets_before, "served from the failure cache");
 
     // The server comes back and the cache entry (and holddown) expire:
     // resolution recovers on its own.
@@ -578,9 +578,9 @@ fn caches_answer_repeat_queries_locally() {
     let mut w = build_world(RemedyMode::None);
     let mut r = correct_resolver(&w);
     r.resolve(&mut w.net, &n("www.example.com"), RrType::A).unwrap();
-    let queries_after_first = w.net.stats().total_queries;
+    let queries_after_first = w.net.stats().total_queries();
     r.resolve(&mut w.net, &n("www.example.com"), RrType::A).unwrap();
-    assert_eq!(w.net.stats().total_queries, queries_after_first, "fully cached");
+    assert_eq!(w.net.stats().total_queries(), queries_after_first, "fully cached");
 }
 
 #[test]

@@ -406,6 +406,21 @@ impl DomainPopulation {
         (1..=limit.min(self.params.size)).filter(move |&r| self.attributes(r).deposited)
     }
 
+    /// Borrowed iterator over the names of a half-open rank range
+    /// `lo..hi` (1-based ranks, `hi` exclusive) — the shard-friendly view
+    /// of the query list. Concatenating `rank_range` over a partition of
+    /// `1..n+1` in order yields exactly [`DomainPopulation::top`]`(n)`,
+    /// because each name is a pure function of its rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range starts at rank 0 or ends beyond `size + 1`.
+    pub fn rank_range(&self, range: std::ops::Range<usize>) -> impl Iterator<Item = Name> + '_ {
+        assert!(range.start >= 1, "ranks are 1-based");
+        assert!(range.end <= self.params.size + 1, "range end {} out of range", range.end);
+        range.map(|r| self.domain(r))
+    }
+
     /// The top-`n` query list (ranks 1..=n).
     ///
     /// # Panics
@@ -413,7 +428,7 @@ impl DomainPopulation {
     /// Panics if `n` exceeds the population size.
     pub fn top(&self, n: usize) -> Vec<Name> {
         assert!(n <= self.params.size);
-        (1..=n).map(|r| self.domain(r)).collect()
+        self.rank_range(1..n + 1).collect()
     }
 }
 

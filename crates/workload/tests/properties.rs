@@ -53,6 +53,33 @@ proptest! {
     }
 
     #[test]
+    fn concatenated_rank_shards_equal_full_iteration(
+        seed in any::<u64>(),
+        n in 1usize..3_000,
+        shards in 1usize..9,
+    ) {
+        let p = pop(3_000, seed);
+        let full: Vec<_> = p.rank_range(1..n + 1).collect();
+        prop_assert_eq!(&full, &p.top(n));
+        // Split 1..n+1 into `shards` contiguous pieces (earlier pieces take
+        // the remainder, mirroring the engine's ShardPlan::split_range) and
+        // check the concatenation reproduces the full iteration exactly.
+        let len = n;
+        let k = shards.min(len);
+        let base = len / k;
+        let extra = len % k;
+        let mut concatenated = Vec::with_capacity(len);
+        let mut lo = 1usize;
+        for id in 0..k {
+            let take = base + usize::from(id < extra);
+            concatenated.extend(p.rank_range(lo..lo + take));
+            lo += take;
+        }
+        prop_assert_eq!(lo, n + 1);
+        prop_assert_eq!(concatenated, full);
+    }
+
+    #[test]
     fn zipf_samples_stay_in_support(n in 1usize..5_000, s in 0.1f64..2.0, h in any::<u64>()) {
         let z = Zipf::new(n, s);
         let k = z.sample_hash(h);

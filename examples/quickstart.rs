@@ -56,6 +56,6 @@ fn main() {
     println!(
         "simulated wall clock: {:.2} s, upstream queries: {}",
         internet.net.now_ns() as f64 / 1e9,
-        internet.net.stats().total_queries
+        internet.net.stats().total_queries()
     );
 }
