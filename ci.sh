@@ -5,19 +5,41 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo build --release
+mkdir -p target/ci
 
 # Tier-1 tests must pass at both worker-pool extremes: the engine's
 # contract is that LOOKASIDE_JOBS changes wall-clock time only, never
-# results.
+# results. The suite includes the wire-layer proptests (compact-Name
+# codec round-trips, canonical-order reference model) and the capture
+# interning A/B determinism test.
 LOOKASIDE_JOBS=1 cargo test -q
 LOOKASIDE_JOBS=4 cargo test -q
 
-cargo clippy --workspace -- -D warnings
+# `redundant_clone` is denied on top of the default set: the PR-3 memory
+# model makes clones cheap but the hot path is supposed to not need them
+# at all.
+cargo clippy --workspace -- -D warnings -D clippy::redundant_clone
 cargo fmt --check
+
+# Allocation-regression gate: the alloc_sweep bench counts every heap
+# allocation of a deterministic fig8_9 run, so allocations/query is an
+# exact number, not a timing. Fail if it creeps >10% above the recorded
+# PR-3 baseline (see BENCH_pr3.json).
+ALLOC_BASELINE=616
+cargo bench --bench alloc_sweep | tee target/ci/alloc_sweep.txt
+ALLOCS_PER_QUERY=$(awk '/allocs\/query/ { print $3; exit }' target/ci/alloc_sweep.txt)
+if [ -z "${ALLOCS_PER_QUERY}" ]; then
+    echo "ci: FAIL — alloc_sweep did not report allocs/query" >&2
+    exit 1
+fi
+if awk -v got="${ALLOCS_PER_QUERY}" -v base="${ALLOC_BASELINE}" \
+    'BEGIN { exit !(got > base * 1.10) }'; then
+    echo "ci: FAIL — ${ALLOCS_PER_QUERY} allocs/query exceeds baseline ${ALLOC_BASELINE} by >10%" >&2
+    exit 1
+fi
 
 # Byte-identity gate: `repro fig9` must print the same bytes at --jobs 1
 # and --jobs 4.
-mkdir -p target/ci
 ./target/release/repro fig9 --jobs 1 > target/ci/fig9.jobs1.txt
 ./target/release/repro fig9 --jobs 4 > target/ci/fig9.jobs4.txt
 if ! diff -u target/ci/fig9.jobs1.txt target/ci/fig9.jobs4.txt; then

@@ -135,7 +135,7 @@ where
     let outcome = run(&config);
     // Observed hashed labels (first label of each leaked query name).
     let observed: Vec<String> =
-        outcome.leakage.leaked_names.iter().map(|name| name.labels()[0].to_string()).collect();
+        outcome.leakage.leaked_names.iter().map(|name| name.label(0).to_string()).collect();
 
     let mut table: HashMap<String, Name> = HashMap::new();
     let mut hash_ops = 0u64;

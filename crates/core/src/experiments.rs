@@ -428,7 +428,7 @@ fn count_leaked_ranked(outcome: &RunOutcome) -> usize {
         .iter()
         .filter(|name| {
             name.label_count() == 2 && {
-                let sld = name.labels()[0].to_string();
+                let sld = name.label(0).to_string();
                 sld.len() == 8 && sld.starts_with('d')
             }
         })

@@ -319,7 +319,7 @@ impl Internet {
         let dlv_apex = Name::parse("dlv.isc.org.").unwrap();
         let mut isc = Zone::new(isc_apex.clone(), isc_apex.prepend("ns1").unwrap());
         isc.add(isc_apex.prepend("ns1").unwrap(), 3600, RData::A(ISC_ADDR));
-        isc.add(isc_apex.clone(), 3600, RData::A(ISC_ADDR));
+        isc.add(isc_apex, 3600, RData::A(ISC_ADDR));
         isc.delegate(dlv_apex.clone(), &[(dlv_apex.prepend("ns").unwrap(), DLV_ADDR)])
             .expect("delegate dlv");
         isc.add_ds(dlv_apex.clone(), ds_rdata(&dlv_apex, &dlv_keys.ksk.public()));
@@ -362,7 +362,7 @@ impl Internet {
 
         // Everything else — ranked SLDs, hosters, huque zones — is served by
         // the default-route synthetic authority.
-        let sld_authority = SyntheticAuthority::sld_default(oracle.clone(), INCEPTION, EXPIRATION);
+        let sld_authority = SyntheticAuthority::sld_default(oracle, INCEPTION, EXPIRATION);
         net.set_default_route(Box::new(sld_authority));
 
         Internet {

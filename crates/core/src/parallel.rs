@@ -13,7 +13,11 @@
 //!   simulated Internet (the simulator's `Rc`-based oracle is not
 //!   thread-shareable — and per-box replicas are the honest model
 //!   anyway), runs its ranks in its own virtual time, and returns its
-//!   capture plus additive counters,
+//!   capture plus additive counters. The replica's capture owns a
+//!   private `NameTable` (see `lookaside_wire::NameTable`), so repeated
+//!   qnames within a shard share one allocation while shards share no
+//!   memory at all — interning changes where bytes live, never what they
+//!   are, which is why it cannot perturb determinism,
 //! * reduction merges captures in ascending shard id
 //!   ([`Capture::merge`]'s `(shard_id, seq)` total order), sums the
 //!   additive statistics, classifies leakage over the merged capture,

@@ -7,9 +7,28 @@
 //! resolver-internal bookkeeping.
 
 use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicBool, Ordering};
 
-use lookaside_wire::{Name, Rcode, RrType};
+use lookaside_wire::{Name, NameTable, Rcode, RrType};
 use serde::{Deserialize, Serialize};
+
+/// Process-wide switch for qname interning in captures (on by default).
+///
+/// Interning is purely a storage optimisation — it can never change a
+/// packet's qname value, only which allocation backs it — so flipping this
+/// must not change any observable output. The property tests assert exactly
+/// that by running the same experiment with interning on and off.
+static CAPTURE_INTERNING: AtomicBool = AtomicBool::new(true);
+
+/// Enables or disables qname interning for subsequently recorded packets.
+pub fn set_capture_interning(enabled: bool) {
+    CAPTURE_INTERNING.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether capture qname interning is currently enabled.
+pub fn capture_interning() -> bool {
+    CAPTURE_INTERNING.load(Ordering::Relaxed)
+}
 
 /// Direction of a captured packet relative to the resolver.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -67,21 +86,30 @@ impl CaptureFilter {
 }
 
 /// An in-memory packet log with a retention filter.
+///
+/// Each capture owns a private [`NameTable`]: retained packets of the same
+/// qname share one name allocation instead of one per packet. The table is
+/// per-capture (= per shard in parallel runs), never global, so shards
+/// share no state and merge order alone decides the combined log.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Capture {
     filter: CaptureFilter,
     packets: Vec<Packet>,
+    names: NameTable,
 }
 
 impl Capture {
     /// Creates a capture with the given filter.
     pub fn new(filter: CaptureFilter) -> Self {
-        Capture { filter, packets: Vec::new() }
+        Capture { filter, packets: Vec::new(), names: NameTable::new() }
     }
 
     /// Records a packet if the filter keeps it.
-    pub fn record(&mut self, packet: Packet) {
+    pub fn record(&mut self, mut packet: Packet) {
         if self.filter.keeps(packet.qtype) {
+            if capture_interning() {
+                packet.qname = self.names.intern(&packet.qname);
+            }
             self.packets.push(packet);
         }
     }
@@ -125,12 +153,20 @@ impl Capture {
     /// `other`'s packets were already filtered by its own filter at
     /// record time; they are appended verbatim, not re-filtered.
     pub fn merge(&mut self, other: &Capture) {
-        self.packets.extend(other.packets.iter().cloned());
+        let intern = capture_interning();
+        for p in &other.packets {
+            let mut p = p.clone();
+            if intern {
+                p.qname = self.names.intern(&p.qname);
+            }
+            self.packets.push(p);
+        }
     }
 
-    /// Clears retained packets (filter unchanged).
+    /// Clears retained packets and the intern table (filter unchanged).
     pub fn clear(&mut self) {
         self.packets.clear();
+        self.names.clear();
     }
 
     /// Number of retained packets.

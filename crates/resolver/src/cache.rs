@@ -8,29 +8,38 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
+use std::ops::Bound;
+use std::sync::Arc;
 
 use lookaside_wire::{Name, Rcode, Record, RrSet, RrType};
 
 /// A cached positive RRset with optional signature and validation state.
+///
+/// Data and signature are behind `Arc` so cache hits, `IterOutcome`s, and
+/// validation all share one allocation instead of deep-copying the records.
 #[derive(Debug, Clone)]
 pub struct CachedRrSet {
     /// The data.
-    pub rrset: RrSet,
+    pub rrset: Arc<RrSet>,
     /// Covering RRSIG, if one was received.
-    pub rrsig: Option<Record>,
+    pub rrsig: Option<Arc<Record>>,
     /// Absolute expiry, simulated nanoseconds.
     pub expires_ns: u64,
 }
 
 /// Positive and negative answer caches with TTL handling.
 ///
+/// Keyed by owner name alone, with the handful of types per name in a flat
+/// vector — so probes borrow the query name instead of materialising a
+/// `(Name, RrType)` tuple per lookup.
+///
 /// Expired entries are purged opportunistically every
 /// [`AnswerCache::PURGE_INTERVAL`] insertions so million-domain runs do not
 /// accumulate unbounded dead state.
 #[derive(Debug, Default)]
 pub struct AnswerCache {
-    positive: HashMap<(Name, RrType), CachedRrSet>,
-    negative: HashMap<(Name, RrType), (Rcode, u64)>,
+    positive: HashMap<Name, Vec<(RrType, CachedRrSet)>>,
+    negative: HashMap<Name, Vec<(RrType, Rcode, u64)>>,
     puts_since_purge: usize,
 }
 
@@ -47,22 +56,38 @@ impl AnswerCache {
         self.puts_since_purge += 1;
         if self.puts_since_purge >= Self::PURGE_INTERVAL {
             self.puts_since_purge = 0;
-            self.positive.retain(|_, c| c.expires_ns > now_ns);
-            self.negative.retain(|_, (_, exp)| *exp > now_ns);
+            self.positive.retain(|_, types| {
+                types.retain(|(_, c)| c.expires_ns > now_ns);
+                !types.is_empty()
+            });
+            self.negative.retain(|_, types| {
+                types.retain(|&(_, _, exp)| exp > now_ns);
+                !types.is_empty()
+            });
         }
     }
 
     /// Stores a positive RRset.
-    pub fn put(&mut self, rrset: RrSet, rrsig: Option<Record>, now_ns: u64) {
+    pub fn put(&mut self, rrset: Arc<RrSet>, rrsig: Option<Arc<Record>>, now_ns: u64) {
         self.maybe_purge(now_ns);
         let expires_ns = now_ns + u64::from(rrset.ttl) * 1_000_000_000;
-        self.positive
-            .insert((rrset.name.clone(), rrset.rrtype), CachedRrSet { rrset, rrsig, expires_ns });
+        let rrtype = rrset.rrtype;
+        let entry = CachedRrSet { rrset: Arc::clone(&rrset), rrsig, expires_ns };
+        let types = self.positive.entry(rrset.name.clone()).or_default();
+        match types.iter_mut().find(|(t, _)| *t == rrtype) {
+            Some((_, slot)) => *slot = entry,
+            None => types.push((rrtype, entry)),
+        }
     }
 
     /// Fetches an unexpired positive RRset.
     pub fn get(&self, name: &Name, rrtype: RrType, now_ns: u64) -> Option<&CachedRrSet> {
-        self.positive.get(&(name.clone(), rrtype)).filter(|c| c.expires_ns > now_ns)
+        self.positive
+            .get(name)?
+            .iter()
+            .find(|(t, _)| *t == rrtype)
+            .map(|(_, c)| c)
+            .filter(|c| c.expires_ns > now_ns)
     }
 
     /// Stores a negative (NODATA/NXDOMAIN) result.
@@ -76,20 +101,25 @@ impl AnswerCache {
     ) {
         self.maybe_purge(now_ns);
         let expires = now_ns + u64::from(ttl) * 1_000_000_000;
-        self.negative.insert((name, rrtype), (rcode, expires));
+        let types = self.negative.entry(name).or_default();
+        match types.iter_mut().find(|(t, _, _)| *t == rrtype) {
+            Some(slot) => *slot = (rrtype, rcode, expires),
+            None => types.push((rrtype, rcode, expires)),
+        }
     }
 
     /// Fetches an unexpired negative result.
     pub fn get_negative(&self, name: &Name, rrtype: RrType, now_ns: u64) -> Option<Rcode> {
         self.negative
-            .get(&(name.clone(), rrtype))
-            .filter(|(_, exp)| *exp > now_ns)
-            .map(|(rcode, _)| *rcode)
+            .get(name)?
+            .iter()
+            .find(|(t, _, exp)| *t == rrtype && *exp > now_ns)
+            .map(|(_, rcode, _)| *rcode)
     }
 
     /// Number of live positive entries (for diagnostics).
     pub fn len(&self) -> usize {
-        self.positive.len()
+        self.positive.values().map(Vec::len).sum()
     }
 
     /// Whether the cache is empty.
@@ -176,8 +206,11 @@ impl NsecSpanCache {
 
     /// Whether a cached, unexpired span proves `name` non-existent.
     pub fn covers(&self, name: &Name, now_ns: u64) -> bool {
-        // Candidate: the greatest owner canonically <= name.
-        if let Some((owner, span)) = self.spans.range(..=name.clone()).next_back() {
+        // Candidate: the greatest owner canonically <= name. The bound
+        // borrows `name` — probing allocates nothing.
+        if let Some((owner, span)) =
+            self.spans.range((Bound::Unbounded, Bound::Included(name))).next_back()
+        {
             if span.expires_ns > now_ns && lookaside_zone::covers(owner, &span.next, name) {
                 return true;
             }
@@ -226,7 +259,7 @@ mod tests {
     #[test]
     fn positive_cache_respects_ttl() {
         let mut cache = AnswerCache::new();
-        cache.put(a_set("x.com", 10), None, 0);
+        cache.put(Arc::new(a_set("x.com", 10)), None, 0);
         assert!(cache.get(&n("x.com"), RrType::A, 5 * SEC).is_some());
         assert!(cache.get(&n("x.com"), RrType::A, 10 * SEC).is_none());
         assert!(cache.get(&n("x.com"), RrType::Aaaa, 0).is_none());

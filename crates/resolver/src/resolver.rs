@@ -10,6 +10,7 @@
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 use lookaside_crypto::PublicKey;
 use lookaside_netsim::{NetError, Network};
@@ -157,11 +158,15 @@ pub struct ResolverSetup {
     pub salt: u64,
 }
 
+/// An RRset with its covering RRSIG, shared with the answer cache — the
+/// unit the iterative loop and the validator pass around.
+pub(crate) type SharedRrSet = (Arc<RrSet>, Option<Arc<Record>>);
+
 /// What a referral told us about a child's DS.
 #[derive(Debug, Clone)]
 pub(crate) enum DsInfo {
     /// DS RRset present (secure delegation).
-    Present(RrSet, Option<Record>),
+    Present(Arc<RrSet>, Option<Arc<Record>>),
     /// NSEC proved no DS (insecure delegation).
     ProvenAbsent,
 }
@@ -171,8 +176,9 @@ pub(crate) enum DsInfo {
 pub(crate) enum IterOutcome {
     /// Got answer RRsets from `zone`.
     Answer {
-        /// Data RRsets with their RRSIGs, in answer order.
-        rrsets: Vec<(RrSet, Option<Record>)>,
+        /// Data RRsets with their RRSIGs, in answer order. Shared with the
+        /// answer cache — cache hits cost two refcount bumps, not a copy.
+        rrsets: Vec<SharedRrSet>,
         /// Apex of the answering zone.
         zone: Name,
     },
@@ -517,7 +523,7 @@ impl RecursiveResolver {
         }
         let now = net.now_ns();
         if let Some(cached) = self.answers.get(qname, qtype, now) {
-            let rrsets = vec![(cached.rrset.clone(), cached.rrsig.clone())];
+            let rrsets = vec![(Arc::clone(&cached.rrset), cached.rrsig.clone())];
             let zone = self.zones.deepest_for(qname).0;
             return Ok(IterOutcome::Answer { rrsets, zone });
         }
@@ -708,7 +714,7 @@ impl RecursiveResolver {
         qname: &Name,
         qtype: RrType,
         now: u64,
-    ) -> (Vec<(RrSet, Option<Record>)>, Option<Name>) {
+    ) -> (Vec<SharedRrSet>, Option<Name>) {
         let data: Vec<Record> =
             response.answers.iter().filter(|r| r.rrtype != RrType::Rrsig).cloned().collect();
         let sets: Vec<RrSet> = data.into_iter().collect();
@@ -723,9 +729,11 @@ impl RecursiveResolver {
                         && r.name == set.name
                         && matches!(&r.rdata, RData::Rrsig { type_covered, .. } if *type_covered == set.rrtype)
                 })
-                .cloned();
-            self.answers.put(set.clone(), sig.clone(), now);
-            if set.rrtype == RrType::Cname && qtype != RrType::Cname && &set.name == qname {
+                .cloned()
+                .map(Arc::new);
+            let set = Arc::new(set);
+            self.answers.put(Arc::clone(&set), sig.clone(), now);
+            if set.rrtype == RrType::Cname && qtype != RrType::Cname && set.name == *qname {
                 if let Some(RData::Cname(target)) = set.rdatas.first() {
                     cname_target = Some(target.clone());
                 }
@@ -751,7 +759,7 @@ impl RecursiveResolver {
         // DS information piggybacked on the referral.
         let ds_sets: Vec<Record> = response.authorities_of(RrType::Ds).cloned().collect();
         if !ds_sets.is_empty() {
-            let set: Vec<RrSet> = ds_sets.into_iter().collect();
+            let mut set: Vec<RrSet> = ds_sets.into_iter().collect();
             let sig = response
                 .authorities
                 .iter()
@@ -760,8 +768,9 @@ impl RecursiveResolver {
                         && r.name == child
                         && matches!(&r.rdata, RData::Rrsig { type_covered, .. } if *type_covered == RrType::Ds)
                 })
-                .cloned();
-            self.ds_info.insert(child.clone(), DsInfo::Present(set[0].clone(), sig));
+                .cloned()
+                .map(Arc::new);
+            self.ds_info.insert(child.clone(), DsInfo::Present(Arc::new(set.swap_remove(0)), sig));
         } else if response.authorities_of(RrType::Nsec).next().is_some() {
             self.ds_info.insert(child.clone(), DsInfo::ProvenAbsent);
         }

@@ -157,8 +157,9 @@ impl InfraCache {
 /// RFC 2308 §7 negative caching of resolution failures.
 #[derive(Debug, Clone, Default)]
 pub struct ServfailCache {
-    /// §7.1: per-`(qname, qtype)` failure entries.
-    tuples: HashMap<(Name, RrType), u64>,
+    /// §7.1: per-`(qname, qtype)` failure entries, keyed by name so the
+    /// per-resolution probe borrows the qname instead of cloning it.
+    tuples: HashMap<Name, Vec<(RrType, u64)>>,
     /// §7.2: zones whose entire server set proved unreachable; lookups at
     /// or below such a cut fail instantly until expiry.
     dead_zones: HashMap<Name, u64>,
@@ -172,12 +173,19 @@ impl ServfailCache {
 
     /// Caches a resolution failure for one tuple.
     pub fn put(&mut self, qname: Name, qtype: RrType, now_ns: u64, ttl_ns: u64) {
-        self.tuples.insert((qname, qtype), now_ns + ttl_ns);
+        let until = now_ns + ttl_ns;
+        let types = self.tuples.entry(qname).or_default();
+        match types.iter_mut().find(|(t, _)| *t == qtype) {
+            Some(slot) => *slot = (qtype, until),
+            None => types.push((qtype, until)),
+        }
     }
 
     /// Whether a tuple has an unexpired failure entry.
     pub fn contains(&self, qname: &Name, qtype: RrType, now_ns: u64) -> bool {
-        self.tuples.get(&(qname.clone(), qtype)).is_some_and(|&until| until > now_ns)
+        self.tuples
+            .get(qname)
+            .is_some_and(|types| types.iter().any(|&(t, until)| t == qtype && until > now_ns))
     }
 
     /// Marks every server of `zone` dead (§7.2).
@@ -192,7 +200,7 @@ impl ServfailCache {
 
     /// Live entry counts `(tuples, dead_zones)` for diagnostics.
     pub fn len(&self) -> (usize, usize) {
-        (self.tuples.len(), self.dead_zones.len())
+        (self.tuples.values().map(Vec::len).sum(), self.dead_zones.len())
     }
 
     /// Whether nothing is cached.

@@ -14,8 +14,9 @@ use lookaside_wire::ext::{parse_txt_signal, RemedyMode};
 use lookaside_wire::{Name, RData, Rcode, Record, RrSet, RrType};
 use lookaside_zone::rrsig_signing_input;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
-use crate::resolver::{DsInfo, IterOutcome, RecursiveResolver, ResolveError};
+use crate::resolver::{DsInfo, IterOutcome, RecursiveResolver, ResolveError, SharedRrSet};
 
 /// DNSSEC validation status (RFC 4033 §5; paper §2.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -82,7 +83,8 @@ fn parse_keys(rrset: &RrSet) -> Vec<PublicKey> {
 }
 
 /// A zone's parsed DNSKEY set: the keys, the raw RRset, and its RRSIG.
-type FetchedKeys = (Vec<PublicKey>, RrSet, Option<Record>);
+/// The RRset/RRSIG handles are shared with the answer cache.
+type FetchedKeys = (Vec<PublicKey>, Arc<RrSet>, Option<Arc<Record>>);
 
 fn now_secs(net: &Network) -> u32 {
     (net.now_ns() / 1_000_000_000).min(u64::from(u32::MAX)) as u32
@@ -272,10 +274,10 @@ impl RecursiveResolver {
         net: &mut Network,
         zone: &Name,
         parent: &Name,
-    ) -> Result<Option<(RrSet, Option<Record>)>, ResolveError> {
+    ) -> Result<Option<SharedRrSet>, ResolveError> {
         let now = net.now_ns();
         if let Some(cached) = self.answers.get(zone, RrType::Ds, now) {
-            return Ok(Some((cached.rrset.clone(), cached.rrsig.clone())));
+            return Ok(Some((Arc::clone(&cached.rrset), cached.rrsig.clone())));
         }
         if self.answers.get_negative(zone, RrType::Ds, now).is_some() {
             return Ok(None);
@@ -287,11 +289,11 @@ impl RecursiveResolver {
             self.answers.put_negative(zone.clone(), RrType::Ds, response.rcode(), 60, now);
             // Fall back to what the referral may have proven.
             if let Some(DsInfo::Present(set, sig)) = self.ds_info.get(zone) {
-                return Ok(Some((set.clone(), sig.clone())));
+                return Ok(Some((Arc::clone(set), sig.clone())));
             }
             return Ok(None);
         }
-        let sets: Vec<RrSet> = data.into_iter().collect();
+        let mut sets: Vec<RrSet> = data.into_iter().collect();
         let sig = response
             .answers
             .iter()
@@ -300,9 +302,11 @@ impl RecursiveResolver {
                     && r.name == *zone
                     && matches!(&r.rdata, RData::Rrsig { type_covered, .. } if *type_covered == RrType::Ds)
             })
-            .cloned();
-        self.answers.put(sets[0].clone(), sig.clone(), now);
-        Ok(Some((sets[0].clone(), sig)))
+            .cloned()
+            .map(Arc::new);
+        let set = Arc::new(sets.swap_remove(0));
+        self.answers.put(Arc::clone(&set), sig.clone(), now);
+        Ok(Some((set, sig)))
     }
 
     /// Ensures the DLV registry zone's keys are validated against the DLV

@@ -21,9 +21,8 @@ proptest! {
         // Build a full chain over the owners (wrapping), cache every span,
         // then: a probe must be covered iff it is NOT an owner.
         let apex = Name::parse("zone.test.").unwrap();
-        let names: Vec<Name> =
+        let mut sorted: Vec<Name> =
             owners.iter().map(|l| apex.prepend(l).unwrap()).collect();
-        let mut sorted = names.clone();
         sorted.sort();
         let mut cache = NsecSpanCache::new();
         for i in 0..sorted.len() {
@@ -53,7 +52,7 @@ proptest! {
         let mut cache = AnswerCache::new();
         let name = Name::parse("x.test.").unwrap();
         let set = RrSet::single(name.clone(), ttl, RData::A(Ipv4Addr::LOCALHOST));
-        cache.put(set, None, 0);
+        cache.put(std::sync::Arc::new(set), None, 0);
         cache.put_negative(name.clone(), RrType::Mx, Rcode::NxDomain, ttl, 0);
         let now = probe_at * 1_000_000_000;
         let fresh = u64::from(ttl) * 1_000_000_000 > now;

@@ -299,7 +299,7 @@ fn hashed_dlv_hides_names_but_keeps_utility() {
     // Every DLV query name must be a 32-hex-char label, never a plaintext
     // domain.
     for p in w.net.capture().dlv_queries() {
-        let first = p.qname.labels()[0].to_string();
+        let first = p.qname.label(0).to_string();
         assert_eq!(first.len(), 32, "query {} not hashed", p.qname);
         assert!(first.bytes().all(|b| b.is_ascii_hexdigit()));
     }

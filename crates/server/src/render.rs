@@ -10,7 +10,7 @@ fn push_signed(msg: &mut Message, section: Section, set: &SignedRrSet, with_dnss
     }
     if with_dnssec {
         if let Some(sig) = &set.rrsig {
-            msg.push(section, sig.clone());
+            msg.push(section, Record::clone(sig));
         }
     }
 }

@@ -83,8 +83,14 @@ enum Mode {
         inception: u32,
         expiration: u32,
     },
-    /// Serve SLD zone content for any oracle-known domain.
-    Sld { inception: u32, expiration: u32, cache: HashMap<Name, PublishedZone>, cache_cap: usize },
+    /// Serve SLD zone content for any oracle-known domain. Cached zones are
+    /// behind `Rc` so repeat queries share one publication.
+    Sld {
+        inception: u32,
+        expiration: u32,
+        cache: HashMap<Name, Rc<PublishedZone>>,
+        cache_cap: usize,
+    },
 }
 
 /// A fabricating authoritative server (see module docs).
@@ -132,7 +138,7 @@ impl SyntheticAuthority {
             .first()
             .map(|(n, _)| n.clone())
             .unwrap_or_else(|| apex.prepend("ns1").expect("ns name"));
-        let mut zone = Zone::new(apex.clone(), primary.clone());
+        let mut zone = Zone::new(apex.clone(), primary);
         // NS RRset at apex: replace the default with the full host list.
         for (host, _) in spec.ns_hosts.iter().skip(1) {
             zone.add(apex.clone(), DEFAULT_TTL, RData::Ns(host.clone()));
@@ -153,7 +159,7 @@ impl SyntheticAuthority {
             }
         }
         if let Some(present) = spec.txt_signal {
-            zone.add(apex.clone(), DEFAULT_TTL, RData::Txt(vec![txt_signal(present)]));
+            zone.add(apex, DEFAULT_TTL, RData::Txt(vec![txt_signal(present)]));
         }
         if spec.signed {
             PublishedZone::signed(zone, &spec.keys(), inception, expiration)
@@ -172,13 +178,14 @@ impl SyntheticAuthority {
         let Mode::Sld { inception, expiration, cache, cache_cap } = &mut self.mode else {
             unreachable!("handle_sld called in TLD mode");
         };
-        if !cache.contains_key(&spec.apex) {
-            if cache.len() >= *cache_cap {
-                cache.clear();
-            }
-            cache.insert(spec.apex.clone(), Self::build_sld_zone(&spec, *inception, *expiration));
+        if cache.len() >= *cache_cap && !cache.contains_key(&spec.apex) {
+            cache.clear();
         }
-        let zone = &cache[&spec.apex];
+        let zone = Rc::clone(
+            cache
+                .entry(spec.apex.clone())
+                .or_insert_with(|| Rc::new(Self::build_sld_zone(&spec, *inception, *expiration))),
+        );
         let lookup = zone.lookup(&question.name, question.rrtype);
         let mut response = render_lookup(query, &lookup);
         if spec.z_signal && spec.dlv_deposited {
@@ -272,7 +279,7 @@ impl SyntheticAuthority {
                     .authoritative(true)
                     .rcode(Rcode::NxDomain)
                     .build();
-                for rec in apex_zone.zone().soa_rrset().to_records() {
+                for rec in apex_zone.signed_soa().rrset.to_records() {
                     msg.push(Section::Authority, rec);
                 }
                 if with_dnssec && *signed {
@@ -305,7 +312,7 @@ impl SyntheticAuthority {
                         }
                     } else {
                         // NODATA: prove the DS's absence when we can.
-                        for rec in apex_zone.zone().soa_rrset().to_records() {
+                        for rec in apex_zone.signed_soa().rrset.to_records() {
                             msg.push(Section::Authority, rec);
                         }
                         if with_dnssec && *signed {
@@ -374,7 +381,7 @@ impl SyntheticAuthority {
 /// A name canonically just before `name`, guaranteed not to collide with
 /// population names (which never end in `-`).
 fn close_predecessor(name: &Name) -> Name {
-    let first = name.labels()[0].to_string();
+    let first = name.label(0).to_string();
     let trimmed: String =
         if first.len() > 1 { first[..first.len() - 1].to_string() } else { "0".into() };
     let parent = name.parent().expect("child names have parents");
@@ -383,7 +390,7 @@ fn close_predecessor(name: &Name) -> Name {
 
 /// A name canonically just after `name`.
 fn close_successor(name: &Name) -> Name {
-    let first = name.labels()[0].to_string();
+    let first = name.label(0).to_string();
     let parent = name.parent().expect("child names have parents");
     parent.prepend(&format!("{first}0")).expect("successor label fits")
 }
@@ -425,7 +432,7 @@ mod tests {
                 return None;
             }
             let apex = qname.suffix(2);
-            let first = apex.labels()[0].to_string();
+            let first = apex.label(0).to_string();
             if !first.starts_with('d') {
                 return None;
             }

@@ -4,19 +4,28 @@
 //! traffic-volume measurements (Table 5, Figs. 10–12 of the paper) use
 //! realistic message sizes; [`Reader`] follows compression pointers with loop
 //! protection.
+//!
+//! Both directions ride the compact [`Name`] representation: the writer
+//! probes its compression map with borrowed byte-suffix slices of the name's
+//! contiguous wire bytes (no per-tail `Name` or key allocation — the map
+//! only allocates when a *new* suffix is recorded), and the reader assembles
+//! labels on a stack [`NameBuilder`], so decoding a short name touches the
+//! heap zero times.
 
 use std::collections::HashMap;
 
-use crate::name::{Label, MAX_NAME_LEN};
+use crate::name::{label_offsets, NameBuilder, MAX_LABELS, MAX_NAME_LEN};
 use crate::{Name, WireError};
 
 /// An appending wire-format writer with name compression.
 #[derive(Debug, Default)]
 pub struct Writer {
     buf: Vec<u8>,
-    /// Maps a name's uncompressed wire bytes to the message offset where that
-    /// name (or tail) was first written. Offsets beyond 0x3fff are not
-    /// recorded because pointers cannot reach them.
+    /// Maps a name tail's wire label bytes (length-prefixed, lower-cased, no
+    /// root byte) to the message offset where that tail was first written.
+    /// Offsets beyond 0x3fff are not recorded because pointers cannot reach
+    /// them. Probed with borrowed slices; keys are only allocated on first
+    /// sight of a suffix.
     names: HashMap<Vec<u8>, u16>,
 }
 
@@ -80,32 +89,33 @@ impl Writer {
     }
 
     /// Writes a name with compression against previously written names.
+    ///
+    /// Finds the longest previously written tail (scanning from the full
+    /// name down), emits any unmatched leading labels followed by a pointer,
+    /// and records the offsets of newly emitted tails for later repeats.
     pub fn write_name(&mut self, name: &Name) {
-        let labels = name.labels();
-        for start in 0..labels.len() {
-            let tail =
-                Name::from_labels(labels[start..].to_vec()).expect("tail of a valid name is valid");
-            let mut key = Vec::with_capacity(tail.wire_len());
-            tail.encode_uncompressed(&mut key);
-            if let Some(&offset) = self.names.get(&key) {
+        let bytes = name.wire_labels();
+        let mut offs = [0u8; MAX_LABELS];
+        let n = label_offsets(bytes, &mut offs);
+        for i in 0..n {
+            let tail = &bytes[offs[i] as usize..];
+            if let Some(&pointer) = self.names.get(tail) {
                 // Emit the labels before the match, then a pointer.
-                for label in &labels[..start] {
-                    self.write_label(label);
-                }
-                self.write_u16(0xc000 | offset);
-                // Record the full name too so later repeats compress fully.
-                self.record_name_offsets(name, start);
+                let prefix = &bytes[..offs[i] as usize];
+                self.buf.extend_from_slice(prefix);
+                self.write_u16(0xc000 | pointer);
+                // Record the freshly emitted tails too so later repeats
+                // compress fully.
+                let base = self.buf.len() - 2 - prefix.len();
+                self.record_tails(bytes, &offs[..i], base);
                 return;
             }
         }
         // No suffix matched: write uncompressed and remember all suffixes.
-        let start_offset = self.buf.len();
-        for label in labels {
-            self.write_label(label);
-        }
+        let base = self.buf.len();
+        self.buf.extend_from_slice(bytes);
         self.buf.push(0);
-        self.remember_suffixes(name, start_offset);
-        let _ = start_offset;
+        self.record_tails(bytes, &offs[..n], base);
     }
 
     /// Writes a name without compression and without recording it (canonical
@@ -114,44 +124,18 @@ impl Writer {
         name.encode_uncompressed(&mut self.buf);
     }
 
-    fn write_label(&mut self, label: &Label) {
-        self.buf.push(label.len() as u8);
-        self.buf.extend_from_slice(label.as_bytes());
-    }
-
-    fn remember_suffixes(&mut self, name: &Name, start_offset: usize) {
-        let labels = name.labels();
-        let mut offset = start_offset;
-        for start in 0..labels.len() {
-            if offset <= 0x3fff {
-                let tail = Name::from_labels(labels[start..].to_vec())
-                    .expect("tail of a valid name is valid");
-                let mut key = Vec::with_capacity(tail.wire_len());
-                tail.encode_uncompressed(&mut key);
-                self.names.entry(key).or_insert(offset as u16);
+    /// Records the message offset of each tail of `bytes` starting at the
+    /// given label offsets, where the byte at `offs[i]` sits at message
+    /// offset `base + offs[i]`. First sighting wins.
+    fn record_tails(&mut self, bytes: &[u8], offs: &[u8], base: usize) {
+        for &off in offs {
+            let at = base + off as usize;
+            if at <= 0x3fff {
+                let tail = &bytes[off as usize..];
+                if !self.names.contains_key(tail) {
+                    self.names.insert(tail.to_vec(), at as u16);
+                }
             }
-            offset += labels[start].len() + 1;
-        }
-    }
-
-    fn record_name_offsets(&mut self, name: &Name, emitted_prefix: usize) {
-        // The freshly emitted labels (before the pointer) start at:
-        let mut offset = self.buf.len();
-        // Walk back over pointer (2) plus emitted labels.
-        offset -= 2;
-        for label in name.labels()[..emitted_prefix].iter().rev() {
-            offset -= label.len() + 1;
-        }
-        let labels = name.labels();
-        for start in 0..emitted_prefix {
-            if offset <= 0x3fff {
-                let tail = Name::from_labels(labels[start..].to_vec())
-                    .expect("tail of a valid name is valid");
-                let mut key = Vec::with_capacity(tail.wire_len());
-                tail.encode_uncompressed(&mut key);
-                self.names.entry(key).or_insert(offset as u16);
-            }
-            offset += labels[start].len() + 1;
         }
     }
 }
@@ -244,8 +228,7 @@ impl<'a> Reader<'a> {
     /// Fails on truncation, forward pointers, pointer loops, and over-long
     /// names.
     pub fn read_name(&mut self) -> Result<Name, WireError> {
-        let mut labels = Vec::new();
-        let mut wire_len = 1usize;
+        let mut builder = NameBuilder::new();
         let mut jumped = false;
         let mut jump_count = 0usize;
         let mut cursor = self.pos;
@@ -257,8 +240,7 @@ impl<'a> Reader<'a> {
                     if !jumped {
                         self.pos = cursor;
                     }
-                    let name = Name::from_labels(labels)?;
-                    return Ok(name);
+                    return Ok(builder.finish());
                 }
                 l if l & 0xc0 == 0xc0 => {
                     let second = *self
@@ -292,11 +274,10 @@ impl<'a> Reader<'a> {
                         .buf
                         .get(start..start + l)
                         .ok_or(WireError::Truncated { context: "label" })?;
-                    wire_len += l + 1;
-                    if wire_len > MAX_NAME_LEN {
-                        return Err(WireError::NameTooLong(wire_len));
+                    if builder.wire_len() + l + 1 > MAX_NAME_LEN {
+                        return Err(WireError::NameTooLong(builder.wire_len() + l + 1));
                     }
-                    labels.push(Label::new(bytes)?);
+                    builder.push_label(bytes)?;
                     cursor = start + l;
                 }
             }
@@ -400,5 +381,26 @@ mod tests {
         w.write_name(&n("example.com"));
         // Must be written in full (13 bytes), not as a pointer.
         assert_eq!(w.len() - before, n("example.com").wire_len());
+    }
+
+    #[test]
+    fn partial_match_records_new_tails() {
+        // After writing a.b.c and then x.b.c (which compresses to the b.c
+        // tail), a later x.b.c repeat must compress to a single pointer.
+        let mut w = Writer::new();
+        w.write_name(&n("a.b.c"));
+        w.write_name(&n("x.b.c"));
+        let before = w.len();
+        w.write_name(&n("x.b.c"));
+        assert_eq!(w.len() - before, 2);
+    }
+
+    #[test]
+    fn mixed_case_names_compress_together() {
+        let mut w = Writer::new();
+        w.write_name(&n("WWW.Example.COM"));
+        let before = w.len();
+        w.write_name(&n("www.example.com"));
+        assert_eq!(w.len() - before, 2);
     }
 }

@@ -44,7 +44,7 @@ pub mod ext;
 pub use error::WireError;
 pub use header::{Flags, Header, Opcode, Rcode};
 pub use message::{Message, MessageBuilder, Question, Section};
-pub use name::{Label, Name};
+pub use name::{Label, LabelRef, Labels, Name, NameBuilder, NameRef, NameTable};
 pub use rdata::{RData, SoaData};
 pub use record::{Record, RrSet};
 pub use rrtype::{RrClass, RrType, TypeBitmap};

@@ -456,7 +456,7 @@ mod tests {
             back,
             Message {
                 header: Header { qdcount: 1, ancount: 1, nscount: 1, arcount: 2, ..back.header },
-                ..resp.clone()
+                ..resp
             }
         );
         assert!(back.header.flags.aa);

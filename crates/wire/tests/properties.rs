@@ -15,6 +15,31 @@ fn name_strategy() -> impl Strategy<Value = Name> {
         .prop_map(|labels| Name::parse(&labels.join(".")).expect("generated names are valid"))
 }
 
+fn mixed_case_label_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-zA-Z0-9]([a-zA-Z0-9-]{0,14}[a-zA-Z0-9])?")
+        .expect("valid regex")
+}
+
+fn mixed_case_name_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(mixed_case_label_strategy(), 1..6).prop_map(|labels| labels.join("."))
+}
+
+/// RFC 4034 §6.1 canonical ordering over an explicit label-vector model —
+/// the representation (and semantics) `Name` had before the compact byte
+/// buffer: compare label sequences right to left, each label as
+/// lower-cased raw bytes, with a missing (shorter) sequence sorting first.
+fn reference_canonical_cmp(a: &Name, b: &Name) -> std::cmp::Ordering {
+    let la: Vec<Vec<u8>> = a.labels().map(|l| l.as_bytes().to_ascii_lowercase()).collect();
+    let lb: Vec<Vec<u8>> = b.labels().map(|l| l.as_bytes().to_ascii_lowercase()).collect();
+    for (x, y) in la.iter().rev().zip(lb.iter().rev()) {
+        match x.cmp(y) {
+            std::cmp::Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    la.len().cmp(&lb.len())
+}
+
 proptest! {
     #[test]
     fn parse_display_round_trip(name in name_strategy()) {
@@ -108,6 +133,37 @@ proptest! {
         for (a, b) in back.answers.iter().zip(&msg.answers) {
             prop_assert_eq!(a, b);
         }
+    }
+
+    #[test]
+    fn canonical_order_matches_label_vector_model(
+        a in name_strategy(),
+        b in name_strategy(),
+    ) {
+        prop_assert_eq!(a.canonical_cmp(&b), reference_canonical_cmp(&a, &b));
+    }
+
+    #[test]
+    fn mixed_case_names_normalise_and_round_trip(text in mixed_case_name_strategy()) {
+        let name = Name::parse(&text).unwrap();
+        let lower = Name::parse(&text.to_ascii_lowercase()).unwrap();
+        // The compact representation lower-cases at construction, exactly
+        // as the old `Label`-vector Eq/Ord did at comparison time.
+        prop_assert_eq!(&name, &lower);
+        prop_assert_eq!(name.canonical_cmp(&lower), std::cmp::Ordering::Equal);
+
+        // Codec round-trip: uncompressed and compressed forms both decode
+        // back to the same (normalised) name.
+        let mut buf = Vec::new();
+        name.encode_uncompressed(&mut buf);
+        prop_assert_eq!(Reader::new(&buf).read_name().unwrap(), name.clone());
+        let mut w = Writer::new();
+        w.write_name(&name);
+        w.write_name(&lower); // second write must compress against the first
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        prop_assert_eq!(r.read_name().unwrap(), name.clone());
+        prop_assert_eq!(r.read_name().unwrap(), name);
     }
 
     #[test]

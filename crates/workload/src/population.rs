@@ -348,8 +348,8 @@ impl DomainPopulation {
             return None;
         }
         let apex = qname.suffix(2);
-        let sld = apex.labels()[0].to_string();
-        let tld = apex.labels()[1].to_string();
+        let sld = apex.label(0).to_string();
+        let tld = apex.label(1).to_string();
         let rest = &sld[1..];
         if sld.starts_with('d') && rest.len() == 7 && rest.bytes().all(|b| b.is_ascii_digit()) {
             let rank: usize = rest.parse().ok()?;
@@ -445,7 +445,7 @@ mod tests {
         let p = pop(100_000);
         for rank in [1usize, 42, 9_999, 100_000] {
             let name = p.domain(rank);
-            let sld = name.labels()[0].to_string();
+            let sld = name.label(0).to_string();
             assert_eq!(sld.len(), 8, "d + 7 digits in {name}");
             match p.entry_of(&name) {
                 Some(PopEntry::Domain(attrs)) => assert_eq!(attrs.rank, rank),

@@ -1,28 +1,38 @@
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 use lookaside_wire::{Name, Record, RrSet};
 use serde::{Deserialize, Serialize};
 
 /// An RRset paired with its covering RRSIG (absent in unsigned zones).
+///
+/// Both halves are shared handles: cloning a `SignedRrSet` bumps refcounts,
+/// so a published zone can hand the same pre-rendered answer to every query
+/// without copying record data.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SignedRrSet {
     /// The data RRset.
-    pub rrset: RrSet,
+    pub rrset: Arc<RrSet>,
     /// The RRSIG record covering it, when the zone is signed.
-    pub rrsig: Option<Record>,
+    pub rrsig: Option<Arc<Record>>,
 }
 
 impl SignedRrSet {
+    /// Pairs a shared RRset with its (shared) signature.
+    pub fn new(rrset: Arc<RrSet>, rrsig: Option<Arc<Record>>) -> Self {
+        SignedRrSet { rrset, rrsig }
+    }
+
     /// Wraps an unsigned RRset.
     pub fn unsigned(rrset: RrSet) -> Self {
-        SignedRrSet { rrset, rrsig: None }
+        SignedRrSet { rrset: Arc::new(rrset), rrsig: None }
     }
 
     /// All records (data + signature) for placing into a message section.
     pub fn to_records(&self) -> Vec<Record> {
         let mut records = self.rrset.to_records();
         if let Some(sig) = &self.rrsig {
-            records.push(sig.clone());
+            records.push(Record::clone(sig));
         }
         records
     }
@@ -55,7 +65,7 @@ pub enum Lookup {
         /// The delegation point.
         cut: Name,
         /// Child NS RRset (unsigned — delegation NS sets never are).
-        ns: RrSet,
+        ns: Arc<RrSet>,
         /// DS RRset for a secure delegation.
         ds: Option<SignedRrSet>,
         /// NSEC at the cut proving *no* DS exists (insecure delegation in a

@@ -102,12 +102,19 @@ impl NsecChain {
     ///
     /// Panics if the chain is somehow empty (cannot happen via `build`).
     pub fn covering(&self, name: &Name, ttl: u32) -> Option<RrSet> {
-        let idx = match self.entries.binary_search_by(|(n, _)| n.canonical_cmp(name)) {
-            Ok(_) => return None,             // name exists
-            Err(0) => self.entries.len() - 1, // before apex: wrap-around span
-            Err(i) => i - 1,
-        };
-        Some(self.record_at(idx, ttl))
+        Some(self.record_at(self.covering_index(name)?, ttl))
+    }
+
+    /// Index of the NSEC record proving that `name` does not exist —
+    /// `None` when `name` is an existing owner. Allocation-free; pair with
+    /// a pre-rendered record table instead of [`NsecChain::covering`] on
+    /// hot paths.
+    pub fn covering_index(&self, name: &Name) -> Option<usize> {
+        match self.entries.binary_search_by(|(n, _)| n.canonical_cmp(name)) {
+            Ok(_) => None,                          // name exists
+            Err(0) => Some(self.entries.len() - 1), // before apex: wrap-around span
+            Err(i) => Some(i - 1),
+        }
     }
 
     /// The owner names, canonical order.

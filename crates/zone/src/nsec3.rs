@@ -152,20 +152,32 @@ impl Nsec3Chain {
     /// The NSEC3 record covering `name`'s hash, proving non-existence —
     /// `None` when the name exists (its hash is an owner).
     pub fn covering(&self, name: &Name, ttl: u32) -> Option<RrSet> {
-        let hash = nsec3_hash(name, &self.salt, self.iterations);
-        let idx = match self.entries.binary_search_by(|(h, _)| h.cmp(&hash)) {
-            Ok(_) => return None,
-            Err(0) => self.entries.len().checked_sub(1)?,
-            Err(i) => i - 1,
-        };
-        Some(self.record_at(idx, ttl))
+        Some(self.record_at(self.covering_index(name)?, ttl))
     }
 
     /// The NSEC3 record at `name`'s own hash (type-absence proof).
     pub fn at(&self, name: &Name, ttl: u32) -> Option<RrSet> {
-        let hash = nsec3_hash(name, &self.salt, self.iterations);
-        let idx = self.entries.binary_search_by(|(h, _)| h.cmp(&hash)).ok()?;
+        let idx = self.index_of(name)?;
         Some(self.record_at(idx, ttl))
+    }
+
+    /// Index of the NSEC3 record covering `name`'s hash — `None` when the
+    /// name exists. The hashed analogue of [`NsecChain::covering_index`].
+    ///
+    /// [`NsecChain::covering_index`]: crate::NsecChain::covering_index
+    pub fn covering_index(&self, name: &Name) -> Option<usize> {
+        let hash = nsec3_hash(name, &self.salt, self.iterations);
+        match self.entries.binary_search_by(|(h, _)| h.cmp(&hash)) {
+            Ok(_) => None,
+            Err(0) => self.entries.len().checked_sub(1),
+            Err(i) => Some(i - 1),
+        }
+    }
+
+    /// Index of the entry at `name`'s own hash, if the name exists.
+    pub fn index_of(&self, name: &Name) -> Option<usize> {
+        let hash = nsec3_hash(name, &self.salt, self.iterations);
+        self.entries.binary_search_by(|(h, _)| h.cmp(&hash)).ok()
     }
 }
 
@@ -212,7 +224,7 @@ mod tests {
         let c = chain();
         for idx in 0..c.len() {
             let rec = c.record_at(idx, 60);
-            assert_eq!(rec.name.labels()[0].len(), 32, "20 bytes -> 32 base32hex chars");
+            assert_eq!(rec.name.label(0).len(), 32, "20 bytes -> 32 base32hex chars");
             assert!(rec.name.is_subdomain_of(&n("z")));
         }
     }

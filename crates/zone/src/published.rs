@@ -1,4 +1,5 @@
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use lookaside_crypto::KeyPair;
 use lookaside_wire::{Name, RData, Record, RrClass, RrSet, RrType, TypeBitmap};
@@ -66,28 +67,35 @@ pub struct PublishedZone {
     zone: Zone,
     signed: bool,
     dnskeys: Option<SignedRrSet>,
-    /// RRSIG covering each (owner, type) RRset.
-    sigs: BTreeMap<(Name, RrType), Record>,
+    /// RRSIG covering each (owner, type) RRset, behind `Arc` so answers
+    /// share one signature record instead of deep-copying it per query.
+    sigs: BTreeMap<(Name, RrType), Arc<Record>>,
+    /// The signed SOA, rendered once at publish time: every negative
+    /// response reuses these handles.
+    soa: SignedRrSet,
     nsec: Option<NsecChain>,
-    /// RRSIGs over NSEC records, keyed by NSEC owner.
-    nsec_sigs: BTreeMap<Name, Record>,
+    /// Signed NSEC RRsets, index-aligned with the chain's entries and
+    /// rendered once at publish time.
+    nsec_rendered: Vec<SignedRrSet>,
     nsec3: Option<Nsec3Chain>,
-    /// RRSIGs over NSEC3 records, keyed by hashed owner.
-    nsec3_sigs: BTreeMap<Name, Record>,
+    /// Signed NSEC3 RRsets, index-aligned with the chain's entries.
+    nsec3_rendered: Vec<SignedRrSet>,
 }
 
 impl PublishedZone {
     /// Publishes a zone without DNSSEC.
     pub fn unsigned(zone: Zone) -> Self {
+        let soa = SignedRrSet::unsigned(zone.soa_rrset());
         PublishedZone {
             zone,
             signed: false,
             dnskeys: None,
             sigs: BTreeMap::new(),
+            soa,
             nsec: None,
-            nsec_sigs: BTreeMap::new(),
+            nsec_rendered: Vec::new(),
             nsec3: None,
-            nsec3_sigs: BTreeMap::new(),
+            nsec3_rendered: Vec::new(),
         }
     }
 
@@ -117,8 +125,8 @@ impl PublishedZone {
         let mut dnskey_set = RrSet::empty(apex.clone(), RrType::Dnskey, DEFAULT_TTL);
         dnskey_set.push(keys.zsk.public().dnskey_rdata());
         dnskey_set.push(keys.ksk.public().dnskey_rdata());
-        let dnskey_sig = sign_rrset(&dnskey_set, &apex, &keys.ksk, inception, expiration);
-        let dnskeys = SignedRrSet { rrset: dnskey_set, rrsig: Some(dnskey_sig) };
+        let dnskey_sig = Arc::new(sign_rrset(&dnskey_set, &apex, &keys.ksk, inception, expiration));
+        let dnskeys = SignedRrSet::new(Arc::new(dnskey_set), Some(dnskey_sig));
 
         // Sign all authoritative RRsets (skip delegation NS sets).
         let mut sigs = BTreeMap::new();
@@ -126,7 +134,7 @@ impl PublishedZone {
             if set.rrtype == RrType::Ns && zone.is_cut(&set.name) {
                 continue;
             }
-            let sig = sign_rrset(set, &apex, &keys.zsk, inception, expiration);
+            let sig = Arc::new(sign_rrset(set, &apex, &keys.zsk, inception, expiration));
             sigs.insert((set.name.clone(), set.rrtype), sig);
         }
         sigs.insert(
@@ -142,16 +150,18 @@ impl PublishedZone {
         per_owner.entry(apex.clone()).or_default().insert(RrType::Dnskey);
         let owners: Vec<(Name, TypeBitmap)> = per_owner.into_iter().collect();
 
+        // Denial records are signed *and rendered* once here; queries then
+        // clone shared handles instead of rebuilding RRsets.
         let mut nsec = None;
-        let mut nsec_sigs = BTreeMap::new();
+        let mut nsec_rendered = Vec::new();
         let mut nsec3 = None;
-        let mut nsec3_sigs = BTreeMap::new();
+        let mut nsec3_rendered = Vec::new();
         match denial {
             DenialMode::Nsec => {
                 let chain = NsecChain::build(apex.clone(), owners);
                 for set in chain.records(zone.soa().minimum) {
-                    let sig = sign_rrset(&set, &apex, &keys.zsk, inception, expiration);
-                    nsec_sigs.insert(set.name.clone(), sig);
+                    let sig = Arc::new(sign_rrset(&set, &apex, &keys.zsk, inception, expiration));
+                    nsec_rendered.push(SignedRrSet::new(Arc::new(set), Some(sig)));
                 }
                 nsec = Some(chain);
             }
@@ -166,22 +176,27 @@ impl PublishedZone {
                 let chain = Nsec3Chain::build(apex.clone(), owners, salt, 1);
                 for idx in 0..chain.len() {
                     let set = chain.record_at(idx, zone.soa().minimum);
-                    let sig = sign_rrset(&set, &apex, &keys.zsk, inception, expiration);
-                    nsec3_sigs.insert(set.name.clone(), sig);
+                    let sig = Arc::new(sign_rrset(&set, &apex, &keys.zsk, inception, expiration));
+                    nsec3_rendered.push(SignedRrSet::new(Arc::new(set), Some(sig)));
                 }
                 nsec3 = Some(chain);
             }
         }
+
+        let soa_set = zone.soa_rrset();
+        let soa_sig = sigs.get(&(soa_set.name.clone(), RrType::Soa)).cloned();
+        let soa = SignedRrSet::new(Arc::new(soa_set), soa_sig);
 
         PublishedZone {
             zone,
             signed: true,
             dnskeys: Some(dnskeys),
             sigs,
+            soa,
             nsec,
-            nsec_sigs,
+            nsec_rendered,
             nsec3,
-            nsec3_sigs,
+            nsec3_rendered,
         }
     }
 
@@ -205,30 +220,30 @@ impl PublishedZone {
         self.dnskeys.as_ref()
     }
 
-    /// The signed SOA for negative responses.
-    fn soa_signed(&self) -> SignedRrSet {
-        let soa = self.zone.soa_rrset();
-        let rrsig = self.sigs.get(&(soa.name.clone(), RrType::Soa)).cloned();
-        SignedRrSet { rrset: soa, rrsig }
+    /// The (signed, pre-rendered) SOA used in negative responses.
+    pub fn signed_soa(&self) -> &SignedRrSet {
+        &self.soa
     }
 
-    fn with_sig(&self, rrset: RrSet) -> SignedRrSet {
+    /// The signed SOA for negative responses (pre-rendered, shared).
+    fn soa_signed(&self) -> SignedRrSet {
+        self.soa.clone()
+    }
+
+    fn with_sig(&self, rrset: &Arc<RrSet>) -> SignedRrSet {
+        // The key's `Name` clone is O(1) in the compact representation.
         let rrsig = self.sigs.get(&(rrset.name.clone(), rrset.rrtype)).cloned();
-        SignedRrSet { rrset, rrsig }
+        SignedRrSet::new(Arc::clone(rrset), rrsig)
     }
 
     /// The NSEC/NSEC3 record (with signature) proving `name` does not
-    /// exist.
+    /// exist. Served from the pre-rendered tables — two refcount bumps.
     pub fn nxdomain_proof(&self, name: &Name) -> Option<SignedRrSet> {
         if let Some(chain) = &self.nsec {
-            let rrset = chain.covering(name, self.zone.soa().minimum)?;
-            let rrsig = self.nsec_sigs.get(&rrset.name).cloned();
-            return Some(SignedRrSet { rrset, rrsig });
+            return Some(self.nsec_rendered[chain.covering_index(name)?].clone());
         }
         if let Some(chain) = &self.nsec3 {
-            let rrset = chain.covering(name, self.zone.soa().minimum)?;
-            let rrsig = self.nsec3_sigs.get(&rrset.name).cloned();
-            return Some(SignedRrSet { rrset, rrsig });
+            return Some(self.nsec3_rendered[chain.covering_index(name)?].clone());
         }
         None
     }
@@ -237,15 +252,10 @@ impl PublishedZone {
     /// `name` owns one.
     pub fn nodata_proof(&self, name: &Name) -> Option<SignedRrSet> {
         if let Some(chain) = &self.nsec {
-            let idx = chain.index_of(name)?;
-            let rrset = chain.record_at(idx, self.zone.soa().minimum);
-            let rrsig = self.nsec_sigs.get(&rrset.name).cloned();
-            return Some(SignedRrSet { rrset, rrsig });
+            return Some(self.nsec_rendered[chain.index_of(name)?].clone());
         }
         if let Some(chain) = &self.nsec3 {
-            let rrset = chain.at(name, self.zone.soa().minimum)?;
-            let rrsig = self.nsec3_sigs.get(&rrset.name).cloned();
-            return Some(SignedRrSet { rrset, rrsig });
+            return Some(self.nsec3_rendered[chain.index_of(name)?].clone());
         }
         None
     }
@@ -273,18 +283,18 @@ impl PublishedZone {
             let at_cut = qname == cut;
             // The parent answers DS queries at the cut itself.
             if !(at_cut && qtype == RrType::Ds) {
-                return self.referral(&cut.clone());
+                return self.referral(cut);
             }
         }
 
         if let Some(cname) = self.zone.rrset(qname, RrType::Cname) {
             if qtype != RrType::Cname {
-                return Lookup::Cname { cname: self.with_sig(cname.clone()) };
+                return Lookup::Cname { cname: self.with_sig(cname) };
             }
         }
 
         if let Some(set) = self.zone.rrset(qname, qtype) {
-            return Lookup::Answer { answer: self.with_sig(set.clone()) };
+            return Lookup::Answer { answer: self.with_sig(set) };
         }
 
         if qtype == RrType::Nsec {
@@ -303,7 +313,7 @@ impl PublishedZone {
     fn referral(&self, cut: &Name) -> Lookup {
         let ns =
             self.zone.rrset(cut, RrType::Ns).cloned().expect("cut names always own an NS RRset");
-        let ds = self.zone.rrset(cut, RrType::Ds).map(|set| self.with_sig(set.clone()));
+        let ds = self.zone.rrset(cut, RrType::Ds).map(|set| self.with_sig(set));
         let no_ds_proof = if ds.is_none() && self.signed { self.nodata_proof(cut) } else { None };
         let glue = ns
             .rdatas
@@ -423,7 +433,7 @@ mod tests {
             key_tag,
             signer_name,
             signature,
-        } = sig.rdata
+        } = sig.rdata.clone()
         else {
             panic!("expected rrsig rdata");
         };
@@ -586,7 +596,7 @@ mod tests {
                 assert!(proof.rrsig.is_some());
                 assert!(matches!(proof.rrset.rdatas[0], RData::Nsec3 { .. }));
                 // Hashed owner label, 32 base32hex chars.
-                assert_eq!(proof.rrset.name.labels()[0].len(), 32);
+                assert_eq!(proof.rrset.name.label(0).len(), 32);
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -1,5 +1,7 @@
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
+use std::ops::Bound;
+use std::sync::Arc;
 
 use lookaside_wire::{Name, RData, RrSet, RrType, SoaData};
 use serde::{Deserialize, Serialize};
@@ -15,9 +17,10 @@ use crate::{ZoneError, DEFAULT_TTL};
 pub struct Zone {
     apex: Name,
     soa: SoaData,
-    /// RRsets per owner name and type. Delegation NS sets live here too,
-    /// flagged by being below the apex with type NS.
-    records: BTreeMap<Name, BTreeMap<RrType, RrSet>>,
+    /// RRsets per owner name and type, behind `Arc` so lookups hand out
+    /// shared handles instead of deep copies. Delegation NS sets live here
+    /// too, flagged by being below the apex with type NS.
+    records: BTreeMap<Name, BTreeMap<RrType, Arc<RrSet>>>,
     /// Names that are delegation points (have an NS RRset but are not the
     /// apex).
     cuts: Vec<Name>,
@@ -71,11 +74,10 @@ impl Zone {
     }
 
     fn refresh_soa_rrset(&mut self) {
-        if let Some(soa_set) =
-            self.records.get_mut(&self.apex.clone()).and_then(|sets| sets.get_mut(&RrType::Soa))
-        {
-            *soa_set =
-                RrSet::single(self.apex.clone(), self.soa.minimum, RData::Soa(self.soa.clone()));
+        // Field-level borrows split: `records` mutably, `apex` shared.
+        let Zone { records, apex, soa, .. } = self;
+        if let Some(soa_set) = records.get_mut(apex).and_then(|sets| sets.get_mut(&RrType::Soa)) {
+            *soa_set = Arc::new(RrSet::single(apex.clone(), soa.minimum, RData::Soa(soa.clone())));
         }
     }
 
@@ -124,8 +126,8 @@ impl Zone {
             .entry(name.clone())
             .or_default()
             .entry(rrtype)
-            .or_insert_with(|| RrSet::empty(name, rrtype, ttl));
-        entry.push(rdata);
+            .or_insert_with(|| Arc::new(RrSet::empty(name, rrtype, ttl)));
+        Arc::make_mut(entry).push(rdata);
         Ok(())
     }
 
@@ -167,7 +169,7 @@ impl Zone {
     }
 
     fn insert_rrset(&mut self, set: RrSet) {
-        self.records.entry(set.name.clone()).or_default().insert(set.rrtype, set);
+        self.records.entry(set.name.clone()).or_default().insert(set.rrtype, Arc::new(set));
     }
 
     /// Whether `name` is a delegation point in this zone.
@@ -180,8 +182,8 @@ impl Zone {
         self.cuts.iter().filter(|cut| name.is_subdomain_of(cut)).max_by_key(|c| c.label_count())
     }
 
-    /// Fetches an RRset.
-    pub fn rrset(&self, name: &Name, rrtype: RrType) -> Option<&RrSet> {
+    /// Fetches an RRset as a shared handle (`.clone()` bumps a refcount).
+    pub fn rrset(&self, name: &Name, rrtype: RrType) -> Option<&Arc<RrSet>> {
         self.records.get(name)?.get(&rrtype)
     }
 
@@ -194,14 +196,14 @@ impl Zone {
     /// 10⁴–10⁵-entry scale.
     pub fn name_exists(&self, name: &Name) -> bool {
         self.records
-            .range(name.clone()..)
+            .range((Bound::Included(name), Bound::Unbounded))
             .next()
             .is_some_and(|(owner, _)| owner.is_subdomain_of(name))
     }
 
     /// Iterates all RRsets in canonical owner order.
     pub fn iter(&self) -> impl Iterator<Item = &RrSet> {
-        self.records.values().flat_map(|sets| sets.values())
+        self.records.values().flat_map(|sets| sets.values().map(|set| set.as_ref()))
     }
 
     /// Iterates all owner names in canonical order.

@@ -173,7 +173,7 @@ fn hashed_remedy_world_serves_hashed_registry() {
     }
     for packet in internet.net.capture().packets() {
         if packet.qtype == RrType::Dlv {
-            let first = packet.qname.labels()[0].to_string();
+            let first = packet.qname.label(0).to_string();
             assert_eq!(first.len(), 32, "hashed label expected, got {}", packet.qname);
         }
     }

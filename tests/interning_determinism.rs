@@ -1,0 +1,40 @@
+//! Capture-qname interning is a storage optimisation, never a semantic
+//! one: the fig8/9 pipeline must render byte-identical output with
+//! interning on and off, serially and sharded.
+//!
+//! This pins the PR-3 memory-model contract (see DESIGN.md): a
+//! `NameTable` returns handles *equal* to what it was given, so nothing
+//! downstream — leakage classification, table rendering, capture merge
+//! order — can observe whether interning happened.
+
+use lookaside::engine::Executor;
+use lookaside::experiments::fig8_9_with;
+use lookaside::report::fig8_9_table;
+use lookaside_netsim::set_capture_interning;
+
+const SIZES: [usize; 3] = [50, 100, 200];
+const SEED: u64 = 11;
+
+/// Renders the same table `repro fig9` prints for one executor.
+fn fig9_text(jobs: usize) -> String {
+    let exec = if jobs <= 1 { Executor::serial() } else { Executor::new(jobs) };
+    fig8_9_table(&fig8_9_with(&exec, &SIZES, SEED))
+}
+
+#[test]
+fn interned_and_plain_runs_render_identical_fig9_at_jobs_1_and_4() {
+    // One test covers the whole matrix so the global toggle is never
+    // racing a parallel test case, and is always restored.
+    set_capture_interning(true);
+    let interned_jobs1 = fig9_text(1);
+    let interned_jobs4 = fig9_text(4);
+
+    set_capture_interning(false);
+    let plain_jobs1 = fig9_text(1);
+    let plain_jobs4 = fig9_text(4);
+    set_capture_interning(true);
+
+    assert_eq!(interned_jobs1, plain_jobs1, "interning changed serial fig9 output");
+    assert_eq!(interned_jobs4, plain_jobs4, "interning changed sharded fig9 output");
+    assert_eq!(interned_jobs1, interned_jobs4, "shard count changed fig9 output");
+}

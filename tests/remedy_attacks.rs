@@ -45,7 +45,7 @@ fn hashed_remedy_hides_plaintext_but_not_query_existence() {
     // name is a fixed-width hash label.
     assert!(outcome.leakage.dlv_queries > 0);
     for name in &outcome.leakage.leaked_names {
-        let label = name.labels()[0].to_string();
+        let label = name.label(0).to_string();
         assert_eq!(label.len(), 32);
         assert!(label.bytes().all(|b| b.is_ascii_hexdigit()));
     }
