@@ -47,4 +47,20 @@ if ! diff -u target/ci/fig9.jobs1.txt target/ci/fig9.jobs4.txt; then
     exit 1
 fi
 
+# Same contract for the Byzantine sweep: seeded faults (bit-flips,
+# truncation, forged payloads) must not perturb worker-count
+# determinism.
+./target/release/repro byzantine --jobs 1 > target/ci/byzantine.jobs1.txt
+./target/release/repro byzantine --jobs 4 > target/ci/byzantine.jobs4.txt
+if ! diff -u target/ci/byzantine.jobs1.txt target/ci/byzantine.jobs4.txt; then
+    echo "ci: FAIL — repro byzantine output diverges between --jobs 1 and --jobs 4" >&2
+    exit 1
+fi
+
+# Corruption robustness gate: 10k fixed-seed mutated packets through the
+# wire decoder — typed WireError or success, never a panic. Backed by a
+# panic/unwrap lint wall on the wire crate.
+cargo test -q -p lookaside-wire --release --test properties corruption_fuzz_fixed_seed_10k
+cargo clippy -p lookaside-wire -- -D warnings -D clippy::panic -D clippy::unwrap_used
+
 echo "ci: all green"

@@ -22,8 +22,8 @@ use lookaside_crypto::{ds_rdata, KeyPair, PublicKey};
 use lookaside_netsim::{CaptureFilter, LatencyModel, Network};
 use lookaside_resolver::{FeatureModel, RecursiveResolver, ResolverConfig, ResolverSetup};
 use lookaside_server::{
-    AuthoritativeServer, DlvDeposit, DlvRegistry, SyntheticAuthority, SyntheticSpec, ZoneOracle,
-    DLV_SPAN_TTL,
+    AuthoritativeServer, DecommissionStage, DlvDeposit, DlvRegistry, SyntheticAuthority,
+    SyntheticSpec, ZoneOracle, DLV_SPAN_TTL,
 };
 use lookaside_wire::ext::RemedyMode;
 use lookaside_wire::{Name, RData};
@@ -110,6 +110,9 @@ pub struct InternetParams {
     pub capture: CaptureFilter,
     /// Where the measurement runs from (latency profile only).
     pub vantage: VantagePoint,
+    /// Decommission stage of the DLV registry (the 2017 wind-down
+    /// timeline and its failure variants).
+    pub dlv_stage: DecommissionStage,
 }
 
 impl InternetParams {
@@ -124,6 +127,7 @@ impl InternetParams {
             seed: 0x1ce,
             capture: CaptureFilter::DlvOnly,
             vantage: VantagePoint::Campus,
+            dlv_stage: DecommissionStage::Populated,
         }
     }
 }
@@ -348,7 +352,7 @@ impl Internet {
                 .push(DlvDeposit { domain: domain.name.clone(), ksk: keys.ksk.public() });
             deposits.insert(domain.name.clone());
         }
-        let registry = DlvRegistry::with_denial(
+        let mut registry = DlvRegistry::with_denial(
             dlv_apex.clone(),
             &registry_deposits,
             &dlv_keys,
@@ -358,6 +362,7 @@ impl Internet {
             params.dlv_span_ttl,
             params.dlv_denial,
         );
+        registry.set_stage(params.dlv_stage);
         net.register(DLV_ADDR, "dlv-registry", Box::new(registry));
 
         // Everything else — ranked SLDs, hosters, huque zones — is served by

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod attacks;
+pub mod byzantine;
 pub mod chaos;
 pub mod client;
 pub mod experiments;

@@ -54,7 +54,7 @@ pub use capture::{
 pub use fault::{FaultPlan, FaultPlane, LinkFaults};
 pub use latency::LatencyModel;
 pub use network::{
-    DnsHandler, Exchange, NetError, Network, ServerAction, Transport, DEFAULT_TIMEOUT_NS,
-    TCP_OVERHEAD_BYTES, UDP_LIMIT_NO_EDNS,
+    DnsHandler, Exchange, NetError, Network, ServerAction, SpoofedResponse, Transport,
+    DEFAULT_TIMEOUT_NS, TCP_OVERHEAD_BYTES, UDP_LIMIT_NO_EDNS,
 };
 pub use stats::TrafficStats;

@@ -4,10 +4,10 @@ use std::collections::HashMap;
 use std::fmt;
 use std::net::Ipv4Addr;
 
-use lookaside_wire::{Message, Rcode, RrClass, RrType};
+use lookaside_wire::{Message, MessageBuilder, RData, Rcode, Record, RrClass, RrType};
 
 use crate::capture::{Capture, CaptureFilter, Direction, Packet};
-use crate::fault::FaultPlane;
+use crate::fault::{splitmix64, FaultPlane, GOLDEN};
 use crate::latency::LatencyModel;
 use crate::stats::TrafficStats;
 
@@ -44,6 +44,21 @@ pub trait DnsHandler {
     fn handle_faulty(&mut self, query: &Message, now_ns: u64) -> ServerAction {
         ServerAction::Respond(self.handle(query, now_ns))
     }
+
+    /// Like [`DnsHandler::handle_faulty`], but told which transport the
+    /// query arrived over. Transport-sensitive misbehaviour (a server that
+    /// truncates UDP answers but serves TCP correctly, per RFC 7766)
+    /// overrides this; everything else inherits the transport-blind
+    /// default.
+    fn handle_transport(
+        &mut self,
+        query: &Message,
+        now_ns: u64,
+        transport: Transport,
+    ) -> ServerAction {
+        let _ = transport;
+        self.handle_faulty(query, now_ns)
+    }
 }
 
 /// Errors surfaced by the network.
@@ -55,6 +70,11 @@ pub enum NetError {
     /// No response arrived before the caller's timeout: the query or the
     /// response was lost, or the server dropped or over-delayed it.
     Timeout(Ipv4Addr),
+    /// A response arrived but was corrupted in flight and no longer
+    /// decodes as a DNS message. Unlike [`NetError::Timeout`] the
+    /// resolver learns this as soon as the datagram lands (only the round
+    /// trip is charged, not a timeout wait) and should retry.
+    Malformed(Ipv4Addr),
 }
 
 impl fmt::Display for NetError {
@@ -62,6 +82,9 @@ impl fmt::Display for NetError {
         match self {
             NetError::NoRoute(addr) => write!(f, "no server registered at {addr}"),
             NetError::Timeout(addr) => write!(f, "query to {addr} timed out"),
+            NetError::Malformed(addr) => {
+                write!(f, "response from {addr} was corrupted in flight")
+            }
         }
     }
 }
@@ -89,6 +112,30 @@ pub const DEFAULT_TIMEOUT_NS: u64 = 5_000_000_000;
 /// prefixes).
 pub const TCP_OVERHEAD_BYTES: usize = 80;
 
+/// An off-path spoofed response that raced (and beat) the genuine answer.
+///
+/// The network delivers it alongside the real response; it is the
+/// *resolver's* job to notice the wrong transaction id or source address
+/// and discard it (RFC 5452). A resolver that skips those checks accepts
+/// the forgery as its answer.
+#[derive(Debug, Clone)]
+pub struct SpoofedResponse {
+    /// The forged message, delivered before the genuine response.
+    pub response: Message,
+    /// The forgery carries a transaction id that does not match the query.
+    pub wrong_qid: bool,
+    /// The forgery arrived from an address other than the one queried.
+    pub wrong_source: bool,
+}
+
+impl SpoofedResponse {
+    /// Whether a resolver performing RFC 5452 qid/source checks would
+    /// reject this forgery.
+    pub fn detectable(&self, check_qid: bool, check_source: bool) -> bool {
+        (check_qid && self.wrong_qid) || (check_source && self.wrong_source)
+    }
+}
+
 /// The result of one query/response exchange.
 #[derive(Debug, Clone)]
 pub struct Exchange {
@@ -100,6 +147,9 @@ pub struct Exchange {
     pub query_bytes: usize,
     /// Response wire size, octets.
     pub response_bytes: usize,
+    /// An off-path forgery that arrived ahead of [`Exchange::response`],
+    /// when the fault plane injected one.
+    pub spoof: Option<SpoofedResponse>,
 }
 
 /// A hook that can rewrite messages in flight — the man-in-the-middle of
@@ -113,6 +163,7 @@ pub struct Network {
     default_route: Option<Box<dyn DnsHandler>>,
     labels: HashMap<Ipv4Addr, String>,
     latency: LatencyModel,
+    tcp_latency: Option<LatencyModel>,
     capture: Capture,
     stats: TrafficStats,
     clock_ns: u64,
@@ -140,6 +191,7 @@ impl Network {
             default_route: None,
             labels: HashMap::new(),
             latency: LatencyModel::new(seed),
+            tcp_latency: None,
             capture: Capture::new(CaptureFilter::DlvOnly),
             stats: TrafficStats::new(),
             clock_ns: 0,
@@ -172,6 +224,14 @@ impl Network {
         self.latency = latency;
     }
 
+    /// Installs a separate latency model for TCP exchanges. Until one is
+    /// installed TCP shares the UDP model (the handshake round trip is
+    /// charged either way); a separate model captures middlebox paths
+    /// where stream traffic takes a different route.
+    pub fn set_tcp_latency(&mut self, latency: LatencyModel) {
+        self.tcp_latency = Some(latency);
+    }
+
     /// Replaces the capture filter (clears retained packets).
     pub fn set_capture_filter(&mut self, filter: CaptureFilter) {
         self.capture = Capture::new(filter);
@@ -192,6 +252,16 @@ impl Network {
         let prev = self.nodes.insert(addr, node);
         assert!(prev.is_none(), "address {addr} registered twice");
         self.labels.insert(addr, label.to_string());
+    }
+
+    /// Replaces the handler at an already-registered address — chaos
+    /// scenarios swap or wrap a live server mid-run (e.g. a registry
+    /// moving through its decommission stages). Returns whether a node
+    /// was previously present.
+    pub fn replace_node(&mut self, addr: Ipv4Addr, label: &str, node: Box<dyn DnsHandler>) -> bool {
+        let prev = self.nodes.insert(addr, node).is_some();
+        self.labels.insert(addr, label.to_string());
+        prev
     }
 
     /// Installs a handler for addresses with no registered node.
@@ -278,13 +348,19 @@ impl Network {
         transport: Transport,
         timeout_ns: u64,
     ) -> Result<Exchange, NetError> {
-        let plan = self.faults.plan(dst, self.seq);
+        let plan = match transport {
+            Transport::Udp => self.faults.plan(dst, self.seq),
+            Transport::Tcp => self.faults.tcp_plan(dst, self.seq),
+        };
         let mut query = query.clone();
         if let Some(tamper) = &mut self.tamper {
             tamper(&mut query, Direction::Query);
         }
         let mut query_bytes = query.wire_len();
-        let mut rtt_ns = self.latency.rtt_ns(dst, self.seq);
+        let mut rtt_ns = match (transport, &self.tcp_latency) {
+            (Transport::Tcp, Some(tcp)) => tcp.rtt_ns(dst, self.seq),
+            _ => self.latency.rtt_ns(dst, self.seq),
+        };
         if transport == Transport::Tcp {
             // Handshake before the query can flow.
             rtt_ns *= 2;
@@ -316,11 +392,11 @@ impl Network {
             Some(node) => node,
             None => self.default_route.as_mut().ok_or(NetError::NoRoute(dst))?,
         };
-        let action = node.handle_faulty(&query, self.clock_ns);
+        let action = node.handle_transport(&query, self.clock_ns, transport);
         if plan.duplicate {
             // The spare copy reaches the server too; its response loses the
             // transaction-id race at the resolver and is discarded.
-            let _ = node.handle_faulty(&query, self.clock_ns);
+            let _ = node.handle_transport(&query, self.clock_ns, transport);
             self.stats.duplicates += 1;
         }
         let mut response = match action {
@@ -336,17 +412,42 @@ impl Network {
         }
         if transport == Transport::Udp {
             let limit = query.edns.map_or(UDP_LIMIT_NO_EDNS, |e| e.udp_size) as usize;
-            if response.wire_len() > limit {
-                // Truncate: keep the header + question, raise TC.
+            if response.wire_len() > limit || plan.truncate {
+                // Truncate: keep the header + question, raise TC. The fault
+                // plane can force this on fitting responses too (a
+                // middlebox or rate-limiter clipping the datagram).
                 response.answers.clear();
                 response.authorities.clear();
                 response.additionals.clear();
                 response.header.flags.tc = true;
+                if plan.truncate {
+                    self.stats.forced_truncations += 1;
+                }
             }
         }
         if plan.response_lost || rtt_ns >= timeout_ns {
             return Err(self.time_out(dst, qtype, query_bytes, timeout_ns));
         }
+        // Byzantine corruption: flip seeded bits in the rendered datagram
+        // and deliver whatever the bytes now decode to — a subtly wrong
+        // message, or an undecodable one the resolver must classify.
+        if let (Transport::Udp, Some(salt)) = (transport, plan.corrupt_salt) {
+            match corrupt_message(&response, salt) {
+                Some(mangled) => response = mangled,
+                None => {
+                    self.clock_ns += rtt_ns;
+                    self.stats.record_malformed(qtype, query_bytes, rtt_ns);
+                    return Err(NetError::Malformed(dst));
+                }
+            }
+        }
+        let spoof = match (transport, plan.spoof_salt) {
+            (Transport::Udp, Some(salt)) => {
+                self.stats.spoofed_responses += 1;
+                Some(forge_response(&query, &qname, salt))
+            }
+            _ => None,
+        };
         let response_bytes = response.wire_len();
         self.clock_ns += rtt_ns;
 
@@ -362,7 +463,14 @@ impl Network {
         });
         self.stats.record(qtype, response.rcode(), query_bytes, response_bytes, rtt_ns);
 
-        Ok(Exchange { response, rtt_ns, query_bytes, response_bytes })
+        Ok(Exchange { response, rtt_ns, query_bytes, response_bytes, spoof })
+    }
+
+    /// Counts one answer served from an expired cache entry (RFC 8767).
+    /// Called by the resolver so staleness lands in the same additive
+    /// stats that shard merging reduces.
+    pub fn note_stale_serve(&mut self) {
+        self.stats.stale_serves += 1;
     }
 
     /// Charges a full timeout wait for a lost exchange.
@@ -440,10 +548,49 @@ impl Network {
     }
 }
 
+/// Renders `response`, flips `1 + salt % 7` seeded bits (skipping the
+/// 12-byte header so the mutation hits names, counts-of-records'
+/// payloads, and rdata rather than mostly the id), and re-decodes.
+/// Returns the mangled message, or `None` when the bytes no longer parse.
+fn corrupt_message(response: &Message, salt: u64) -> Option<Message> {
+    let mut bytes = response.to_bytes();
+    if bytes.len() <= 12 {
+        return Message::from_bytes(&bytes).ok();
+    }
+    let body = bytes.len() - 12;
+    let flips = 1 + (salt % 7) as usize;
+    for i in 0..flips {
+        let roll = splitmix64(salt.wrapping_add((i as u64).wrapping_mul(GOLDEN)));
+        let pos = 12 + (roll as usize) % body;
+        let bit = (roll >> 32) % 8;
+        bytes[pos] ^= 1 << bit;
+    }
+    Message::from_bytes(&bytes).ok()
+}
+
+/// Builds the off-path forgery for a spoof-injection fault: a plausible
+/// positive answer an attacker who saw only the query could fabricate,
+/// with a wrong transaction id and/or wrong source address (at least one
+/// is always wrong — the attacker is off-path).
+fn forge_response(query: &Message, qname: &lookaside_wire::Name, salt: u64) -> SpoofedResponse {
+    let wrong_source = salt & 2 == 2;
+    let wrong_qid = salt & 1 == 1 || !wrong_source;
+    let forged_addr = std::net::Ipv4Addr::from(0x0a0a_0000_u32 | (salt as u32 & 0xffff));
+    let mut response = MessageBuilder::respond_to(query)
+        .rcode(Rcode::NoError)
+        .authoritative(true)
+        .answer(Record::new(qname.clone(), 60, RData::A(forged_addr)))
+        .build();
+    if wrong_qid {
+        response.header.id = response.header.id.wrapping_add(((salt >> 8) as u16) | 1);
+    }
+    SpoofedResponse { response, wrong_qid, wrong_source }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lookaside_wire::{MessageBuilder, Name};
+    use lookaside_wire::Name;
 
     struct Echo;
 
@@ -585,6 +732,88 @@ mod tests {
         let ex = net.exchange(addr(7), &q).unwrap();
         assert!(!ex.response.header.flags.tc);
         assert_eq!(ex.response.answers.len(), 40);
+    }
+
+    #[test]
+    fn forced_truncation_clips_and_raises_tc() {
+        let mut net = net_with_echo();
+        net.fault_plane_mut()
+            .set_link(addr(1), crate::LinkFaults::quiet().with_truncate_milli(1000));
+        let ex = net.exchange(addr(1), &q("example.com", RrType::A)).unwrap();
+        assert!(ex.response.header.flags.tc);
+        assert!(ex.response.answers.is_empty());
+        assert_eq!(net.stats().forced_truncations, 1);
+        // TCP is immune: truncation is a datagram fault.
+        let ex = net.exchange_with(addr(1), &q("example.com", RrType::A), Transport::Tcp).unwrap();
+        assert!(!ex.response.header.flags.tc);
+    }
+
+    #[test]
+    fn corruption_mangles_or_malforms_but_never_panics() {
+        let mut net = Network::new(31);
+        net.register(addr(7), "bloated", Box::new(Bloated));
+        net.fault_plane_mut()
+            .set_link(addr(7), crate::LinkFaults::quiet().with_corrupt_milli(1000));
+        let mut delivered = 0u32;
+        let mut malformed = 0u32;
+        for i in 0..200 {
+            let query = Message::dnssec_query(i, Name::parse("big.test.").unwrap(), RrType::Txt);
+            match net.exchange(addr(7), &query) {
+                Ok(ex) => {
+                    delivered += 1;
+                    // The mangled message may differ from the original in
+                    // any field; it only has to have decoded.
+                    let _ = ex.response.rcode();
+                }
+                Err(NetError::Malformed(a)) => {
+                    malformed += 1;
+                    assert_eq!(a, addr(7));
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(delivered > 0, "some corruptions must still decode");
+        assert!(malformed > 0, "some corruptions must break the format");
+        assert_eq!(net.stats().malformed_responses, u64::from(malformed));
+        // Malformed exchanges charge a round trip, not a timeout.
+        assert_eq!(net.stats().timeouts, 0);
+    }
+
+    #[test]
+    fn spoofed_responses_race_the_genuine_answer() {
+        let mut net = net_with_echo();
+        net.fault_plane_mut().set_link(addr(1), crate::LinkFaults::quiet().with_spoof_milli(1000));
+        for i in 0..50 {
+            let query = Message::dnssec_query(i + 100, Name::parse("a.com.").unwrap(), RrType::A);
+            let ex = net.exchange(addr(1), &query).unwrap();
+            let spoof = ex.spoof.expect("spoof_milli=1000 always injects");
+            assert!(spoof.wrong_qid || spoof.wrong_source, "off-path forgery is always wrong");
+            assert!(spoof.detectable(true, true));
+            assert!(!spoof.response.answers.is_empty(), "forgery looks like an answer");
+            if spoof.wrong_qid {
+                assert_ne!(spoof.response.header.id, query.header.id);
+            }
+        }
+        assert_eq!(net.stats().spoofed_responses, 50);
+    }
+
+    #[test]
+    fn tcp_uses_its_own_latency_model_when_installed() {
+        let mut slow = net_with_echo();
+        let mut tcp_model = LatencyModel::new(5);
+        tcp_model.pin(addr(1), 200, 200);
+        slow.set_tcp_latency(tcp_model);
+        let mut udp_model = LatencyModel::new(5);
+        udp_model.pin(addr(1), 10, 10);
+        slow.set_latency(udp_model);
+        let udp = slow.exchange_with(addr(1), &q("a.com", RrType::A), Transport::Udp).unwrap();
+        let tcp = slow.exchange_with(addr(1), &q("a.com", RrType::A), Transport::Tcp).unwrap();
+        assert!(
+            tcp.rtt_ns >= 20 * udp.rtt_ns,
+            "pinned TCP model must dominate: {} vs {}",
+            tcp.rtt_ns,
+            udp.rtt_ns
+        );
     }
 
     #[test]

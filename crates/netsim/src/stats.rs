@@ -37,6 +37,21 @@ pub struct TrafficStats {
     pub retransmissions: u64,
     /// Queries delivered to a server more than once by the fault plane.
     pub duplicates: u64,
+    /// Responses that arrived but failed to decode (Byzantine bit-flip
+    /// corruption that broke the wire format).
+    #[serde(default)]
+    pub malformed_responses: u64,
+    /// Off-path spoofed responses injected ahead of the genuine answer.
+    #[serde(default)]
+    pub spoofed_responses: u64,
+    /// Responses forcibly truncated in flight by the fault plane.
+    #[serde(default)]
+    pub forced_truncations: u64,
+    /// Client answers served from expired cache entries (RFC 8767
+    /// serve-stale), noted by the resolver via
+    /// [`crate::Network::note_stale_serve`].
+    #[serde(default)]
+    pub stale_serves: u64,
 }
 
 impl TrafficStats {
@@ -71,6 +86,17 @@ impl TrafficStats {
         *self.time_by_type.entry(qtype).or_insert(0) += waited_ns;
         self.query_bytes += query_bytes as u64;
         self.timeouts += 1;
+    }
+
+    /// Records one exchange whose response arrived corrupted beyond
+    /// decoding. The query was issued and the round trip elapsed, but no
+    /// usable response (and no rcode) was received.
+    pub fn record_malformed(&mut self, qtype: RrType, query_bytes: usize, rtt_ns: u64) {
+        *self.queries_by_type.entry(qtype).or_insert(0) += 1;
+        *self.bytes_by_type.entry(qtype).or_insert(0) += query_bytes as u64;
+        *self.time_by_type.entry(qtype).or_insert(0) += rtt_ns;
+        self.query_bytes += query_bytes as u64;
+        self.malformed_responses += 1;
     }
 
     /// Queries of a given type.
@@ -153,6 +179,12 @@ impl TrafficStats {
             timeouts: self.timeouts.saturating_sub(baseline.timeouts),
             retransmissions: self.retransmissions.saturating_sub(baseline.retransmissions),
             duplicates: self.duplicates.saturating_sub(baseline.duplicates),
+            malformed_responses: self
+                .malformed_responses
+                .saturating_sub(baseline.malformed_responses),
+            spoofed_responses: self.spoofed_responses.saturating_sub(baseline.spoofed_responses),
+            forced_truncations: self.forced_truncations.saturating_sub(baseline.forced_truncations),
+            stale_serves: self.stale_serves.saturating_sub(baseline.stale_serves),
         }
     }
 
@@ -180,6 +212,10 @@ impl TrafficStats {
         self.timeouts += other.timeouts;
         self.retransmissions += other.retransmissions;
         self.duplicates += other.duplicates;
+        self.malformed_responses += other.malformed_responses;
+        self.spoofed_responses += other.spoofed_responses;
+        self.forced_truncations += other.forced_truncations;
+        self.stale_serves += other.stale_serves;
     }
 }
 
@@ -260,6 +296,14 @@ mod tests {
         shard_b.record_timeout(RrType::Dlv, 44, 2_000_000_000);
         one_pass.record(RrType::Dlv, Rcode::NxDomain, 50, 120, 3_000_000);
         shard_b.record(RrType::Dlv, Rcode::NxDomain, 50, 120, 3_000_000);
+        one_pass.malformed_responses += 1;
+        shard_a.malformed_responses += 1;
+        one_pass.spoofed_responses += 2;
+        shard_b.spoofed_responses += 2;
+        one_pass.forced_truncations += 1;
+        shard_a.forced_truncations += 1;
+        one_pass.stale_serves += 3;
+        shard_b.stale_serves += 3;
         let mut merged = TrafficStats::new();
         merged.merge(&shard_a);
         merged.merge(&shard_b);

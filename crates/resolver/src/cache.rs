@@ -41,6 +41,10 @@ pub struct AnswerCache {
     positive: HashMap<Name, Vec<(RrType, CachedRrSet)>>,
     negative: HashMap<Name, Vec<(RrType, Rcode, u64)>>,
     puts_since_purge: usize,
+    /// RFC 8767 serve-stale window: expired positive entries are retained
+    /// (and servable via [`AnswerCache::get_stale`]) for this long past
+    /// their TTL. Zero disables staleness entirely.
+    stale_window_ns: u64,
 }
 
 impl AnswerCache {
@@ -52,12 +56,21 @@ impl AnswerCache {
         AnswerCache::default()
     }
 
+    /// Sets the RFC 8767 serve-stale window. Expired positive entries stay
+    /// resident (and retrievable via [`AnswerCache::get_stale`]) for this
+    /// long past their expiry; ordinary [`AnswerCache::get`] never returns
+    /// them.
+    pub fn set_stale_window(&mut self, window_ns: u64) {
+        self.stale_window_ns = window_ns;
+    }
+
     fn maybe_purge(&mut self, now_ns: u64) {
         self.puts_since_purge += 1;
         if self.puts_since_purge >= Self::PURGE_INTERVAL {
             self.puts_since_purge = 0;
+            let keep_after = self.stale_window_ns;
             self.positive.retain(|_, types| {
-                types.retain(|(_, c)| c.expires_ns > now_ns);
+                types.retain(|(_, c)| c.expires_ns + keep_after > now_ns);
                 !types.is_empty()
             });
             self.negative.retain(|_, types| {
@@ -88,6 +101,34 @@ impl AnswerCache {
             .find(|(t, _)| *t == rrtype)
             .map(|(_, c)| c)
             .filter(|c| c.expires_ns > now_ns)
+    }
+
+    /// Fetches an *expired* positive RRset still inside the serve-stale
+    /// window (RFC 8767). Returns `None` when the entry is fresh (use
+    /// [`AnswerCache::get`]), past the window, or absent — or when no
+    /// window is configured.
+    pub fn get_stale(&self, name: &Name, rrtype: RrType, now_ns: u64) -> Option<&CachedRrSet> {
+        if self.stale_window_ns == 0 {
+            return None;
+        }
+        self.positive
+            .get(name)?
+            .iter()
+            .find(|(t, _)| *t == rrtype)
+            .map(|(_, c)| c)
+            .filter(|c| c.expires_ns <= now_ns && c.expires_ns + self.stale_window_ns > now_ns)
+    }
+
+    /// Evicts a positive entry — the resolver removes answers whose RRSIGs
+    /// failed validation so a bogus RRset can never be served again (not
+    /// even stale).
+    pub fn remove(&mut self, name: &Name, rrtype: RrType) {
+        if let Some(types) = self.positive.get_mut(name) {
+            types.retain(|(t, _)| *t != rrtype);
+            if types.is_empty() {
+                self.positive.remove(name);
+            }
+        }
     }
 
     /// Stores a negative (NODATA/NXDOMAIN) result.
@@ -263,6 +304,37 @@ mod tests {
         assert!(cache.get(&n("x.com"), RrType::A, 5 * SEC).is_some());
         assert!(cache.get(&n("x.com"), RrType::A, 10 * SEC).is_none());
         assert!(cache.get(&n("x.com"), RrType::Aaaa, 0).is_none());
+    }
+
+    #[test]
+    fn stale_entries_serve_only_inside_the_window() {
+        let mut cache = AnswerCache::new();
+        cache.set_stale_window(30 * SEC);
+        cache.put(Arc::new(a_set("x.com", 10)), None, 0);
+        // Fresh: normal hit, no stale hit.
+        assert!(cache.get(&n("x.com"), RrType::A, 5 * SEC).is_some());
+        assert!(cache.get_stale(&n("x.com"), RrType::A, 5 * SEC).is_none());
+        // Expired but within the window: stale hit only.
+        assert!(cache.get(&n("x.com"), RrType::A, 20 * SEC).is_none());
+        assert!(cache.get_stale(&n("x.com"), RrType::A, 20 * SEC).is_some());
+        // Past the window: gone for good.
+        assert!(cache.get_stale(&n("x.com"), RrType::A, 41 * SEC).is_none());
+        // Without a window there is no staleness at all.
+        let mut plain = AnswerCache::new();
+        plain.put(Arc::new(a_set("y.com", 10)), None, 0);
+        assert!(plain.get_stale(&n("y.com"), RrType::A, 20 * SEC).is_none());
+    }
+
+    #[test]
+    fn remove_evicts_positive_entries() {
+        let mut cache = AnswerCache::new();
+        cache.set_stale_window(3600 * SEC);
+        cache.put(Arc::new(a_set("bogus.com", 300)), None, 0);
+        assert!(cache.get(&n("bogus.com"), RrType::A, 0).is_some());
+        cache.remove(&n("bogus.com"), RrType::A);
+        assert!(cache.get(&n("bogus.com"), RrType::A, 0).is_none());
+        assert!(cache.get_stale(&n("bogus.com"), RrType::A, 301 * SEC).is_none());
+        assert_eq!(cache.len(), 0);
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! Validator hardening against a Byzantine data plane.
+//!
+//! The paper's measurements assume a *lossy* DLV path (PR 1's fault
+//! plane); a decommissioned or hostile path also serves *wrong* answers.
+//! This module holds the knobs a resolver uses to survive them:
+//!
+//! * RFC 5452 transaction checks — discard off-path forgeries whose query
+//!   id or source address does not match the outstanding query,
+//! * an RFC 4035 §4.7 BAD cache — remember `(qname, qtype)` pairs whose
+//!   RRSIGs failed validation so bogus data is not re-fetched and
+//!   re-validated on every stub query,
+//! * RFC 8767 serve-stale — answer from expired cache entries when every
+//!   upstream attempt fails, trading freshness for availability.
+//!
+//! Everything is off by default ([`Hardening::off`]) so existing
+//! experiments reproduce byte-for-byte; the Byzantine sweep flips the
+//! profile per cell.
+
+use std::collections::HashMap;
+
+use lookaside_wire::{Name, RrType};
+
+const SEC: u64 = 1_000_000_000;
+
+/// Resolver hardening flags, swept adversary × profile by the Byzantine
+/// experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hardening {
+    /// Discard responses whose transaction id mismatches the query
+    /// (RFC 5452 §4.3).
+    pub check_qid: bool,
+    /// Discard responses arriving from an address other than the queried
+    /// server (RFC 5452 §4.4).
+    pub check_source: bool,
+    /// Keep an RFC 4035 §4.7 BAD cache of validation failures.
+    pub bad_cache: bool,
+    /// BAD cache entry lifetime, nanoseconds.
+    pub bad_cache_ttl_ns: u64,
+    /// BAD cache capacity bound (entries); oldest entries are evicted
+    /// first. RFC 4035 requires the cache be bounded so an attacker
+    /// cannot use it as a memory-exhaustion vector.
+    pub bad_cache_cap: usize,
+    /// Serve expired answers when resolution fails (RFC 8767).
+    pub serve_stale: bool,
+    /// How long past expiry an answer may still be served, nanoseconds.
+    pub stale_window_ns: u64,
+}
+
+impl Hardening {
+    /// Everything off: the resolver behaves exactly as before this module
+    /// existed (and as the paper's 2016-era subjects did).
+    pub fn off() -> Self {
+        Hardening {
+            check_qid: false,
+            check_source: false,
+            bad_cache: false,
+            bad_cache_ttl_ns: 0,
+            bad_cache_cap: 0,
+            serve_stale: false,
+            stale_window_ns: 0,
+        }
+    }
+
+    /// Every defence on, with conventional parameters: a 15-minute BAD
+    /// cache (BIND's `lame-ttl` order of magnitude) bounded to 4096
+    /// entries, and a one-hour serve-stale window (RFC 8767 §5 suggests
+    /// hours, not days, when the data is actively revalidated).
+    pub fn full() -> Self {
+        Hardening {
+            check_qid: true,
+            check_source: true,
+            bad_cache: true,
+            bad_cache_ttl_ns: 900 * SEC,
+            bad_cache_cap: 4096,
+            serve_stale: true,
+            stale_window_ns: 3600 * SEC,
+        }
+    }
+}
+
+impl Default for Hardening {
+    fn default() -> Self {
+        Hardening::off()
+    }
+}
+
+/// The RFC 4035 §4.7 BAD cache: `(qname, qtype)` pairs whose data failed
+/// RRSIG validation, answered with SERVFAIL locally until the entry
+/// expires. Bounded: when full, the oldest entry is evicted.
+#[derive(Debug, Default)]
+pub struct BadCache {
+    entries: HashMap<(Name, RrType), u64>,
+    /// Insertion order for capacity eviction.
+    order: Vec<(Name, RrType)>,
+}
+
+impl BadCache {
+    /// Creates an empty BAD cache.
+    pub fn new() -> Self {
+        BadCache::default()
+    }
+
+    /// Records a validation failure until `now_ns + ttl_ns`, evicting the
+    /// oldest entry when `cap` is reached.
+    pub fn put(&mut self, name: Name, rrtype: RrType, now_ns: u64, ttl_ns: u64, cap: usize) {
+        if cap == 0 {
+            return;
+        }
+        let key = (name, rrtype);
+        if self.entries.insert(key.clone(), now_ns + ttl_ns).is_none() {
+            self.order.push(key);
+            if self.order.len() > cap {
+                let oldest = self.order.remove(0);
+                self.entries.remove(&oldest);
+            }
+        }
+    }
+
+    /// Whether an unexpired failure is recorded for `(name, rrtype)`.
+    pub fn contains(&self, name: &Name, rrtype: RrType, now_ns: u64) -> bool {
+        self.entries.get(&(name.clone(), rrtype)).is_some_and(|&expires_ns| expires_ns > now_ns)
+    }
+
+    /// Live entries (diagnostics).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    #[test]
+    fn bad_cache_expires() {
+        let mut bad = BadCache::new();
+        bad.put(n("evil.com"), RrType::A, 0, 10 * SEC, 16);
+        assert!(bad.contains(&n("evil.com"), RrType::A, 5 * SEC));
+        assert!(!bad.contains(&n("evil.com"), RrType::A, 11 * SEC));
+        assert!(!bad.contains(&n("evil.com"), RrType::Aaaa, 5 * SEC));
+    }
+
+    #[test]
+    fn bad_cache_is_bounded_fifo() {
+        let mut bad = BadCache::new();
+        for i in 0..8 {
+            bad.put(n(&format!("d{i}.com")), RrType::A, 0, 60 * SEC, 4);
+        }
+        assert_eq!(bad.len(), 4, "capacity bound enforced");
+        assert!(!bad.contains(&n("d0.com"), RrType::A, 0), "oldest evicted");
+        assert!(bad.contains(&n("d7.com"), RrType::A, 0), "newest kept");
+    }
+
+    #[test]
+    fn zero_capacity_stores_nothing() {
+        let mut bad = BadCache::new();
+        bad.put(n("x.com"), RrType::A, 0, 60 * SEC, 0);
+        assert!(bad.is_empty());
+    }
+
+    #[test]
+    fn profiles_differ() {
+        assert_eq!(Hardening::default(), Hardening::off());
+        assert_ne!(Hardening::off(), Hardening::full());
+        assert!(Hardening::full().check_qid && Hardening::full().serve_stale);
+    }
+}

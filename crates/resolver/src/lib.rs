@@ -24,6 +24,7 @@
 
 pub mod cache;
 pub mod config;
+pub mod harden;
 mod resolver;
 pub mod retry;
 mod validate;
@@ -32,6 +33,7 @@ pub use config::{
     environments, BindConfig, DnssecValidation, EffectiveBehavior, Environment, FeatureModel,
     InstallMethod, Lookaside, ResolverConfig, Software, UnboundConfig,
 };
+pub use harden::{BadCache, Hardening};
 pub use resolver::{Counters, RecursiveResolver, Resolution, ResolveError, ResolverSetup};
 pub use retry::{InfraCache, RetryPolicy, ServfailCache};
 pub use validate::{verify_rrset, SecurityStatus};

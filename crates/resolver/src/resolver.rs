@@ -19,6 +19,7 @@ use lookaside_wire::{Message, Name, RData, Rcode, Record, RrSet, RrType};
 
 use crate::cache::{AnswerCache, NsecSpanCache, ZoneServerCache};
 use crate::config::{EffectiveBehavior, FeatureModel, ResolverConfig};
+use crate::harden::{BadCache, Hardening};
 use crate::retry::{InfraCache, RetryPolicy, ServfailCache};
 use crate::validate::SecurityStatus;
 
@@ -121,6 +122,17 @@ pub struct Counters {
     pub dlv_skipped_by_signal: u64,
     /// Resolutions that ended bogus (stub saw SERVFAIL).
     pub bogus: u64,
+    /// Off-path forgeries rejected by RFC 5452 qid/source checks.
+    pub spoofs_discarded: u64,
+    /// Off-path forgeries accepted as answers (hardening off).
+    pub spoofs_accepted: u64,
+    /// Undecodable (corrupted) responses that triggered a retry.
+    pub malformed_retries: u64,
+    /// Resolutions answered SERVFAIL straight from the RFC 4035 §4.7 BAD
+    /// cache, with no wire traffic.
+    pub bad_cache_hits: u64,
+    /// Resolutions answered from expired cache entries (RFC 8767).
+    pub stale_answers: u64,
 }
 
 impl Counters {
@@ -133,6 +145,11 @@ impl Counters {
         self.dlv_suppressed_by_nsec += other.dlv_suppressed_by_nsec;
         self.dlv_skipped_by_signal += other.dlv_skipped_by_signal;
         self.bogus += other.bogus;
+        self.spoofs_discarded += other.spoofs_discarded;
+        self.spoofs_accepted += other.spoofs_accepted;
+        self.malformed_retries += other.malformed_retries;
+        self.bad_cache_hits += other.bad_cache_hits;
+        self.stale_answers += other.stale_answers;
     }
 }
 
@@ -220,6 +237,8 @@ pub struct RecursiveResolver {
     pub(crate) retry: RetryPolicy,
     pub(crate) infra: InfraCache,
     pub(crate) servfail: ServfailCache,
+    pub(crate) hardening: Hardening,
+    pub(crate) bad: BadCache,
     /// Counters the experiments inspect.
     pub counters: Counters,
 }
@@ -281,6 +300,8 @@ impl RecursiveResolver {
             retry: RetryPolicy::default(),
             infra: InfraCache::new(),
             servfail: ServfailCache::new(),
+            hardening: Hardening::off(),
+            bad: BadCache::new(),
             counters: Counters::default(),
         }
     }
@@ -299,6 +320,24 @@ impl RecursiveResolver {
     /// The active retransmission policy.
     pub fn retry_policy(&self) -> RetryPolicy {
         self.retry
+    }
+
+    /// Installs a hardening profile (defaults to [`Hardening::off`]).
+    /// Also sizes the answer cache's serve-stale window to match.
+    pub fn set_hardening(&mut self, hardening: Hardening) {
+        self.hardening = hardening;
+        let window = if hardening.serve_stale { hardening.stale_window_ns } else { 0 };
+        self.answers.set_stale_window(window);
+    }
+
+    /// The active hardening profile.
+    pub fn hardening(&self) -> Hardening {
+        self.hardening
+    }
+
+    /// The RFC 4035 §4.7 BAD cache (inspection for experiments).
+    pub fn bad_cache(&self) -> &BadCache {
+        &self.bad
     }
 
     /// The per-server RTT/holddown cache (inspection for experiments).
@@ -340,9 +379,48 @@ impl RecursiveResolver {
     ) -> Result<Resolution, ResolveError> {
         self.counters.resolutions += 1;
         let now = net.now_ns();
+        // RFC 4035 §4.7: data that already failed validation is answered
+        // SERVFAIL locally — one bogus zone must not cost a full fetch and
+        // validation per stub query.
+        if self.hardening.bad_cache && self.bad.contains(qname, qtype, now) {
+            self.counters.bad_cache_hits += 1;
+            self.counters.bogus += 1;
+            return Ok(Resolution {
+                qname: qname.clone(),
+                qtype,
+                rcode: Rcode::ServFail,
+                answers: Vec::new(),
+                status: SecurityStatus::Bogus,
+                secured_via_dlv: false,
+            });
+        }
         let from_cache = self.answers.get(qname, qtype, now).is_some()
             || self.answers.get_negative(qname, qtype, now).is_some();
-        let outcome = self.resolve_iterative(net, qname, qtype, 0)?;
+        let outcome = match self.resolve_iterative(net, qname, qtype, 0) {
+            Ok(outcome) => outcome,
+            Err(err) => {
+                // RFC 8767: when every upstream path fails, a stale answer
+                // beats no answer. Stale data keeps its original records
+                // but is *not* re-validated, so it can never masquerade as
+                // Secure.
+                if self.hardening.serve_stale {
+                    if let Some(stale) = self.answers.get_stale(qname, qtype, now) {
+                        let answers = stale.rrset.to_records();
+                        net.note_stale_serve();
+                        self.counters.stale_answers += 1;
+                        return Ok(Resolution {
+                            qname: qname.clone(),
+                            qtype,
+                            rcode: Rcode::NoError,
+                            answers,
+                            status: SecurityStatus::Indeterminate,
+                            secured_via_dlv: false,
+                        });
+                    }
+                }
+                return Err(err);
+            }
+        };
 
         let (status, via_dlv) = if self.behavior.validate {
             self.validate_outcome(net, &outcome)?
@@ -373,6 +451,19 @@ impl RecursiveResolver {
         };
         let rcode = if status == SecurityStatus::Bogus {
             self.counters.bogus += 1;
+            // Purge the offending data so it cannot be served (fresh or
+            // stale) and — under hardening — remember the failure in the
+            // bounded BAD cache (RFC 4035 §4.7).
+            self.answers.remove(qname, qtype);
+            if self.hardening.bad_cache {
+                self.bad.put(
+                    qname.clone(),
+                    qtype,
+                    net.now_ns(),
+                    self.hardening.bad_cache_ttl_ns,
+                    self.hardening.bad_cache_cap,
+                );
+            }
             Rcode::ServFail
         } else {
             rcode
@@ -463,6 +554,21 @@ impl RecursiveResolver {
                 Ok(exchange) => {
                     self.infra.note_rtt(addr, exchange.rtt_ns);
                     self.infra.redeem(addr);
+                    // RFC 4035/5452 failure classification, case 1: a
+                    // response whose qid or source does not match the
+                    // outstanding query is discarded and the resolver
+                    // keeps waiting — the genuine answer is still in
+                    // flight. A resolver that skips the checks accepts
+                    // the forgery (it arrived first) and never sees the
+                    // real response.
+                    if let Some(spoof) = exchange.spoof {
+                        if spoof.detectable(self.hardening.check_qid, self.hardening.check_source) {
+                            self.counters.spoofs_discarded += 1;
+                        } else {
+                            self.counters.spoofs_accepted += 1;
+                            return Ok(Some(spoof.response));
+                        }
+                    }
                     let mut response = exchange.response;
                     if response.header.flags.tc {
                         // Truncated over UDP: retry over TCP (RFC 7766).
@@ -483,6 +589,16 @@ impl RecursiveResolver {
                     return Ok(Some(response));
                 }
                 Err(NetError::Timeout(_)) => {
+                    timeout_ns = self.retry.backed_off(timeout_ns);
+                }
+                Err(NetError::Malformed(_)) => {
+                    // RFC 4035/5452 failure classification, case 2: a
+                    // response that does not decode is treated like no
+                    // response at all — back off and retransmit within
+                    // the same attempt budget. Unlike a timeout the
+                    // resolver learned this immediately (the datagram
+                    // did arrive), so only the RTT was charged.
+                    self.counters.malformed_retries += 1;
                     timeout_ns = self.retry.backed_off(timeout_ns);
                 }
                 Err(e) => return Err(e.into()),
@@ -588,8 +704,21 @@ impl RecursiveResolver {
                             break;
                         }
                         other => {
-                            let policy = self.retry;
-                            self.infra.hold_down(addr, net.now_ns(), &policy);
+                            // Precedence between the two failure caches:
+                            // the SERVFAIL cache (RFC 2308 §7, admission
+                            // control keyed by qname/qtype and zone) owns
+                            // rcode failures when it is enabled — holding
+                            // the *server* down too would double-penalise
+                            // one lame delegation by also blacking out the
+                            // server for every other zone it serves. The
+                            // infra holddown still applies to rcode
+                            // failures when no SERVFAIL cache exists, and
+                            // to timeouts always (a silent server is a
+                            // server-level fact, not a zone-level one).
+                            if self.retry.servfail_ttl_ns.is_none() {
+                                let policy = self.retry;
+                                self.infra.hold_down(addr, net.now_ns(), &policy);
+                            }
                             last_lame = ResolveError::Lame { server: addr, rcode: other };
                         }
                     },

@@ -604,3 +604,198 @@ fn tampered_dlv_record_cannot_anchor_the_island() {
     let res = r.resolve(&mut w.net, &n("www.island.com"), RrType::A).unwrap();
     assert_ne!(res.status, SecurityStatus::Secure);
 }
+
+// ---------------------------------------------------------------------------
+// Byzantine data-plane hardening (RFC 5452 / RFC 4035 §4.7 / RFC 8767).
+
+#[test]
+fn spoofed_response_accepted_without_checks_discarded_with_them() {
+    use lookaside_netsim::LinkFaults;
+    use lookaside_resolver::Hardening;
+
+    // Unhardened: every response on the example.com link is raced by an
+    // off-path forgery, and the resolver takes whatever arrives first.
+    let mut w = build_world(RemedyMode::None);
+    w.net.fault_plane_mut().set_link(EXAMPLE, LinkFaults::quiet().with_spoof_milli(1000));
+    let mut r = correct_resolver(&w);
+    let _ = r.resolve(&mut w.net, &n("www.example.com"), RrType::A);
+    assert!(r.counters.spoofs_accepted >= 1, "unhardened resolver swallows the forgery");
+    assert_eq!(r.counters.spoofs_discarded, 0);
+
+    // Hardened: qid/source mismatches are discarded and the genuine
+    // (signed) answer still validates.
+    let mut w = build_world(RemedyMode::None);
+    w.net.fault_plane_mut().set_link(EXAMPLE, LinkFaults::quiet().with_spoof_milli(1000));
+    let mut r = correct_resolver(&w);
+    r.set_hardening(Hardening::full());
+    let res = r.resolve(&mut w.net, &n("www.example.com"), RrType::A).unwrap();
+    assert!(r.counters.spoofs_discarded >= 1, "forgeries seen and dropped");
+    assert_eq!(r.counters.spoofs_accepted, 0);
+    assert_eq!(res.status, SecurityStatus::Secure, "genuine answer survives the race");
+    assert_eq!(res.answers.len(), 1);
+}
+
+#[test]
+fn corrupted_responses_are_classified_and_retried() {
+    use lookaside_netsim::LinkFaults;
+
+    let mut w = build_world(RemedyMode::None);
+    w.net.fault_plane_mut().set_link(EXAMPLE, LinkFaults::quiet().with_corrupt_milli(1000));
+    let mut r = correct_resolver(&w);
+    // Every leg to example.com is mangled: each undecodable response must
+    // be counted and retried (RFC 4035 classification: decode error ≠
+    // timeout ≠ validation failure), never panic the resolver.
+    let _ = r.resolve(&mut w.net, &n("www.example.com"), RrType::A);
+    assert!(
+        r.counters.malformed_retries >= 1,
+        "mangled responses must surface as malformed retries, got {:?}",
+        r.counters
+    );
+}
+
+#[test]
+fn bad_cache_answers_repeat_bogus_lookups_locally() {
+    use lookaside_netsim::Direction;
+    use lookaside_resolver::Hardening;
+    use lookaside_wire::Message;
+
+    let mut w = build_world(RemedyMode::None);
+    w.net.set_tamper(Some(Box::new(|msg: &mut Message, dir: Direction| {
+        if dir == Direction::Response {
+            for rec in &mut msg.answers {
+                if let RData::A(addr) = &mut rec.rdata {
+                    *addr = Ipv4Addr::new(6, 6, 6, 6);
+                }
+            }
+        }
+    })));
+    let mut r = correct_resolver(&w);
+    r.set_hardening(Hardening::full());
+    let res = r.resolve(&mut w.net, &n("www.example.com"), RrType::A).unwrap();
+    assert_eq!(res.status, SecurityStatus::Bogus);
+    assert_eq!(res.rcode, Rcode::ServFail);
+    assert_eq!(r.bad_cache().len(), 1, "failure remembered in the BAD cache");
+
+    // The repeat lookup is answered SERVFAIL from the BAD cache: no new
+    // packets, no re-validation (RFC 4035 §4.7).
+    let queries_before = w.net.stats().total_queries();
+    let res = r.resolve(&mut w.net, &n("www.example.com"), RrType::A).unwrap();
+    assert_eq!(res.rcode, Rcode::ServFail);
+    assert_eq!(res.status, SecurityStatus::Bogus);
+    assert_eq!(r.counters.bad_cache_hits, 1);
+    assert_eq!(w.net.stats().total_queries(), queries_before, "no wire traffic");
+}
+
+#[test]
+fn serve_stale_bridges_an_origin_outage() {
+    use lookaside_netsim::LinkFaults;
+    use lookaside_resolver::Hardening;
+
+    let mut w = build_world(RemedyMode::None);
+    let mut r = correct_resolver(&w);
+    r.set_hardening(Hardening::full());
+    let fresh = r.resolve(&mut w.net, &n("www.example.com"), RrType::A).unwrap();
+    assert_eq!(fresh.rcode, Rcode::NoError);
+
+    // The answer's 300 s TTL expires, and example.com's server goes dark.
+    w.net.advance(400 * 1_000_000_000);
+    w.net.fault_plane_mut().set_link(EXAMPLE, LinkFaults::quiet().with_blackhole());
+    let stale = r.resolve(&mut w.net, &n("www.example.com"), RrType::A).unwrap();
+    assert_eq!(stale.rcode, Rcode::NoError, "RFC 8767: stale beats SERVFAIL");
+    assert_eq!(stale.answers, fresh.answers);
+    assert_eq!(r.counters.stale_answers, 1);
+    assert_eq!(w.net.stats().stale_serves, 1);
+    assert_eq!(stale.status, SecurityStatus::Indeterminate, "stale data is not re-validated");
+
+    // Without hardening the same outage is a hard failure.
+    let mut w = build_world(RemedyMode::None);
+    let mut r = correct_resolver(&w);
+    r.resolve(&mut w.net, &n("www.example.com"), RrType::A).unwrap();
+    w.net.advance(400 * 1_000_000_000);
+    w.net.fault_plane_mut().set_link(EXAMPLE, LinkFaults::quiet().with_blackhole());
+    assert!(r.resolve(&mut w.net, &n("www.example.com"), RrType::A).is_err());
+}
+
+#[test]
+fn servfail_cache_supersedes_holddown_for_rcode_failures() {
+    use lookaside_resolver::RetryPolicy;
+    use lookaside_server::FlakyServer;
+
+    // A permanently lame zone: with the SERVFAIL cache enabled the *cache*
+    // absorbs rcode failures (admission control) and the server is NOT
+    // additionally held down — one lame zone must not black out a server
+    // for every other zone it serves. Without the cache, holddown is the
+    // only defence and must still engage.
+    let lame_addr = Ipv4Addr::new(10, 9, 3, 1);
+    let register_lame = |w: &mut World| {
+        let mut z = Zone::new(n("lame.com"), n("ns1.lame.com"));
+        z.add(n("ns1.lame.com"), 3600, RData::A(lame_addr));
+        w.net.register(
+            lame_addr,
+            "lame.com",
+            Box::new(FlakyServer::always_lame(Box::new(AuthoritativeServer::single(
+                PublishedZone::unsigned(z),
+            )))),
+        );
+    };
+
+    let mut w = build_world(RemedyMode::None);
+    register_lame(&mut w);
+    let mut r = correct_resolver(&w);
+    r.set_retry_policy(RetryPolicy::default().with_servfail_cache(900));
+    r.install_zone_for_test(n("lame.com"), vec![lame_addr], n("com"));
+    assert!(r.resolve(&mut w.net, &n("lame.com"), RrType::A).is_err());
+    assert!(
+        !r.infra().is_held_down(lame_addr, w.net.now_ns()),
+        "SERVFAIL cache owns rcode failures; no double penalty"
+    );
+    let (tuples, _) = r.servfail_cache().len();
+    assert!(tuples >= 1, "the failure went into the SERVFAIL cache");
+
+    let mut w = build_world(RemedyMode::None);
+    register_lame(&mut w);
+    let mut r = correct_resolver(&w);
+    r.install_zone_for_test(n("lame.com"), vec![lame_addr], n("com"));
+    assert!(r.resolve(&mut w.net, &n("lame.com"), RrType::A).is_err());
+    assert!(
+        r.infra().is_held_down(lame_addr, w.net.now_ns()),
+        "without the cache, holddown remains the only defence"
+    );
+}
+
+#[test]
+fn truncated_dlv_response_takes_one_tcp_retry_no_duplicate_query() {
+    use lookaside_netsim::Direction;
+    use lookaside_server::FaultyServer;
+
+    let mut w = build_world(RemedyMode::None);
+    // Swap the registry for one that truncates every UDP response (TC=1,
+    // answers clipped); the TCP leg is served intact.
+    let island_keys = SigningKeys::from_seed(106);
+    let deposits = vec![DlvDeposit { domain: n("island.com"), ksk: island_keys.ksk.public() }];
+    let registry = DlvRegistry::new(n("dlv.isc.org"), &deposits, &w.dlv_keys, 0, EXPIRE, false);
+    w.net.replace_node(
+        DLV,
+        "dlv-registry",
+        Box::new(FaultyServer::wrap(Box::new(registry)).with_truncate_milli(1000)),
+    );
+
+    let mut r = correct_resolver(&w);
+    let res = r.resolve(&mut w.net, &n("www.island.com"), RrType::A).unwrap();
+    assert_eq!(res.status, SecurityStatus::Secure, "full DLV RRset arrives over TCP");
+    assert!(res.secured_via_dlv);
+
+    // RFC 7766 discipline: the truncated UDP leg triggers exactly one TCP
+    // retry — the DLV name goes on the wire twice, not more, and the UDP
+    // timer never fires (no retransmissions).
+    let island_legs = w
+        .net
+        .capture()
+        .dlv_queries()
+        .filter(|p| {
+            p.direction == Direction::Query && p.qname.to_string().starts_with("island.com.dlv")
+        })
+        .count();
+    assert_eq!(island_legs, 2, "one UDP leg + exactly one TCP retry");
+    assert_eq!(w.net.stats().retransmissions, 0, "TC is not a timeout");
+}

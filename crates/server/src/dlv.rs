@@ -1,9 +1,10 @@
 use std::collections::BTreeSet;
 
 use lookaside_crypto::{dlv_rdata, hashed_dlv_label, PublicKey};
-use lookaside_netsim::DnsHandler;
-use lookaside_wire::{Message, Name};
+use lookaside_netsim::{DnsHandler, ServerAction};
+use lookaside_wire::{Message, MessageBuilder, Name, RData, Rcode};
 use lookaside_zone::{DenialMode, PublishedZone, SigningKeys, Zone, DEFAULT_TTL};
+use serde::{Deserialize, Serialize};
 
 use crate::authority::AuthoritativeServer;
 
@@ -23,6 +24,34 @@ pub struct DlvDeposit {
 /// *caching* mechanism rather than TTL churn; see EXPERIMENTS.md.
 pub const DLV_SPAN_TTL: u32 = 7 * 24 * 3600;
 
+/// One stage of the registry's end-of-life, modelled on how `dlv.isc.org`
+/// was actually wound down (announced 2015, records deleted 2017, zone
+/// finally gone): each stage is a different *kind* of wrong answer, and
+/// RFC 5074 §4 requires resolvers to degrade differently for each.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub enum DecommissionStage {
+    /// Normal operation: deposits answered, absences denied with signed
+    /// NSEC/NSEC3.
+    #[default]
+    Populated,
+    /// All deposits deleted but the zone still signed and served — every
+    /// lookup gets a *provable* (signed) NXDOMAIN. The graceful way out.
+    Emptied,
+    /// The zone replaced by a blunt unsigned NXDOMAIN for everything — no
+    /// denial proof, so a validator cannot cache the absence aggressively.
+    NxDomainAll,
+    /// The server answers SERVFAIL to everything (a broken registry, not a
+    /// removed one).
+    ServFailAll,
+    /// The zone is served with corrupted RRSIGs: every signature fails
+    /// validation, the adversarial worst case for an unhardened validator.
+    BogusSignatures,
+    /// The server is gone: queries are dropped and resolvers time out.
+    Offline,
+}
+
 /// A DLV registry server — the simulated `dlv.isc.org`.
 ///
 /// The registry is published as an ordinary *signed* zone whose owner names
@@ -36,6 +65,15 @@ pub struct DlvRegistry {
     deposited: BTreeSet<Name>,
     trust_anchor: PublicKey,
     hashed: bool,
+    stage: DecommissionStage,
+    /// Signed-but-empty replacement zone, built on first transition to
+    /// [`DecommissionStage::Emptied`] from the parameters below.
+    empty_server: Option<AuthoritativeServer>,
+    keys: SigningKeys,
+    inception: u32,
+    expiration: u32,
+    span_ttl: u32,
+    denial: DenialMode,
 }
 
 impl DlvRegistry {
@@ -121,7 +159,40 @@ impl DlvRegistry {
             deposited,
             trust_anchor: keys.ksk.public(),
             hashed,
+            stage: DecommissionStage::Populated,
+            empty_server: None,
+            keys: *keys,
+            inception,
+            expiration,
+            span_ttl,
+            denial,
         }
+    }
+
+    /// Moves the registry to a decommission stage. The `Emptied` stage
+    /// builds (once) a signed empty zone under the *same* keys, so a
+    /// resolver holding the registry trust anchor still validates the
+    /// NXDOMAINs it now receives.
+    pub fn set_stage(&mut self, stage: DecommissionStage) {
+        if stage == DecommissionStage::Emptied && self.empty_server.is_none() {
+            let primary_ns = self.apex.prepend("ns").expect("registry ns name");
+            let mut zone = Zone::new(self.apex.clone(), primary_ns);
+            zone.set_negative_ttl(self.span_ttl);
+            let published = PublishedZone::signed_with_denial(
+                zone,
+                &self.keys,
+                self.inception,
+                self.expiration,
+                self.denial,
+            );
+            self.empty_server = Some(AuthoritativeServer::single(published));
+        }
+        self.stage = stage;
+    }
+
+    /// The current decommission stage.
+    pub fn stage(&self) -> DecommissionStage {
+        self.stage
     }
 
     /// The registry apex (e.g. `dlv.isc.org.`).
@@ -168,9 +239,55 @@ impl DlvRegistry {
     }
 }
 
+/// Corrupts every RRSIG in the message in place (flips the low bit of the
+/// first signature byte) so validation fails while the wire format stays
+/// perfectly well-formed.
+fn corrupt_rrsigs(message: &mut Message) {
+    for record in message
+        .answers
+        .iter_mut()
+        .chain(message.authorities.iter_mut())
+        .chain(message.additionals.iter_mut())
+    {
+        if let RData::Rrsig { signature, .. } = &mut record.rdata {
+            if let Some(byte) = signature.first_mut() {
+                *byte ^= 0x01;
+            }
+        }
+    }
+}
+
 impl DnsHandler for DlvRegistry {
     fn handle(&mut self, query: &Message, now_ns: u64) -> Message {
-        self.server.handle(query, now_ns)
+        match self.stage {
+            DecommissionStage::Populated => self.server.handle(query, now_ns),
+            DecommissionStage::Emptied => self
+                .empty_server
+                .as_mut()
+                .expect("empty zone built at set_stage")
+                .handle(query, now_ns),
+            DecommissionStage::NxDomainAll => {
+                MessageBuilder::respond_to(query).rcode(Rcode::NxDomain).authoritative(true).build()
+            }
+            // Direct callers cannot observe silence, so Offline degrades
+            // to SERVFAIL here; networked callers go through
+            // `handle_faulty` and see a real drop.
+            DecommissionStage::ServFailAll | DecommissionStage::Offline => {
+                MessageBuilder::respond_to(query).rcode(Rcode::ServFail).build()
+            }
+            DecommissionStage::BogusSignatures => {
+                let mut response = self.server.handle(query, now_ns);
+                corrupt_rrsigs(&mut response);
+                response
+            }
+        }
+    }
+
+    fn handle_faulty(&mut self, query: &Message, now_ns: u64) -> ServerAction {
+        if self.stage == DecommissionStage::Offline {
+            return ServerAction::Drop;
+        }
+        ServerAction::Respond(self.handle(query, now_ns))
     }
 }
 
@@ -245,5 +362,67 @@ mod tests {
     #[test]
     fn deposit_count() {
         assert_eq!(registry(false).deposit_count(), 2);
+    }
+
+    #[test]
+    fn emptied_stage_serves_signed_nxdomain_for_former_deposits() {
+        let mut reg = registry(false);
+        reg.set_stage(DecommissionStage::Emptied);
+        let q = Message::dnssec_query(5, n("island.com.dlv.isc.org"), RrType::Dlv);
+        let resp = reg.handle(&q, 0);
+        assert_eq!(resp.rcode(), Rcode::NxDomain);
+        assert!(
+            resp.authorities_of(RrType::Nsec).next().is_some(),
+            "graceful decommission still proves the absence"
+        );
+        assert!(resp.authorities_of(RrType::Rrsig).next().is_some());
+    }
+
+    #[test]
+    fn nxdomain_all_stage_denies_without_proof() {
+        let mut reg = registry(false);
+        reg.set_stage(DecommissionStage::NxDomainAll);
+        let q = Message::dnssec_query(6, n("island.com.dlv.isc.org"), RrType::Dlv);
+        let resp = reg.handle(&q, 0);
+        assert_eq!(resp.rcode(), Rcode::NxDomain);
+        assert!(resp.authorities_of(RrType::Nsec).next().is_none(), "blunt denial carries no NSEC");
+    }
+
+    #[test]
+    fn servfail_and_offline_stages() {
+        let mut reg = registry(false);
+        reg.set_stage(DecommissionStage::ServFailAll);
+        let q = Message::dnssec_query(7, n("island.com.dlv.isc.org"), RrType::Dlv);
+        assert_eq!(reg.handle(&q, 0).rcode(), Rcode::ServFail);
+        assert!(matches!(reg.handle_faulty(&q, 0), ServerAction::Respond(_)));
+        reg.set_stage(DecommissionStage::Offline);
+        assert!(matches!(reg.handle_faulty(&q, 0), ServerAction::Drop));
+    }
+
+    #[test]
+    fn bogus_stage_breaks_signatures_but_not_wire_format() {
+        let mut reg = registry(false);
+        let q = Message::dnssec_query(8, n("island.com.dlv.isc.org"), RrType::Dlv);
+        let good = reg.handle(&q, 0);
+        reg.set_stage(DecommissionStage::BogusSignatures);
+        let bad = reg.handle(&q, 0);
+        assert_eq!(bad.rcode(), Rcode::NoError);
+        assert_eq!(bad.answers_of(RrType::Dlv).count(), 1, "data still present");
+        let sig = |m: &Message| {
+            m.answers_of(RrType::Rrsig)
+                .map(|r| match &r.rdata {
+                    lookaside_wire::RData::Rrsig { signature, .. } => signature.clone(),
+                    _ => unreachable!(),
+                })
+                .next()
+                .unwrap()
+        };
+        assert_ne!(sig(&good), sig(&bad), "signature bytes were mangled");
+        assert!(Message::from_bytes(&bad.to_bytes()).is_ok(), "still well-formed on the wire");
+    }
+
+    #[test]
+    fn populated_is_the_default_stage() {
+        assert_eq!(registry(false).stage(), DecommissionStage::Populated);
     }
 }

@@ -12,7 +12,7 @@
 //! All probabilistic schedules are pure functions of `(seed, query count)`,
 //! so two runs with the same seed misbehave identically.
 
-use lookaside_netsim::{DnsHandler, ServerAction};
+use lookaside_netsim::{DnsHandler, ServerAction, Transport};
 use lookaside_wire::{Message, MessageBuilder, Rcode};
 
 /// The original failure wrapper: answers the first `fail_first` queries
@@ -106,8 +106,11 @@ impl FaultyServer {
         self
     }
 
-    /// Truncates (sets TC on) each UDP response with probability
-    /// `milli`/1000, forcing the resolver to retry over TCP.
+    /// Truncates each UDP response with probability `milli`/1000: the TC
+    /// bit is set and the answer/authority/additional sections are clipped
+    /// (RFC 1035 §4.1.1 — a truncated response carries no usable partial
+    /// data here), forcing the resolver to retry over TCP. The TCP leg of
+    /// the retry is never truncated.
     #[must_use]
     pub fn with_truncate_milli(mut self, milli: u16) -> Self {
         self.truncate_milli = milli.min(1000);
@@ -134,7 +137,7 @@ impl FaultyServer {
         )
     }
 
-    fn decide(&mut self, query: &Message, now_ns: u64) -> ServerAction {
+    fn decide(&mut self, query: &Message, now_ns: u64, transport: Transport) -> ServerAction {
         self.seen += 1;
         if self.seen <= self.drop_first {
             return ServerAction::Drop;
@@ -149,8 +152,16 @@ impl FaultyServer {
         } else {
             self.inner.handle(query, now_ns)
         };
-        if self.truncate_milli > 0 && self.roll(3) % 1000 < u64::from(self.truncate_milli) {
+        // Truncation is a datagram phenomenon: the TCP retry the TC bit
+        // provokes must see the full answer, or the resolver would loop.
+        if transport == Transport::Udp
+            && self.truncate_milli > 0
+            && self.roll(3) % 1000 < u64::from(self.truncate_milli)
+        {
             response.header.flags.tc = true;
+            response.answers.clear();
+            response.authorities.clear();
+            response.additionals.clear();
         }
         if self.delay_ns > 0 {
             ServerAction::DelayedRespond { response, extra_ns: self.delay_ns }
@@ -162,16 +173,25 @@ impl FaultyServer {
 
 impl DnsHandler for FaultyServer {
     fn handle(&mut self, query: &Message, now_ns: u64) -> Message {
-        match self.decide(query, now_ns) {
+        match self.decide(query, now_ns, Transport::Udp) {
             ServerAction::Respond(m) | ServerAction::DelayedRespond { response: m, .. } => m,
             // Direct callers can't observe silence; a drop surfaces as
-            // SERVFAIL. Networked callers go through `handle_faulty`.
+            // SERVFAIL. Networked callers go through `handle_transport`.
             ServerAction::Drop => MessageBuilder::respond_to(query).rcode(Rcode::ServFail).build(),
         }
     }
 
     fn handle_faulty(&mut self, query: &Message, now_ns: u64) -> ServerAction {
-        self.decide(query, now_ns)
+        self.decide(query, now_ns, Transport::Udp)
+    }
+
+    fn handle_transport(
+        &mut self,
+        query: &Message,
+        now_ns: u64,
+        transport: Transport,
+    ) -> ServerAction {
+        self.decide(query, now_ns, transport)
     }
 }
 
@@ -257,11 +277,21 @@ mod tests {
     }
 
     #[test]
-    fn truncation_sets_tc_bit() {
+    fn truncation_clips_udp_but_never_tcp() {
         let mut faulty = FaultyServer::wrap(inner()).with_truncate_milli(1000);
-        match faulty.handle_faulty(&q(), 0) {
-            ServerAction::Respond(m) => assert!(m.header.flags.tc),
+        match faulty.handle_transport(&q(), 0, Transport::Udp) {
+            ServerAction::Respond(m) => {
+                assert!(m.header.flags.tc, "TC bit set on truncated UDP response");
+                assert!(m.answers.is_empty(), "truncated response carries no answers");
+            }
             other => panic!("expected truncated response, got {other:?}"),
+        }
+        match faulty.handle_transport(&q(), 0, Transport::Tcp) {
+            ServerAction::Respond(m) => {
+                assert!(!m.header.flags.tc, "TCP retry is never truncated");
+                assert!(!m.answers.is_empty(), "TCP retry carries the full answer");
+            }
+            other => panic!("expected full TCP response, got {other:?}"),
         }
     }
 

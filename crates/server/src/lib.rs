@@ -30,7 +30,7 @@ mod render;
 mod synthetic;
 
 pub use authority::AuthoritativeServer;
-pub use dlv::{DlvDeposit, DlvRegistry, DLV_SPAN_TTL};
+pub use dlv::{DecommissionStage, DlvDeposit, DlvRegistry, DLV_SPAN_TTL};
 pub use flaky::{FaultyServer, FlakyServer};
 pub use render::render_lookup;
 pub use synthetic::{SyntheticAuthority, SyntheticSpec, ZoneOracle};

@@ -253,7 +253,11 @@ impl<'a> Reader<'a> {
                     }
                     jump_count += 1;
                     if jump_count > 64 {
-                        return Err(WireError::BadPointer(target));
+                        // Each jump must point strictly backwards, so a
+                        // 64-jump chain in a 64 KiB message is already
+                        // adversarial; bail with a loop diagnosis rather
+                        // than walking the chain to exhaustion.
+                        return Err(WireError::CompressionLoop { jumps: jump_count });
                     }
                     if !jumped {
                         self.pos = cursor + 2;
@@ -330,6 +334,23 @@ mod tests {
         let buf = [0xc0, 0x00];
         let mut r = Reader::new(&buf);
         assert!(r.read_name().is_err());
+    }
+
+    #[test]
+    fn deep_pointer_chain_is_a_compression_loop() {
+        // 70 pointers, each legally pointing strictly backwards: the
+        // forward-pointer check cannot catch this, the jump bound must.
+        let mut buf = vec![0u8];
+        let mut prev = 0u16;
+        for _ in 0..70 {
+            let here = buf.len() as u16;
+            buf.push(0xc0 | (prev >> 8) as u8);
+            buf.push((prev & 0xff) as u8);
+            prev = here;
+        }
+        let mut r = Reader::new(&buf);
+        r.seek(prev as usize).unwrap();
+        assert!(matches!(r.read_name(), Err(WireError::CompressionLoop { .. })));
     }
 
     #[test]

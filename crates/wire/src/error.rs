@@ -20,8 +20,26 @@ pub enum WireError {
         /// What was being decoded when the buffer ran out.
         context: &'static str,
     },
-    /// A compression pointer pointed forward or formed a loop.
+    /// A compression pointer pointed forward or at itself.
     BadPointer(usize),
+    /// Name decompression followed more pointer jumps than any legal
+    /// message can contain — the pointer chain loops (or is adversarially
+    /// deep). Decoding aborts instead of spinning.
+    CompressionLoop {
+        /// Pointer jumps taken before giving up.
+        jumps: usize,
+    },
+    /// A section's record count disagreed with the records actually
+    /// present: the header declared more entries than the body holds.
+    CountMismatch {
+        /// Which section ran short ("question", "answer", "authority",
+        /// "additional").
+        section: &'static str,
+        /// Entries the header declared.
+        declared: u16,
+        /// Entries that decoded before the buffer ran out.
+        found: u16,
+    },
     /// An RDATA length field disagreed with the decoded content.
     BadRdataLength {
         /// The record type whose RDATA was malformed.
@@ -56,6 +74,12 @@ impl fmt::Display for WireError {
                 write!(f, "message truncated while decoding {context}")
             }
             WireError::BadPointer(off) => write!(f, "invalid compression pointer to offset {off}"),
+            WireError::CompressionLoop { jumps } => {
+                write!(f, "compression pointer chain of {jumps} jumps looped")
+            }
+            WireError::CountMismatch { section, declared, found } => {
+                write!(f, "{section} section declared {declared} entries but only {found} decoded")
+            }
             WireError::BadRdataLength { rrtype, declared, consumed } => write!(
                 f,
                 "rdata length mismatch for {rrtype}: declared {declared}, consumed {consumed}"

@@ -238,23 +238,40 @@ impl Message {
         r.seek(Header::WIRE_LEN)?;
 
         let mut questions = Vec::with_capacity(header.qdcount as usize);
-        for _ in 0..header.qdcount {
+        for found in 0..header.qdcount {
+            if r.remaining() == 0 {
+                // The header promised more questions than the body holds:
+                // diagnose the count mismatch rather than a bare
+                // truncation, so corrupted-count datagrams classify
+                // distinctly (RFC 1035 §4.1.1 counts are untrusted input).
+                return Err(WireError::CountMismatch {
+                    section: "question",
+                    declared: header.qdcount,
+                    found,
+                });
+            }
             let name = r.read_name()?;
             let rrtype = RrType::from_code(r.read_u16("question type")?);
             let class = RrClass::from_code(r.read_u16("question class")?);
             questions.push(Question { name, rrtype, class });
         }
 
-        let read_section = |count: u16, r: &mut Reader<'_>| -> Result<Vec<Record>, WireError> {
+        let read_section = |section: &'static str,
+                            count: u16,
+                            r: &mut Reader<'_>|
+         -> Result<Vec<Record>, WireError> {
             let mut records = Vec::with_capacity(count as usize);
-            for _ in 0..count {
+            for found in 0..count {
+                if r.remaining() == 0 {
+                    return Err(WireError::CountMismatch { section, declared: count, found });
+                }
                 records.push(Record::decode(r)?);
             }
             Ok(records)
         };
-        let answers = read_section(header.ancount, &mut r)?;
-        let authorities = read_section(header.nscount, &mut r)?;
-        let raw_additionals = read_section(header.arcount, &mut r)?;
+        let answers = read_section("answer", header.ancount, &mut r)?;
+        let authorities = read_section("authority", header.nscount, &mut r)?;
+        let raw_additionals = read_section("additional", header.arcount, &mut r)?;
 
         let mut additionals = Vec::with_capacity(raw_additionals.len());
         let mut edns = None;
@@ -515,5 +532,30 @@ mod tests {
             let _ = Message::from_bytes(&junk); // must not panic
         }
         assert!(Message::from_bytes(&[0xff; 11]).is_err());
+    }
+
+    #[test]
+    fn inflated_section_count_is_a_count_mismatch() {
+        let query = Message::query(7, Name::parse("example.com.").unwrap(), RrType::A);
+        let mut bytes = query.to_bytes();
+        // Claim 3 answers; the body holds none.
+        bytes[6] = 0;
+        bytes[7] = 3;
+        match Message::from_bytes(&bytes) {
+            Err(WireError::CountMismatch { section, declared, found }) => {
+                assert_eq!(section, "answer");
+                assert_eq!(declared, 3);
+                assert_eq!(found, 0);
+            }
+            other => panic!("expected CountMismatch, got {other:?}"),
+        }
+        // An inflated question count classifies the same way.
+        let mut bytes = query.to_bytes();
+        bytes[4] = 0;
+        bytes[5] = 9;
+        assert!(matches!(
+            Message::from_bytes(&bytes),
+            Err(WireError::CountMismatch { section: "question", .. })
+        ));
     }
 }

@@ -13,6 +13,7 @@ use std::sync::OnceLock;
 
 use proptest::prelude::*;
 
+use lookaside::byzantine::{byzantine_sweep_with, ByzantineConfig};
 use lookaside::chaos::{chaos_outage_with, ChaosConfig};
 use lookaside::engine::{expect_all, Executor, ShardPlan};
 use lookaside::experiments::{fig8_9_with, QuerySet, RunConfig};
@@ -115,6 +116,20 @@ fn chaos_grid_is_worker_count_invariant() {
     let reference = format!("{:?}", chaos_outage_with(&Executor::serial(), &config));
     for jobs in [2, 4] {
         let parallel = format!("{:?}", chaos_outage_with(&Executor::new(jobs), &config));
+        assert_eq!(parallel, reference, "jobs={jobs}");
+    }
+}
+
+/// The Byzantine sweep (adversary × hardening-profile cells) reduces to
+/// the same point list, in the same profile-major order, for every
+/// worker count — this backs the `repro byzantine --jobs N` byte-diff
+/// gate in CI.
+#[test]
+fn byzantine_sweep_is_worker_count_invariant() {
+    let config = ByzantineConfig::quick(6);
+    let reference = format!("{:?}", byzantine_sweep_with(&Executor::serial(), &config));
+    for jobs in [2, 4] {
+        let parallel = format!("{:?}", byzantine_sweep_with(&Executor::new(jobs), &config));
         assert_eq!(parallel, reference, "jobs={jobs}");
     }
 }
