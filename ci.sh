@@ -59,8 +59,31 @@ fi
 
 # Corruption robustness gate: 10k fixed-seed mutated packets through the
 # wire decoder — typed WireError or success, never a panic. Backed by a
-# panic/unwrap lint wall on the wire crate.
+# panic/unwrap lint wall on the wire crate, extended in PR-5 to the
+# engine and resolver hot paths (typed errors replaced the old expects).
 cargo test -q -p lookaside-wire --release --test properties corruption_fuzz_fixed_seed_10k
 cargo clippy -p lookaside-wire -- -D warnings -D clippy::panic -D clippy::unwrap_used
+cargo clippy -p lookaside-engine -- -D warnings -D clippy::panic -D clippy::unwrap_used
+cargo clippy -p lookaside-resolver -- -D warnings -D clippy::panic -D clippy::unwrap_used
+
+# Static-invariant gate: the workspace lint (crates/lint) walks every .rs
+# file and denies hash-ordered collections, wall-clock reads, ambient
+# entropy, env reads outside the sanctioned seed path, panics on hot
+# paths, and any unsafe code. Zero unsuppressed findings required; the
+# deterministic JSON report is archived with the other CI artifacts.
+./target/release/lookaside-lint --json target/ci/lint_report.json
+
+# Canary: prove the gate actually bites. Drop a known-bad fixture into a
+# result-bearing crate, expect the lint to fail, then remove it. The trap
+# guarantees cleanup even if the expectation itself fails.
+CANARY=crates/core/src/__lint_canary.rs
+trap 'rm -f "${CANARY}"' EXIT
+cp crates/lint/tests/fixtures/bad_hashmap.rs "${CANARY}"
+if ./target/release/lookaside-lint --no-json --quiet; then
+    echo "ci: FAIL — lint canary not detected; the static-invariant gate is toothless" >&2
+    exit 1
+fi
+rm -f "${CANARY}"
+trap - EXIT
 
 echo "ci: all green"

@@ -1,7 +1,7 @@
 //! Attack simulations from §6.2.3 (signaling attacks) and §6.2.4
 //! (dictionary attack on hashed DLV).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use lookaside_crypto::hashed_dlv_label;
 use lookaside_netsim::Direction;
@@ -137,7 +137,7 @@ where
     let observed: Vec<String> =
         outcome.leakage.leaked_names.iter().map(|name| name.label(0).to_string()).collect();
 
-    let mut table: HashMap<String, Name> = HashMap::new();
+    let mut table: BTreeMap<String, Name> = BTreeMap::new();
     let mut hash_ops = 0u64;
     for candidate in dictionary {
         table.insert(hashed_dlv_label(&candidate), candidate);

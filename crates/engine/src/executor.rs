@@ -59,6 +59,7 @@ impl Executor {
     /// Worker count from `LOOKASIDE_JOBS` when set to a positive integer,
     /// else [`std::thread::available_parallelism`].
     pub fn from_env() -> Self {
+        // lint:allow(determinism::env-read) -- LOOKASIDE_JOBS selects the worker count only; the reduction is ordered by shard id, so jobs never reaches results
         let from_var = env::var(JOBS_ENV).ok().and_then(|v| v.trim().parse::<usize>().ok());
         match from_var {
             Some(n) if n >= 1 => Executor::new(n),
@@ -111,13 +112,16 @@ impl Executor {
             }
             queue.close();
             for handle in handles {
-                let worker_results =
-                    handle.join().expect("worker thread died outside a shard task");
+                // lint:allow(panic::expect) -- worker closures only pop the queue and call run_one, which catches every shard panic; a failed join is an engine bug, not a shard fault
+                let worker_results = handle.join().expect("worker died outside a shard");
                 for (slot, result) in worker_results {
-                    slots[slot] = Some(result);
+                    if let Some(cell) = slots.get_mut(slot) {
+                        *cell = Some(result);
+                    }
                 }
             }
         });
+        // lint:allow(panic::expect) -- every shard id is pushed exactly once and each worker reports every shard it popped, so a hole here is an engine bug worth failing loudly
         slots.into_iter().map(|slot| slot.expect("every shard reports exactly once")).collect()
     }
 }
@@ -135,11 +139,13 @@ impl Default for Executor {
 /// # Panics
 ///
 /// Panics if any shard failed.
+#[allow(clippy::panic)]
 pub fn expect_all<T>(results: Vec<Result<T, ShardError>>) -> Vec<T> {
     results
         .into_iter()
         .map(|r| match r {
             Ok(v) => v,
+            // lint:allow(panic::panic-macro) -- expect_all's documented contract is to propagate the first shard failure as a panic
             Err(e) => panic!("{e}"),
         })
         .collect()

@@ -11,7 +11,7 @@
 //! any interleaving of workers reduces to the same output.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 struct State<T> {
     items: VecDeque<T>,
@@ -27,6 +27,14 @@ pub struct BoundedQueue<T> {
 }
 
 impl<T> BoundedQueue<T> {
+    /// Locks the queue state, recovering from poisoning: shard panics are
+    /// caught inside `run_one`, so a poisoned mutex can only mean a panic
+    /// in the queue itself — and `State` is plain data that is valid at
+    /// every await-free point, so continuing with the inner value is
+    /// sound and keeps the engine's no-panic contract.
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
     /// Creates a queue holding at most `capacity` items (minimum 1).
     pub fn new(capacity: usize) -> Self {
         BoundedQueue {
@@ -45,9 +53,9 @@ impl<T> BoundedQueue<T> {
     /// Enqueues `item`, blocking while the queue is full. Returns `false`
     /// (dropping the item) if the queue was closed.
     pub fn push(&self, item: T) -> bool {
-        let mut state = self.state.lock().expect("queue poisoned");
+        let mut state = self.lock();
         while state.items.len() >= self.capacity && !state.closed {
-            state = self.not_full.wait(state).expect("queue poisoned");
+            state = self.not_full.wait(state).unwrap_or_else(PoisonError::into_inner);
         }
         if state.closed {
             return false;
@@ -61,7 +69,7 @@ impl<T> BoundedQueue<T> {
     /// Dequeues the oldest item, blocking while the queue is empty and
     /// open. Returns `None` once the queue is closed and drained.
     pub fn pop(&self) -> Option<T> {
-        let mut state = self.state.lock().expect("queue poisoned");
+        let mut state = self.lock();
         loop {
             if let Some(item) = state.items.pop_front() {
                 drop(state);
@@ -71,13 +79,13 @@ impl<T> BoundedQueue<T> {
             if state.closed {
                 return None;
             }
-            state = self.not_empty.wait(state).expect("queue poisoned");
+            state = self.not_empty.wait(state).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Closes the queue: producers stop, consumers drain what remains.
     pub fn close(&self) {
-        self.state.lock().expect("queue poisoned").closed = true;
+        self.lock().closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
     }

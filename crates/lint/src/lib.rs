@@ -1,0 +1,40 @@
+//! `lookaside-lint` — the workspace determinism & panic-safety analyzer.
+//!
+//! Every table this reproduction emits (fig8/9, the Byzantine sweep, the
+//! DLV leakage counts) is contractually byte-identical across `--jobs`
+//! values. `ci.sh` checks that contract *dynamically* with diff gates,
+//! but a dynamic gate only sees the orderings one lucky run produced: a
+//! stray `HashMap` iteration or `Instant::now()` in a reduction path can
+//! pass a hundred diffs and then break the hundred-and-first. This crate
+//! proves the invariants *statically*, before a single experiment runs.
+//!
+//! It is deliberately dependency-free (the build environment has no
+//! crates.io, so no `syn`): a small hand-rolled lexer ([`lexer`]) strips
+//! comments and literals and tokenizes, a rule engine ([`rules`]) checks
+//! repo invariants against the token stream, and [`report`] renders
+//! findings as human text plus a byte-stable JSON document archived by
+//! CI.
+//!
+//! The rule families, their scope, and the suppression grammar are
+//! documented in DESIGN.md §10 and on [`rules`].
+//!
+//! # Example
+//!
+//! ```
+//! use lookaside_lint::rules::{scan_source, FileClass};
+//!
+//! let class = FileClass::classify("crates/core/src/demo.rs").unwrap();
+//! let out = scan_source(&class, "use std::collections::HashMap;");
+//! assert_eq!(out.findings.len(), 1);
+//! assert_eq!(out.findings[0].rule, "determinism::hash-collection");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use report::{Finding, Report, Suppressed};
+pub use rules::{scan_source, FileClass, Role, ScanOutcome, ALL_RULES};

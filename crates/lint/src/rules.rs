@@ -1,0 +1,611 @@
+//! The rule engine: repo invariants checked against the token stream.
+//!
+//! Three rule families (see DESIGN.md §10):
+//!
+//! * **determinism** — result-bearing crates must not use hash-ordered
+//!   collections, wall clocks, ambient entropy, or environment reads
+//!   outside the sanctioned seed plumbing. These protect the workspace's
+//!   core contract: every experiment is byte-identical at every `--jobs`
+//!   value.
+//! * **panic** — hot-path crates must not contain `unwrap`/`expect`/
+//!   `panic!`-family macros or slice indexing; a panicking shard turns
+//!   into a [`ShardError`](../engine) but a panicking reduction corrupts
+//!   a whole table.
+//! * **unsafe** — every non-bench crate root carries
+//!   `#![forbid(unsafe_code)]` and no `unsafe` token appears anywhere.
+//!
+//! Suppression grammar (justification mandatory, both forms):
+//!
+//! ```text
+//! // lint:allow(rule::id) -- why this site is safe
+//! // lint:allow-file(rule::id, other::id) -- why this whole file is safe
+//! ```
+//!
+//! A `lint:allow` on line *N* suppresses findings on lines *N* and
+//! *N + 1*; `lint:allow-file` suppresses the named rules anywhere in the
+//! file. Unused suppressions are themselves findings, so a fixed
+//! violation forces its waiver to be deleted. The `allow::*` meta rules
+//! cannot be suppressed.
+
+use crate::lexer::{lex, Comment, Tok, Token};
+use crate::report::{Finding, Suppressed};
+
+/// Crates whose outputs feed experiment tables: full determinism rules.
+pub const RESULT_BEARING: &[&str] =
+    &["core", "engine", "netsim", "resolver", "server", "zone", "workload"];
+
+/// Crates on the per-query hot path: panic-surface rules.
+pub const HOT_PATH: &[&str] = &["wire", "engine", "resolver"];
+
+/// Files allowed to read the environment (the seed/jobs plumbing).
+const ENV_SANCTIONED_FILES: &[&str] = &["crates/engine/src/seed.rs"];
+
+/// All rule identifiers, in report order.
+pub const ALL_RULES: &[&str] = &[
+    "determinism::hash-collection",
+    "determinism::wall-clock",
+    "determinism::ambient-entropy",
+    "determinism::env-read",
+    "panic::unwrap",
+    "panic::expect",
+    "panic::panic-macro",
+    "panic::slice-index",
+    "unsafe::token",
+    "unsafe::missing-forbid",
+    "allow::missing-justification",
+    "allow::unknown-rule",
+    "allow::unused",
+];
+
+/// How a file participates in the rule set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Library/binary source: full rules for its crate.
+    Src,
+    /// Tests, benches, examples: exempt from determinism/panic rules.
+    TestLike,
+}
+
+/// A classified workspace file.
+#[derive(Debug, Clone)]
+pub struct FileClass {
+    /// Workspace-relative path with forward slashes.
+    pub rel_path: String,
+    /// The `crates/<dir>` the file belongs to, if any.
+    pub crate_dir: Option<String>,
+    /// Source vs. test-like.
+    pub role: Role,
+}
+
+impl FileClass {
+    /// Classifies a workspace-relative path; `None` means "do not scan"
+    /// (non-Rust files, lint self-test fixtures).
+    pub fn classify(rel_path: &str) -> Option<FileClass> {
+        if !rel_path.ends_with(".rs") {
+            return None;
+        }
+        // The lint's own fixtures are deliberate rule violations.
+        if rel_path.starts_with("crates/lint/tests/fixtures/") {
+            return None;
+        }
+        let parts: Vec<&str> = rel_path.split('/').collect();
+        let (crate_dir, role) = match parts.as_slice() {
+            ["crates", c, "src", ..] => (Some((*c).to_string()), Role::Src),
+            ["crates", c, "tests" | "benches" | "examples", ..] => {
+                (Some((*c).to_string()), Role::TestLike)
+            }
+            ["tests" | "examples", ..] => (None, Role::TestLike),
+            _ => return None,
+        };
+        Some(FileClass { rel_path: rel_path.to_string(), crate_dir, role })
+    }
+
+    fn in_crate(&self, set: &[&str]) -> bool {
+        self.role == Role::Src && self.crate_dir.as_deref().is_some_and(|c| set.contains(&c))
+    }
+
+    fn is_bench_crate(&self) -> bool {
+        self.crate_dir.as_deref() == Some("bench")
+    }
+
+    fn is_crate_root(&self) -> bool {
+        self.crate_dir.is_some() && self.role == Role::Src && self.rel_path.ends_with("/src/lib.rs")
+    }
+}
+
+/// Everything the scan of one file produced.
+#[derive(Debug, Default)]
+pub struct ScanOutcome {
+    /// Unsuppressed findings (these fail the gate).
+    pub findings: Vec<Finding>,
+    /// Suppressed findings with their justifications.
+    pub suppressed: Vec<Suppressed>,
+}
+
+/// Scans one file's source text under its classification.
+pub fn scan_source(class: &FileClass, src: &str) -> ScanOutcome {
+    let lexed = lex(src);
+    let mut allows = parse_allows(&lexed.comments);
+    let mut out = ScanOutcome::default();
+
+    // Grammar findings first: they are never suppressible.
+    for a in &allows {
+        match &a.problem {
+            Some(AllowProblem::MissingJustification) => out.findings.push(Finding {
+                rule: "allow::missing-justification",
+                file: class.rel_path.clone(),
+                line: a.line,
+                message: "lint:allow requires ` -- <justification>` after the rule list".into(),
+            }),
+            Some(AllowProblem::UnknownRule(r)) => out.findings.push(Finding {
+                rule: "allow::unknown-rule",
+                file: class.rel_path.clone(),
+                line: a.line,
+                message: format!("unknown rule `{r}` in lint:allow"),
+            }),
+            None => {}
+        }
+    }
+
+    let raw = detect(class, &lexed.tokens, src);
+    for f in raw {
+        match allows.iter_mut().find(|a| a.matches(f.rule, f.line)) {
+            Some(a) => {
+                a.used = true;
+                out.suppressed.push(Suppressed {
+                    rule: f.rule,
+                    file: f.file,
+                    line: f.line,
+                    justification: a.justification.clone().unwrap_or_default(),
+                });
+            }
+            None => out.findings.push(f),
+        }
+    }
+
+    for a in &allows {
+        if a.problem.is_none() && !a.used {
+            out.findings.push(Finding {
+                rule: "allow::unused",
+                file: class.rel_path.clone(),
+                line: a.line,
+                message: format!(
+                    "lint:allow({}) suppresses nothing — delete it",
+                    a.rules.join(", ")
+                ),
+            });
+        }
+    }
+
+    out.findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out.suppressed.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Suppression comments
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+enum AllowProblem {
+    MissingJustification,
+    UnknownRule(String),
+}
+
+#[derive(Debug)]
+struct Allow {
+    line: u32,
+    rules: Vec<String>,
+    file_scope: bool,
+    justification: Option<String>,
+    problem: Option<AllowProblem>,
+    used: bool,
+}
+
+impl Allow {
+    fn matches(&self, rule: &str, line: u32) -> bool {
+        if self.problem.is_some() || rule.starts_with("allow::") {
+            return false;
+        }
+        if !self.rules.iter().any(|r| r == rule) {
+            return false;
+        }
+        self.file_scope || line == self.line || line == self.line + 1
+    }
+}
+
+fn parse_allows(comments: &[Comment]) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for c in comments {
+        if c.doc {
+            continue;
+        }
+        let text = c.text.trim();
+        let (file_scope, rest) = if let Some(r) = text.strip_prefix("lint:allow-file(") {
+            (true, r)
+        } else if let Some(r) = text.strip_prefix("lint:allow(") {
+            (false, r)
+        } else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            allows.push(Allow {
+                line: c.line,
+                rules: Vec::new(),
+                file_scope,
+                justification: None,
+                problem: Some(AllowProblem::UnknownRule("<unclosed rule list>".into())),
+                used: false,
+            });
+            continue;
+        };
+        let rules: Vec<String> = rest[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let problem = rules
+            .iter()
+            .find(|r| !ALL_RULES.contains(&r.as_str()))
+            .map(|r| AllowProblem::UnknownRule(r.clone()))
+            .or_else(|| {
+                if rules.is_empty() {
+                    return Some(AllowProblem::UnknownRule("<empty rule list>".into()));
+                }
+                let after = rest[close + 1..].trim_start();
+                match after.strip_prefix("--") {
+                    Some(j) if !j.trim().is_empty() => None,
+                    _ => Some(AllowProblem::MissingJustification),
+                }
+            });
+        let justification = rest[close + 1..]
+            .trim_start()
+            .strip_prefix("--")
+            .map(|j| j.trim().to_string())
+            .filter(|j| !j.is_empty());
+        allows.push(Allow { line: c.line, rules, file_scope, justification, problem, used: false });
+    }
+    allows
+}
+
+// ---------------------------------------------------------------------------
+// Detection
+// ---------------------------------------------------------------------------
+
+/// Identifiers naming hash-ordered collections (iteration order is
+/// seeded per process via `RandomState` — the canonical way a `--jobs`
+/// diff gate passes on one run and fails on the next).
+const HASH_IDENTS: &[&str] = &["HashMap", "HashSet", "hash_map", "hash_set"];
+
+/// Identifiers reaching for ambient entropy or unspecified hashing.
+const ENTROPY_IDENTS: &[&str] = &[
+    "thread_rng",
+    "from_entropy",
+    "OsRng",
+    "ThreadRng",
+    "StdRng",
+    "SmallRng",
+    "RandomState",
+    "DefaultHasher",
+];
+
+/// Keywords that may precede `[` without forming an index expression.
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "static", "struct", "trait", "type", "unsafe", "use", "where", "while",
+    "yield",
+];
+
+fn detect(class: &FileClass, tokens: &[Token], src: &str) -> Vec<Finding> {
+    let mut f = Vec::new();
+    let determinism = class.in_crate(RESULT_BEARING);
+    let panic_rules = class.in_crate(HOT_PATH);
+    let unsafe_rules = !class.is_bench_crate();
+
+    let finding = |rule: &'static str, line: u32, message: String| Finding {
+        rule,
+        file: class.rel_path.clone(),
+        line,
+        message,
+    };
+
+    if unsafe_rules && class.is_crate_root() && !has_forbid_unsafe(tokens) {
+        f.push(finding(
+            "unsafe::missing-forbid",
+            1,
+            "crate root lacks `#![forbid(unsafe_code)]`".into(),
+        ));
+    }
+
+    let crate_name = class.crate_dir.as_deref().unwrap_or("<workspace>");
+    let env_sanctioned =
+        class.is_bench_crate() || ENV_SANCTIONED_FILES.contains(&class.rel_path.as_str());
+
+    for (i, t) in tokens.iter().enumerate() {
+        let Tok::Ident(ident) = &t.tok else { continue };
+        let live = !t.in_test;
+
+        if unsafe_rules && ident == "unsafe" {
+            f.push(finding(
+                "unsafe::token",
+                t.line,
+                format!("`unsafe` token in zero-unsafe crate `{crate_name}`"),
+            ));
+            continue;
+        }
+        if !live {
+            continue;
+        }
+
+        if determinism {
+            if HASH_IDENTS.contains(&ident.as_str()) {
+                f.push(finding(
+                    "determinism::hash-collection",
+                    t.line,
+                    format!(
+                        "`{ident}` in result-bearing crate `{crate_name}` — iteration order \
+                         is per-process random; use BTreeMap/BTreeSet or sorted structures"
+                    ),
+                ));
+            }
+            if (ident == "Instant" || ident == "SystemTime") && path_call(tokens, i, "now") {
+                f.push(finding(
+                    "determinism::wall-clock",
+                    t.line,
+                    format!(
+                        "`{ident}::now` in result-bearing crate `{crate_name}` — simulated \
+                             time must come from the network clock"
+                    ),
+                ));
+            }
+            if ENTROPY_IDENTS.contains(&ident.as_str())
+                || (ident == "rand"
+                    && matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::ColonColon)))
+            {
+                f.push(finding(
+                    "determinism::ambient-entropy",
+                    t.line,
+                    format!(
+                        "`{ident}` draws ambient entropy in result-bearing crate \
+                             `{crate_name}` — derive randomness from the shard seed"
+                    ),
+                ));
+            }
+            if !env_sanctioned
+                && ident == "env"
+                && (path_call(tokens, i, "var")
+                    || path_call(tokens, i, "var_os")
+                    || path_call(tokens, i, "vars"))
+            {
+                f.push(finding(
+                    "determinism::env-read",
+                    t.line,
+                    format!(
+                        "environment read in `{crate_name}` outside the sanctioned seed \
+                             plumbing (engine::seed, bench)"
+                    ),
+                ));
+            }
+        }
+
+        if panic_rules {
+            match ident.as_str() {
+                "unwrap" if method_call(tokens, i) => f.push(finding(
+                    "panic::unwrap",
+                    t.line,
+                    format!(
+                        "`.unwrap()` on the hot path of `{crate_name}` — return a typed \
+                             error instead"
+                    ),
+                )),
+                "expect" if method_call(tokens, i) => f.push(finding(
+                    "panic::expect",
+                    t.line,
+                    format!(
+                        "`.expect()` on the hot path of `{crate_name}` — return a typed \
+                             error instead"
+                    ),
+                )),
+                "panic" | "todo" | "unimplemented"
+                    if matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Punct(b'!'))) =>
+                {
+                    f.push(finding(
+                        "panic::panic-macro",
+                        t.line,
+                        format!("`{ident}!` on the hot path of `{crate_name}`"),
+                    ))
+                }
+                _ => {}
+            }
+        }
+    }
+
+    if panic_rules {
+        detect_slice_index(class, tokens, &mut f, crate_name);
+    }
+
+    let _ = src;
+    f
+}
+
+/// `tokens[i]` then `::` then `Ident(seg)` then `(` — a path call like
+/// `Instant::now(` or `env::var(`.
+fn path_call(tokens: &[Token], i: usize, seg: &str) -> bool {
+    matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::ColonColon))
+        && matches!(tokens.get(i + 2).map(|t| &t.tok), Some(Tok::Ident(s)) if s == seg)
+        && matches!(tokens.get(i + 3).map(|t| &t.tok), Some(Tok::Punct(b'(')))
+}
+
+/// `.ident(` — a method call on something (excludes `unwrap_or`-style
+/// idents by exact match at the call site, and excludes paths like
+/// `Option::unwrap` used as fn items, which cannot panic by themselves
+/// until called — those appear as `:: unwrap` and are still caught when
+/// followed by `(`).
+fn method_call(tokens: &[Token], i: usize) -> bool {
+    let prev_dot = i > 0 && matches!(tokens[i - 1].tok, Tok::Punct(b'.') | Tok::ColonColon);
+    prev_dot && matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Punct(b'(')))
+}
+
+/// Indexing (`expr[...]`): a `[` whose previous token closes an
+/// expression — an identifier (excluding keywords), `)`, or `]`. Type
+/// positions (`&[u8]`, `Vec<[u8; 4]>`), attributes (`#[...]`), and
+/// macro brackets (`vec![...]`) never match because their previous token
+/// is punctuation or a keyword.
+fn detect_slice_index(class: &FileClass, tokens: &[Token], f: &mut Vec<Finding>, crate_name: &str) {
+    for i in 1..tokens.len() {
+        if tokens[i].in_test || tokens[i].tok != Tok::Punct(b'[') {
+            continue;
+        }
+        let indexes = match &tokens[i - 1].tok {
+            Tok::Ident(s) => !NON_INDEX_KEYWORDS.contains(&s.as_str()),
+            Tok::Punct(b')') | Tok::Punct(b']') => true,
+            _ => false,
+        };
+        if indexes {
+            f.push(Finding {
+                rule: "panic::slice-index",
+                file: class.rel_path.clone(),
+                line: tokens[i].line,
+                message: format!(
+                    "slice/array indexing on the hot path of `{crate_name}` — use `get` or \
+                     prove bounds and add a justified allow"
+                ),
+            });
+        }
+    }
+}
+
+/// Looks for `forbid ( unsafe_code` in the token stream (the inner
+/// attribute shape `#![forbid(unsafe_code)]`).
+fn has_forbid_unsafe(tokens: &[Token]) -> bool {
+    tokens.windows(3).any(|w| {
+        matches!(&w[0].tok, Tok::Ident(s) if s == "forbid")
+            && w[1].tok == Tok::Punct(b'(')
+            && matches!(&w[2].tok, Tok::Ident(s) if s == "unsafe_code")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn src_class(path: &str) -> FileClass {
+        FileClass::classify(path).expect("classifiable")
+    }
+
+    fn rules_fired(class: &FileClass, src: &str) -> Vec<&'static str> {
+        scan_source(class, src).findings.into_iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn classify_roles() {
+        assert_eq!(src_class("crates/core/src/lib.rs").role, Role::Src);
+        assert_eq!(src_class("crates/core/tests/x.rs").role, Role::TestLike);
+        assert_eq!(src_class("tests/integration.rs").role, Role::TestLike);
+        assert!(FileClass::classify("crates/lint/tests/fixtures/bad.rs").is_none());
+        assert!(FileClass::classify("README.md").is_none());
+    }
+
+    #[test]
+    fn hashmap_fires_only_in_result_bearing_src() {
+        let src = "#![forbid(unsafe_code)] use std::collections::HashMap;";
+        assert_eq!(
+            rules_fired(&src_class("crates/core/src/lib.rs"), src),
+            vec!["determinism::hash-collection"]
+        );
+        assert!(rules_fired(&src_class("crates/wire/src/lib.rs"), src).is_empty());
+        assert!(rules_fired(&src_class("crates/core/tests/t.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn same_line_and_preceding_line_allows_suppress() {
+        let class = src_class("crates/core/src/x.rs");
+        let same = "let m: HashMap<u8, u8> = x; // lint:allow(determinism::hash-collection) -- ok";
+        let out = scan_source(&class, same);
+        assert!(out.findings.is_empty());
+        assert_eq!(out.suppressed.len(), 1);
+        assert_eq!(out.suppressed[0].justification, "ok");
+
+        let above = "// lint:allow(determinism::hash-collection) -- ok\nlet m: HashMap<u8,u8>;";
+        assert!(scan_source(&class, above).findings.is_empty());
+    }
+
+    #[test]
+    fn missing_justification_is_a_finding() {
+        let class = src_class("crates/core/src/x.rs");
+        let src = "// lint:allow(determinism::hash-collection)\nlet m: HashMap<u8,u8>;";
+        let fired = rules_fired(&class, src);
+        assert!(fired.contains(&"allow::missing-justification"), "{fired:?}");
+        assert!(fired.contains(&"determinism::hash-collection"), "{fired:?}");
+    }
+
+    #[test]
+    fn unused_allow_is_a_finding() {
+        let class = src_class("crates/core/src/x.rs");
+        let src = "// lint:allow(determinism::wall-clock) -- stale\nlet x = 1;";
+        assert_eq!(rules_fired(&class, src), vec!["allow::unused"]);
+    }
+
+    #[test]
+    fn file_scope_allow_covers_everything() {
+        let class = src_class("crates/wire/src/x.rs");
+        let src = "// lint:allow-file(panic::slice-index) -- bounds proven\nfn f(b: &[u8]) -> u8 { b[0] }";
+        let out = scan_source(&class, src);
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+        assert_eq!(out.suppressed.len(), 1);
+    }
+
+    #[test]
+    fn panic_rules_fire_in_hot_path_only() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        assert_eq!(rules_fired(&src_class("crates/wire/src/x.rs"), src), vec!["panic::unwrap"]);
+        assert!(rules_fired(&src_class("crates/workload/src/x.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_is_not_unwrap() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }";
+        assert!(rules_fired(&src_class("crates/wire/src/x.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_and_env_read() {
+        let class = src_class("crates/netsim/src/x.rs");
+        let src = "let t = Instant::now(); let v = std::env::var(\"X\");";
+        let fired = rules_fired(&class, src);
+        assert_eq!(fired, vec!["determinism::env-read", "determinism::wall-clock"]);
+        // Sanctioned seed plumbing is exempt.
+        let seed = src_class("crates/engine/src/seed.rs");
+        assert_eq!(rules_fired(&seed, "let v = std::env::var(\"X\");"), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn unsafe_token_and_missing_forbid() {
+        let class = src_class("crates/crypto/src/lib.rs");
+        let fired = rules_fired(&class, "fn f() { let p = 1; unsafe { } }");
+        assert_eq!(fired, vec!["unsafe::missing-forbid", "unsafe::token"]);
+        let ok = rules_fired(&class, "#![forbid(unsafe_code)] fn f() {}");
+        assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn attribute_and_type_brackets_are_not_indexing() {
+        let class = src_class("crates/wire/src/x.rs");
+        let src = "#[derive(Debug)] struct S { b: [u8; 4] } fn f(x: &mut [u8]) -> Vec<[u8; 2]> { vec![] }";
+        assert!(rules_fired(&class, src).is_empty());
+        assert_eq!(
+            rules_fired(&class, "fn f(b: &[u8]) -> u8 { b[0] }"),
+            vec!["panic::slice-index"]
+        );
+    }
+
+    #[test]
+    fn unknown_rule_in_allow() {
+        let class = src_class("crates/core/src/x.rs");
+        assert_eq!(
+            rules_fired(&class, "// lint:allow(bogus::rule) -- x\nlet y = 1;"),
+            vec!["allow::unknown-rule"]
+        );
+    }
+}

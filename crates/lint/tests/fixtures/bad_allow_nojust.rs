@@ -1,0 +1,9 @@
+//! Known-bad fixture: a suppression without the mandatory
+//! ` -- <justification>`. Scanned as if it lived at
+//! `crates/core/src/bad_allow_nojust.rs`.
+
+use std::collections::HashSet; // lint:allow(determinism::hash-collection)
+
+pub fn dedup(xs: &[u32]) -> usize {
+    xs.iter().collect::<HashSet<_>>().len()
+}

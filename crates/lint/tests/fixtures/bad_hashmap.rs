@@ -1,0 +1,15 @@
+//! Known-bad fixture: hash-ordered collection (and its iteration) in a
+//! result-bearing crate. Scanned as if it lived at
+//! `crates/core/src/bad_hashmap.rs`; also used by ci.sh as the canary
+//! proving the lint gate bites.
+
+use std::collections::HashMap;
+
+pub fn leak_ordering(input: &[(String, u64)]) -> Vec<String> {
+    let mut counts: HashMap<String, u64> = HashMap::new();
+    for (name, n) in input {
+        *counts.entry(name.clone()).or_insert(0) += n;
+    }
+    // Iteration order is RandomState-seeded: this Vec differs run to run.
+    counts.into_iter().map(|(name, _)| name).collect()
+}

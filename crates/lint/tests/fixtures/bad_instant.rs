@@ -1,0 +1,10 @@
+//! Known-bad fixture: wall-clock read in a result-bearing crate.
+//! Scanned as if it lived at `crates/netsim/src/bad_instant.rs`.
+
+use std::time::Instant;
+
+pub fn measure<F: FnOnce()>(f: F) -> u128 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_nanos()
+}

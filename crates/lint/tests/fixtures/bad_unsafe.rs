@@ -1,0 +1,6 @@
+//! Known-bad fixture: an `unsafe` block in a zero-unsafe workspace.
+//! Scanned as if it lived at `crates/crypto/src/bad_unsafe.rs`.
+
+pub fn reinterpret(x: u32) -> [u8; 4] {
+    unsafe { std::mem::transmute(x) }
+}

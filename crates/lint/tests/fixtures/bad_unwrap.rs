@@ -1,0 +1,6 @@
+//! Known-bad fixture: bare `unwrap` on a hot path. Scanned as if it
+//! lived at `crates/wire/src/bad_unwrap.rs`.
+
+pub fn first_byte(bytes: &[u8]) -> u8 {
+    *bytes.first().unwrap()
+}

@@ -1,0 +1,37 @@
+//! Known-good fixture: deterministic collections, seeded randomness,
+//! typed errors, bounds-checked access, a justified suppression, and
+//! test-only unwraps — zero findings expected when scanned as
+//! `crates/core/src/clean.rs`.
+
+use std::collections::BTreeMap;
+
+/// Comments mentioning HashMap, Instant::now(), and unsafe are invisible
+/// to the lexer, as are literals: "HashMap::new()".
+pub fn count(input: &[(String, u64)]) -> BTreeMap<String, u64> {
+    let mut counts = BTreeMap::new();
+    for (name, n) in input {
+        *counts.entry(name.clone()).or_insert(0) += n;
+    }
+    counts
+}
+
+pub fn first(bytes: &[u8]) -> Option<u8> {
+    bytes.first().copied()
+}
+
+pub fn profile_label() -> &'static str {
+    // lint:allow(determinism::wall-clock) -- demonstrates a justified waiver
+    let _elapsed = std::time::Instant::now();
+    "timing-only, never reduced into results"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwraps_in_tests_are_exempt() {
+        let m = count(&[("a".to_string(), 1)]);
+        assert_eq!(*m.get("a").unwrap(), 1);
+    }
+}

@@ -1,0 +1,107 @@
+//! Fixture-based self-tests: one known-bad snippet per rule asserting
+//! the exact rule IDs that fire, a known-good snippet asserting zero
+//! findings, and a byte-stability check on the JSON report.
+
+use lookaside_lint::{scan_source, FileClass, Report};
+
+/// Scans a fixture as if it lived at `virtual_path` inside the
+/// workspace.
+fn scan_fixture(virtual_path: &str, src: &str) -> lookaside_lint::ScanOutcome {
+    let class = FileClass::classify(virtual_path).expect("fixture path must classify");
+    scan_source(&class, src)
+}
+
+fn rules_of(outcome: &lookaside_lint::ScanOutcome) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = outcome.findings.iter().map(|f| f.rule).collect();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn bad_hashmap_fires_hash_collection() {
+    let out =
+        scan_fixture("crates/core/src/bad_hashmap.rs", include_str!("fixtures/bad_hashmap.rs"));
+    assert_eq!(rules_of(&out), vec!["determinism::hash-collection"]);
+    // Both the `use` and the two constructor/type mentions are caught.
+    assert!(out.findings.len() >= 2, "{:?}", out.findings);
+}
+
+#[test]
+fn bad_instant_fires_wall_clock() {
+    let out =
+        scan_fixture("crates/netsim/src/bad_instant.rs", include_str!("fixtures/bad_instant.rs"));
+    assert_eq!(rules_of(&out), vec!["determinism::wall-clock"]);
+    assert_eq!(out.findings[0].line, 7, "{:?}", out.findings);
+}
+
+#[test]
+fn bad_unwrap_fires_panic_unwrap() {
+    let out = scan_fixture("crates/wire/src/bad_unwrap.rs", include_str!("fixtures/bad_unwrap.rs"));
+    assert_eq!(rules_of(&out), vec!["panic::unwrap"]);
+}
+
+#[test]
+fn bad_allow_without_justification_fires_meta_rule() {
+    let out = scan_fixture(
+        "crates/core/src/bad_allow_nojust.rs",
+        include_str!("fixtures/bad_allow_nojust.rs"),
+    );
+    let rules = rules_of(&out);
+    assert!(rules.contains(&"allow::missing-justification"), "{rules:?}");
+    // The malformed allow must NOT silence the underlying violation.
+    assert!(rules.contains(&"determinism::hash-collection"), "{rules:?}");
+}
+
+#[test]
+fn bad_unsafe_fires_unsafe_token() {
+    let out =
+        scan_fixture("crates/crypto/src/bad_unsafe.rs", include_str!("fixtures/bad_unsafe.rs"));
+    assert_eq!(rules_of(&out), vec!["unsafe::token"]);
+}
+
+#[test]
+fn clean_fixture_has_zero_findings_and_one_used_suppression() {
+    let out = scan_fixture("crates/core/src/clean.rs", include_str!("fixtures/clean.rs"));
+    assert!(out.findings.is_empty(), "{:#?}", out.findings);
+    assert_eq!(out.suppressed.len(), 1);
+    assert_eq!(out.suppressed[0].rule, "determinism::wall-clock");
+    assert_eq!(out.suppressed[0].justification, "demonstrates a justified waiver");
+}
+
+#[test]
+fn known_bad_fixtures_fail_under_their_canary_classification() {
+    // ci.sh copies bad_hashmap.rs into crates/core/src/ to prove the
+    // gate bites; the fixture must fail under exactly that path shape.
+    let out =
+        scan_fixture("crates/core/src/__lint_canary.rs", include_str!("fixtures/bad_hashmap.rs"));
+    assert!(!out.findings.is_empty());
+}
+
+#[test]
+fn json_report_is_byte_stable_across_runs() {
+    let render = || {
+        let mut report = Report::default();
+        for (path, src) in [
+            ("crates/core/src/bad_hashmap.rs", include_str!("fixtures/bad_hashmap.rs")),
+            ("crates/netsim/src/bad_instant.rs", include_str!("fixtures/bad_instant.rs")),
+            ("crates/wire/src/bad_unwrap.rs", include_str!("fixtures/bad_unwrap.rs")),
+            ("crates/core/src/clean.rs", include_str!("fixtures/clean.rs")),
+        ] {
+            let out = scan_fixture(path, src);
+            report.findings.extend(out.findings);
+            report.suppressed.extend(out.suppressed);
+            report.files_scanned += 1;
+        }
+        report.canonicalize();
+        report.render_json()
+    };
+    let first = render();
+    let second = render();
+    assert_eq!(first, second, "JSON report must be byte-identical across runs");
+    assert!(first.contains("\"schema\": \"lookaside-lint/1\""));
+}
+
+#[test]
+fn fixture_paths_are_excluded_from_real_scans() {
+    assert!(FileClass::classify("crates/lint/tests/fixtures/bad_hashmap.rs").is_none());
+}

@@ -13,7 +13,7 @@
 //! whose links are all quiet (the default) makes no decisions at all, so
 //! fault-free runs are bit-for-bit unchanged.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 use serde::{Deserialize, Serialize};
@@ -148,13 +148,13 @@ pub struct FaultPlan {
 pub struct FaultPlane {
     seed: u64,
     default_faults: LinkFaults,
-    links: HashMap<Ipv4Addr, LinkFaults>,
+    links: BTreeMap<Ipv4Addr, LinkFaults>,
     /// TCP-specific overrides: when a link has an entry here, TCP
     /// exchanges to it use these faults instead of the UDP ones. Links
     /// without an entry share the UDP faults (a blackholed host is
     /// unreachable on both transports).
     #[serde(default)]
-    tcp_links: HashMap<Ipv4Addr, LinkFaults>,
+    tcp_links: BTreeMap<Ipv4Addr, LinkFaults>,
 }
 
 impl FaultPlane {

@@ -4,7 +4,7 @@
 //! hash of the model seed — reproducible across runs, no shared RNG state,
 //! and insensitive to the order in which other links are exercised.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 /// Nanoseconds per millisecond.
@@ -44,7 +44,7 @@ pub struct LatencyModel {
     base_min_ms: u64,
     base_max_ms: u64,
     jitter_max_ms: u64,
-    overrides: HashMap<Ipv4Addr, (u64, u64)>,
+    overrides: BTreeMap<Ipv4Addr, (u64, u64)>,
 }
 
 impl LatencyModel {
@@ -55,7 +55,7 @@ impl LatencyModel {
             base_min_ms: 10,
             base_max_ms: 60,
             jitter_max_ms: 8,
-            overrides: HashMap::new(),
+            overrides: BTreeMap::new(),
         }
     }
 

@@ -1,6 +1,6 @@
 //! The message-routing core of the simulator.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::net::Ipv4Addr;
 
@@ -159,9 +159,9 @@ pub type Tamper = Box<dyn FnMut(&mut Message, Direction)>;
 /// Routes queries to registered nodes, charging latency and recording
 /// traffic.
 pub struct Network {
-    nodes: HashMap<Ipv4Addr, Box<dyn DnsHandler>>,
+    nodes: BTreeMap<Ipv4Addr, Box<dyn DnsHandler>>,
     default_route: Option<Box<dyn DnsHandler>>,
-    labels: HashMap<Ipv4Addr, String>,
+    labels: BTreeMap<Ipv4Addr, String>,
     latency: LatencyModel,
     tcp_latency: Option<LatencyModel>,
     capture: Capture,
@@ -187,9 +187,9 @@ impl Network {
     /// Creates a network with default latency and a DLV-only capture.
     pub fn new(seed: u64) -> Self {
         Network {
-            nodes: HashMap::new(),
+            nodes: BTreeMap::new(),
             default_route: None,
-            labels: HashMap::new(),
+            labels: BTreeMap::new(),
             latency: LatencyModel::new(seed),
             tcp_latency: None,
             capture: Capture::new(CaptureFilter::DlvOnly),

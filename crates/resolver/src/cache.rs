@@ -6,7 +6,7 @@
 //! empty, every later DLV query falling inside that span is answered
 //! locally and never reaches (= never leaks to) the DLV server.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 use std::ops::Bound;
 use std::sync::Arc;
@@ -38,8 +38,8 @@ pub struct CachedRrSet {
 /// accumulate unbounded dead state.
 #[derive(Debug, Default)]
 pub struct AnswerCache {
-    positive: HashMap<Name, Vec<(RrType, CachedRrSet)>>,
-    negative: HashMap<Name, Vec<(RrType, Rcode, u64)>>,
+    positive: BTreeMap<Name, Vec<(RrType, CachedRrSet)>>,
+    negative: BTreeMap<Name, Vec<(RrType, Rcode, u64)>>,
     puts_since_purge: usize,
     /// RFC 8767 serve-stale window: expired positive entries are retained
     /// (and servable via [`AnswerCache::get_stale`]) for this long past

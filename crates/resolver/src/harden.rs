@@ -16,7 +16,7 @@
 //! experiments reproduce byte-for-byte; the Byzantine sweep flips the
 //! profile per cell.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use lookaside_wire::{Name, RrType};
 
@@ -89,7 +89,7 @@ impl Default for Hardening {
 /// expires. Bounded: when full, the oldest entry is evicted.
 #[derive(Debug, Default)]
 pub struct BadCache {
-    entries: HashMap<(Name, RrType), u64>,
+    entries: BTreeMap<(Name, RrType), u64>,
     /// Insertion order for capacity eviction.
     order: Vec<(Name, RrType)>,
 }

@@ -7,7 +7,7 @@
 //! traffic), and feeds every exchange through the network simulator so the
 //! packet capture sees exactly what a real wire would.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::net::Ipv4Addr;
 use std::sync::Arc;
@@ -55,6 +55,13 @@ pub enum ResolveError {
         /// The cached tuple's name, or the dead zone's apex.
         subject: Name,
     },
+    /// A zone cut offered no usable server addresses (an empty referral,
+    /// or every hint filtered away). Typed instead of a panic: the lint
+    /// wall forbids `expect` on the resolver hot path.
+    NoServers {
+        /// The zone whose server list was empty.
+        zone: Name,
+    },
 }
 
 impl fmt::Display for ResolveError {
@@ -70,6 +77,9 @@ impl fmt::Display for ResolveError {
             }
             ResolveError::ServfailCached { subject } => {
                 write!(f, "failure cached for {subject} (RFC 2308 servfail cache)")
+            }
+            ResolveError::NoServers { zone } => {
+                write!(f, "zone {zone} has no usable servers")
             }
         }
     }
@@ -224,15 +234,15 @@ pub struct RecursiveResolver {
     pub(crate) answers: AnswerCache,
     pub(crate) zones: ZoneServerCache,
     pub(crate) nsec_spans: NsecSpanCache,
-    pub(crate) zone_status: HashMap<Name, SecurityStatus>,
-    pub(crate) secured_via_dlv: HashSet<Name>,
-    pub(crate) validated_keys: HashMap<Name, Vec<PublicKey>>,
-    pub(crate) zone_parent: HashMap<Name, Name>,
-    pub(crate) ds_info: HashMap<Name, DsInfo>,
-    pub(crate) z_signal: HashMap<Name, bool>,
-    pub(crate) txt_signal_cache: HashMap<Name, Option<bool>>,
-    pub(crate) seen_addrs: HashSet<Ipv4Addr>,
-    pub(crate) validating: HashSet<Name>,
+    pub(crate) zone_status: BTreeMap<Name, SecurityStatus>,
+    pub(crate) secured_via_dlv: BTreeSet<Name>,
+    pub(crate) validated_keys: BTreeMap<Name, Vec<PublicKey>>,
+    pub(crate) zone_parent: BTreeMap<Name, Name>,
+    pub(crate) ds_info: BTreeMap<Name, DsInfo>,
+    pub(crate) z_signal: BTreeMap<Name, bool>,
+    pub(crate) txt_signal_cache: BTreeMap<Name, Option<bool>>,
+    pub(crate) seen_addrs: BTreeSet<Ipv4Addr>,
+    pub(crate) validating: BTreeSet<Name>,
     pub(crate) salt: u64,
     pub(crate) retry: RetryPolicy,
     pub(crate) infra: InfraCache,
@@ -287,15 +297,15 @@ impl RecursiveResolver {
             answers: AnswerCache::new(),
             zones: ZoneServerCache::with_root_hint(setup.root_hint),
             nsec_spans: NsecSpanCache::new(),
-            zone_status: HashMap::new(),
-            secured_via_dlv: HashSet::new(),
-            validated_keys: HashMap::new(),
-            zone_parent: HashMap::new(),
-            ds_info: HashMap::new(),
-            z_signal: HashMap::new(),
-            txt_signal_cache: HashMap::new(),
-            seen_addrs: HashSet::new(),
-            validating: HashSet::new(),
+            zone_status: BTreeMap::new(),
+            secured_via_dlv: BTreeSet::new(),
+            validated_keys: BTreeMap::new(),
+            zone_parent: BTreeMap::new(),
+            ds_info: BTreeMap::new(),
+            z_signal: BTreeMap::new(),
+            txt_signal_cache: BTreeMap::new(),
+            seen_addrs: BTreeSet::new(),
+            validating: BTreeSet::new(),
             salt: setup.salt,
             retry: RetryPolicy::default(),
             infra: InfraCache::new(),
@@ -510,7 +520,9 @@ impl RecursiveResolver {
                 }
             }
         }
-        let server = timed_out.expect("zone has servers");
+        let Some(server) = timed_out else {
+            return Err(ResolveError::NoServers { zone: cut });
+        };
         self.note_all_servers_failed(&cut, qname, qtype, net.now_ns(), true);
         Err(ResolveError::Timeout { server })
     }
@@ -684,7 +696,10 @@ impl RecursiveResolver {
             // on it — must not fail the resolution while siblings work.
             let candidates = self.candidate_servers(addrs, net.now_ns());
             let mut response = None;
-            let mut answered_by = *candidates.first().expect("zone has servers");
+            let Some(&first_candidate) = candidates.first() else {
+                return Err(ResolveError::NoServers { zone: cut });
+            };
+            let mut answered_by = first_candidate;
             let mut last_lame = ResolveError::Lame { server: answered_by, rcode: Rcode::ServFail };
             let mut timeouts = 0usize;
             let mut last_timeout = None;
@@ -882,7 +897,10 @@ impl RecursiveResolver {
         depth: usize,
     ) -> Result<Name, ResolveError> {
         let ns_records: Vec<&Record> = response.authorities_of(RrType::Ns).collect();
-        let child = ns_records[0].name.clone();
+        let Some(first_ns) = ns_records.first() else {
+            return Err(ResolveError::NoServers { zone: parent.clone() });
+        };
+        let child = first_ns.name.clone();
         self.zone_parent.insert(child.clone(), parent.clone());
 
         // DS information piggybacked on the referral.
@@ -986,17 +1004,18 @@ impl RecursiveResolver {
         }
         let roll = mix(self.salt ^ 0x0050_5452, u64::from(u32::from(addr))) % 1000;
         if roll < u64::from(self.features.ptr_probe_milli) {
-            let octets = addr.octets();
-            let reverse = Name::parse(&format!(
-                "{}.{}.{}.{}.in-addr.arpa.",
-                octets[3], octets[2], octets[1], octets[0]
-            ))
-            .expect("reverse name is valid");
+            let [o0, o1, o2, o3] = addr.octets();
+            let Ok(reverse) = Name::parse(&format!("{o3}.{o2}.{o1}.{o0}.in-addr.arpa.")) else {
+                return Ok(());
+            };
             let (_, root_addrs) = self.zone_servers(&Name::root());
+            let Some(&root_server) = root_addrs.first() else {
+                return Ok(());
+            };
             let id = net.allocate_id();
             let q = Message::query(id, reverse, RrType::Ptr);
             // Fire-and-forget: a lost probe is never retransmitted.
-            match net.exchange(root_addrs[0], &q) {
+            match net.exchange(root_server, &q) {
                 Ok(_) | Err(NetError::Timeout(_)) => {}
                 Err(e) => return Err(e.into()),
             }

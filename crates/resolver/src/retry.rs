@@ -17,7 +17,7 @@
 //! Everything here is driven by the simulated clock; nothing consults wall
 //! time, so runs stay deterministic.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 use lookaside_wire::{Name, RrType};
@@ -89,9 +89,9 @@ struct RttEstimate {
 /// Per-server infrastructure state: smoothed RTT and holddown.
 #[derive(Debug, Clone, Default)]
 pub struct InfraCache {
-    rtt: HashMap<Ipv4Addr, RttEstimate>,
+    rtt: BTreeMap<Ipv4Addr, RttEstimate>,
     /// Absolute simulated time until which the server is skipped.
-    held_until: HashMap<Ipv4Addr, u64>,
+    held_until: BTreeMap<Ipv4Addr, u64>,
 }
 
 impl InfraCache {
@@ -159,10 +159,10 @@ impl InfraCache {
 pub struct ServfailCache {
     /// §7.1: per-`(qname, qtype)` failure entries, keyed by name so the
     /// per-resolution probe borrows the qname instead of cloning it.
-    tuples: HashMap<Name, Vec<(RrType, u64)>>,
+    tuples: BTreeMap<Name, Vec<(RrType, u64)>>,
     /// §7.2: zones whose entire server set proved unreachable; lookups at
     /// or below such a cut fail instantly until expiry.
-    dead_zones: HashMap<Name, u64>,
+    dead_zones: BTreeMap<Name, u64>,
 }
 
 impl ServfailCache {

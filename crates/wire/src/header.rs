@@ -222,17 +222,16 @@ impl Header {
     ///
     /// Returns [`WireError::Truncated`] if fewer than 12 octets are present.
     pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
-        if bytes.len() < Self::WIRE_LEN {
+        let [i0, i1, f0, f1, q0, q1, a0, a1, n0, n1, r0, r1, ..] = *bytes else {
             return Err(WireError::Truncated { context: "header" });
-        }
-        let u16_at = |i: usize| u16::from_be_bytes([bytes[i], bytes[i + 1]]);
+        };
         Ok(Header {
-            id: u16_at(0),
-            flags: Flags::from_u16(u16_at(2)),
-            qdcount: u16_at(4),
-            ancount: u16_at(6),
-            nscount: u16_at(8),
-            arcount: u16_at(10),
+            id: u16::from_be_bytes([i0, i1]),
+            flags: Flags::from_u16(u16::from_be_bytes([f0, f1])),
+            qdcount: u16::from_be_bytes([q0, q1]),
+            ancount: u16::from_be_bytes([a0, a1]),
+            nscount: u16::from_be_bytes([n0, n1]),
+            arcount: u16::from_be_bytes([r0, r1]),
         })
     }
 }

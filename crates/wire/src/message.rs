@@ -280,15 +280,18 @@ impl Message {
                 let udp_size = rec.class.code();
                 let do_bit = rec.ttl & 0x0000_8000 != 0;
                 let padding = match &rec.rdata {
-                    crate::RData::Unknown(bytes) if bytes.len() >= 4 => {
-                        let code = u16::from_be_bytes([bytes[0], bytes[1]]);
-                        let len = u16::from_be_bytes([bytes[2], bytes[3]]);
-                        if code == 12 {
-                            len
-                        } else {
-                            0
+                    crate::RData::Unknown(bytes) => match bytes.as_slice() {
+                        [c0, c1, l0, l1, ..] => {
+                            let code = u16::from_be_bytes([*c0, *c1]);
+                            let len = u16::from_be_bytes([*l0, *l1]);
+                            if code == 12 {
+                                len
+                            } else {
+                                0
+                            }
                         }
-                    }
+                        _ => 0,
+                    },
                     _ => 0,
                 };
                 edns = Some(Edns { udp_size, do_bit, padding });

@@ -11,6 +11,8 @@
 //! without touching the heap, and a [`NameTable`] interns heap-backed
 //! names per worker so hot paths hand out shared handles.
 
+// lint:allow-file(panic::slice-index) -- all indices derive from label offsets validated when the Name was constructed (Repr invariants), and the corruption fuzz gate exercises the decode paths with arbitrary bytes
+
 use std::cmp::Ordering;
 use std::collections::HashSet;
 use std::fmt;
@@ -279,6 +281,7 @@ impl Name {
     ///
     /// Panics if `i >= self.label_count()`.
     pub fn label(&self, i: usize) -> LabelRef<'_> {
+        // lint:allow(panic::expect) -- documented contract panic (see "# Panics" above); callers index within label_count()
         self.labels().nth(i).expect("label index out of range")
     }
 

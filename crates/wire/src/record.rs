@@ -31,6 +31,7 @@ impl Record {
     pub fn new(name: Name, ttl: u32, rdata: RData) -> Self {
         let rrtype = rdata
             .rrtype()
+            // lint:allow(panic::expect) -- documented contract panic (see "# Panics" above): RData::Unknown must use the struct literal
             .expect("Record::new requires typed rdata; construct unknown records explicitly");
         Record { name, rrtype, class: RrClass::In, ttl, rdata }
     }
@@ -106,6 +107,7 @@ pub struct RrSet {
 impl RrSet {
     /// Creates an RRset with a single member.
     pub fn single(name: Name, ttl: u32, rdata: RData) -> Self {
+        // lint:allow(panic::expect) -- contract panic mirroring Record::new: untyped rdata must construct the set explicitly
         let rrtype = rdata.rrtype().expect("RrSet::single requires typed rdata");
         RrSet { name, rrtype, ttl, rdatas: vec![rdata] }
     }

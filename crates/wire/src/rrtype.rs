@@ -1,3 +1,5 @@
+// lint:allow-file(panic::slice-index) -- bitmap window slices are length-checked against the decoded window length before each access; fuzz-backed by the ci.sh corruption gate
+
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
