@@ -57,6 +57,16 @@ if ! diff -u target/ci/byzantine.jobs1.txt target/ci/byzantine.jobs4.txt; then
     exit 1
 fi
 
+# And for the key-lifecycle sweep: simulated-time rollovers, expiry
+# storms, and RFC 5011 tracking shard scenario-per-worker, so the event
+# tables must be byte-identical at every worker count.
+./target/release/repro lifecycle --jobs 1 > target/ci/lifecycle.jobs1.txt
+./target/release/repro lifecycle --jobs 4 > target/ci/lifecycle.jobs4.txt
+if ! diff -u target/ci/lifecycle.jobs1.txt target/ci/lifecycle.jobs4.txt; then
+    echo "ci: FAIL — repro lifecycle output diverges between --jobs 1 and --jobs 4" >&2
+    exit 1
+fi
+
 # Corruption robustness gate: 10k fixed-seed mutated packets through the
 # wire decoder — typed WireError or success, never a panic. Backed by a
 # panic/unwrap lint wall on the wire crate, extended in PR-5 to the

@@ -3,7 +3,7 @@
 //! ```text
 //! repro [--full] [--jobs N] [table1|table2|table3|table4|table5|fig8|fig9|
 //!                            fig10|fig11|fig12|order|utility|survey|dict|
-//!                            attacks|chaos|byzantine|all]
+//!                            attacks|chaos|byzantine|lifecycle|all]
 //! ```
 //!
 //! Without `--full`, dataset sweeps stop at 10k domains (seconds); with it
@@ -23,6 +23,7 @@ use lookaside::experiments::{
     deployment_sweep, fig11, fig12, fig8_9, nsec3_tradeoff, order_matters, qmin_exposure, table3,
     table4, table5, tld_breakdown, trace_replay, utility, vantage_sweep,
 };
+use lookaside::lifecycle::{lifecycle_sweep, LifecycleConfig};
 use lookaside::report::{megabytes, pct, render_table};
 use lookaside::workload;
 use lookaside_resolver::{environments, InstallMethod};
@@ -127,6 +128,9 @@ fn main() {
     }
     if wants("byzantine") {
         print_byzantine(if full { 60 } else { 15 });
+    }
+    if wants("lifecycle") {
+        print_lifecycle(if full { 10 } else { 5 });
     }
 }
 
@@ -611,6 +615,54 @@ fn print_byzantine(n: usize) {
     println!(
         "(wrong answers leak more than lost ones: corruption and truncation retrigger \
          transmissions, while hardening preserves availability through every decommission stage)"
+    );
+}
+
+fn print_lifecycle(n: usize) {
+    println!("\n== key-lifecycle sweep: rollovers, expiry storms, RFC 5011 ({n} queries/event) ==");
+    let rows: Vec<Vec<String>> = lifecycle_sweep(&LifecycleConfig::quick(n))
+        .iter()
+        .flat_map(|p| {
+            p.events.iter().map(|e| {
+                vec![
+                    p.scenario.label().to_string(),
+                    e.at_secs.to_string(),
+                    e.secure.to_string(),
+                    e.insecure.to_string(),
+                    e.bogus.to_string(),
+                    e.indeterminate.to_string(),
+                    e.errors.to_string(),
+                    e.expired_rrsig_bogus.to_string(),
+                    e.missing_anchor.to_string(),
+                    e.dlv_queries.to_string(),
+                    e.case2_leaks.to_string(),
+                ]
+            })
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &[
+                "scenario",
+                "t (s)",
+                "secure",
+                "insec",
+                "bogus",
+                "indet",
+                "err",
+                "expired",
+                "no-anchor",
+                "DLV q",
+                "case-2",
+            ],
+            &rows
+        )
+    );
+    println!(
+        "(a missed KSK rollover strands the resolver anchorless: validation collapses to \
+         the look-aside walk and every fresh name leaks to the registry until an anchor \
+         is re-installed out of band)"
     );
 }
 

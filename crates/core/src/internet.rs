@@ -22,13 +22,13 @@ use lookaside_crypto::{ds_rdata, KeyPair, PublicKey};
 use lookaside_netsim::{CaptureFilter, LatencyModel, Network};
 use lookaside_resolver::{FeatureModel, RecursiveResolver, ResolverConfig, ResolverSetup};
 use lookaside_server::{
-    AuthoritativeServer, DecommissionStage, DlvDeposit, DlvRegistry, SyntheticAuthority,
-    SyntheticSpec, ZoneOracle, DLV_SPAN_TTL,
+    AuthoritativeServer, DecommissionStage, DlvDeposit, DlvRegistry, EpochAuthority,
+    SyntheticAuthority, SyntheticSpec, ZoneOracle, DLV_SPAN_TTL,
 };
 use lookaside_wire::ext::RemedyMode;
 use lookaside_wire::{Name, RData};
 use lookaside_workload::{huque45, DomainPopulation, HuqueDomain, PopEntry, PopulationParams};
-use lookaside_zone::{PublishedZone, SigningKeys, Zone};
+use lookaside_zone::{DenialMode, KeyTimeline, PublishedZone, SigningKeys, Zone};
 
 /// Root server address (mirrors `a.root-servers.net`).
 pub const ROOT_ADDR: Ipv4Addr = Ipv4Addr::new(198, 41, 0, 4);
@@ -39,8 +39,18 @@ pub const DLV_ADDR: Ipv4Addr = Ipv4Addr::new(10, 2, 0, 2);
 
 /// Signing epoch used by every zone (inception..expiration).
 pub const INCEPTION: u32 = 0;
-/// Signature expiration — far future; the study never exercises expiry.
-pub const EXPIRATION: u32 = u32::MAX;
+/// Signature expiration — far future; the steady-state studies never
+/// exercise expiry (the lifecycle sweep builds its own windows). Half the
+/// serial space, not `u32::MAX`: under RFC 4034 §3.1.5 serial arithmetic
+/// `u32::MAX` is one second *before* inception 0, which would invalidate
+/// every signature.
+pub const EXPIRATION: u32 = 0x7fff_ffff;
+
+/// Seed of the root zone's signing keys. A [`lookaside_zone::KeyTimeline`]
+/// built on this seed has generation-0 keys byte-identical to the static
+/// seed root, so a lifecycle sweep can take over the root at epoch 0
+/// without perturbing any steady-state output.
+pub const ROOT_KEY_SEED: u64 = 0x126;
 
 fn tld_addr(index: usize) -> Ipv4Addr {
     Ipv4Addr::new(10, 0, 0, 10 + index as u8)
@@ -288,17 +298,8 @@ impl Internet {
         net.set_latency(latency.with_base_range(base_min, base_max).with_jitter(jitter));
 
         // Root zone.
-        let root_keys = SigningKeys::from_seed(0x126);
-        let mut root = Zone::new(Name::root(), Name::parse("a.root-servers.net.").unwrap());
-        for (i, tld) in lookaside_workload::TLDS.iter().enumerate() {
-            let apex = Name::parse(tld.label).expect("valid tld");
-            let ns = apex.prepend("ns").expect("ns name");
-            root.delegate(apex.clone(), &[(ns, tld_addr(i))]).expect("delegate tld");
-            if tld.signed {
-                let keys = SigningKeys::from_seed(tld_key_seed(i));
-                root.add_ds(apex.clone(), ds_rdata(&apex, &keys.ksk.public()));
-            }
-        }
+        let root_keys = SigningKeys::from_seed(ROOT_KEY_SEED);
+        let root = Self::root_zone_data();
         let root_zone = PublishedZone::signed(root, &root_keys, INCEPTION, EXPIRATION);
         net.register(ROOT_ADDR, "root", Box::new(AuthoritativeServer::single(root_zone)));
 
@@ -379,6 +380,39 @@ impl Internet {
             population,
             params,
         }
+    }
+
+    /// The root zone's data: TLD delegations plus DS records for the
+    /// signed TLDs. Shared by the static seed root and the epoch-published
+    /// lifecycle roots, which must serve identical data at epoch 0.
+    fn root_zone_data() -> Zone {
+        let mut root = Zone::new(Name::root(), Name::parse("a.root-servers.net.").unwrap());
+        for (i, tld) in lookaside_workload::TLDS.iter().enumerate() {
+            let apex = Name::parse(tld.label).expect("valid tld");
+            let ns = apex.prepend("ns").expect("ns name");
+            root.delegate(apex.clone(), &[(ns, tld_addr(i))]).expect("delegate tld");
+            if tld.signed {
+                let keys = SigningKeys::from_seed(tld_key_seed(i));
+                root.add_ds(apex.clone(), ds_rdata(&apex, &keys.ksk.public()));
+            }
+        }
+        root
+    }
+
+    /// Swaps the static root for an epoch-serving authority replaying
+    /// `timeline`'s key lifecycle out to `horizon_secs`. With base seed
+    /// [`ROOT_KEY_SEED`] the generation-0 keys equal the static root's, so
+    /// traffic at simulated time 0 is byte-identical to before the swap.
+    /// The advertised trust anchor follows the timeline's generation-0 KSK.
+    pub fn install_root_timeline(&mut self, timeline: &KeyTimeline, horizon_secs: u32) {
+        let authority = EpochAuthority::from_epochs(
+            &Self::root_zone_data(),
+            &timeline.epochs(horizon_secs),
+            DenialMode::Nsec,
+        );
+        let replaced = self.net.replace_node(ROOT_ADDR, "root", Box::new(authority));
+        assert!(replaced, "root node must exist before a timeline takes over");
+        self.root_anchor = timeline.initial_keys().ksk.public();
     }
 
     /// Builds a resolver wired to this Internet.

@@ -42,6 +42,7 @@ pub mod client;
 pub mod experiments;
 pub mod internet;
 pub mod leakage;
+pub mod lifecycle;
 pub mod parallel;
 pub mod report;
 

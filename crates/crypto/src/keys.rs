@@ -17,6 +17,10 @@ pub const DNSKEY_PROTOCOL: u8 = 3;
 pub const FLAG_ZONE_KEY: u16 = 0x0100;
 /// DNSKEY flag for "secure entry point" (bit 15, value 0x0001) — marks KSKs.
 pub const FLAG_SEP: u16 = 0x0001;
+/// DNSKEY flag for "revoked" (RFC 5011 §2.1, bit 8, value 0x0080). A
+/// trust-anchor-managing resolver that sees a validly signed DNSKEY with
+/// this bit set must stop trusting the key permanently.
+pub const FLAG_REVOKE: u16 = 0x0080;
 
 /// Whether a key signs record sets (ZSK) or other keys (KSK).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -93,8 +97,15 @@ impl PublicKey {
 
     /// The DNSKEY RDATA for this key.
     pub fn dnskey_rdata(&self) -> RData {
+        self.dnskey_rdata_with_flags(self.role.flags())
+    }
+
+    /// The DNSKEY RDATA with an explicit flags field — used by the key
+    /// lifecycle machinery to publish revoked keys (RFC 5011 §2.1:
+    /// role flags plus [`FLAG_REVOKE`]).
+    pub fn dnskey_rdata_with_flags(&self, flags: u16) -> RData {
         RData::Dnskey {
-            flags: self.role.flags(),
+            flags,
             protocol: DNSKEY_PROTOCOL,
             algorithm: ALGORITHM_SIM_SCHNORR,
             public_key: self.to_bytes(),
@@ -178,6 +189,21 @@ mod tests {
     fn roles_set_expected_flags() {
         assert_eq!(KeyRole::Zsk.flags(), 0x0100);
         assert_eq!(KeyRole::Ksk.flags(), 0x0101);
+        assert_eq!(FLAG_REVOKE, 0x0080);
+    }
+
+    #[test]
+    fn revoked_dnskey_still_parses_to_same_key() {
+        let kp = KeyPair::generate_ksk(13);
+        let revoked = kp.public().dnskey_rdata_with_flags(KeyRole::Ksk.flags() | FLAG_REVOKE);
+        match revoked {
+            RData::Dnskey { flags, public_key, .. } => {
+                assert_eq!(flags & FLAG_REVOKE, FLAG_REVOKE);
+                let back = PublicKey::from_dnskey(flags, &public_key).unwrap();
+                assert_eq!(back, kp.public());
+            }
+            other => panic!("unexpected rdata {other:?}"),
+        }
     }
 
     #[test]

@@ -39,6 +39,8 @@ pub mod sha256;
 pub use digest::{
     digest_matches, dlv_rdata, ds_digest, ds_rdata, hashed_dlv_label, DIGEST_TYPE_SIM_SHA256,
 };
-pub use keys::{KeyPair, KeyRole, PublicKey, ALGORITHM_SIM_SCHNORR};
+pub use keys::{
+    KeyPair, KeyRole, PublicKey, ALGORITHM_SIM_SCHNORR, FLAG_REVOKE, FLAG_SEP, FLAG_ZONE_KEY,
+};
 pub use schnorr::Signature;
 pub use sha256::{sha256, Sha256};

@@ -27,6 +27,7 @@ pub mod config;
 pub mod harden;
 mod resolver;
 pub mod retry;
+mod trust;
 mod validate;
 
 pub use config::{
@@ -36,4 +37,5 @@ pub use config::{
 pub use harden::{BadCache, Hardening};
 pub use resolver::{Counters, RecursiveResolver, Resolution, ResolveError, ResolverSetup};
 pub use retry::{InfraCache, RetryPolicy, ServfailCache};
-pub use validate::{verify_rrset, SecurityStatus};
+pub use trust::{AnchorState, TrustAnchor, TrustAnchorSet, DEFAULT_HOLD_DOWN_NS};
+pub use validate::{check_rrset, verify_rrset, RrsigCheck, SecurityStatus};

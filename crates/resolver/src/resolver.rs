@@ -21,6 +21,7 @@ use crate::cache::{AnswerCache, NsecSpanCache, ZoneServerCache};
 use crate::config::{EffectiveBehavior, FeatureModel, ResolverConfig};
 use crate::harden::{BadCache, Hardening};
 use crate::retry::{InfraCache, RetryPolicy, ServfailCache};
+use crate::trust::TrustAnchorSet;
 use crate::validate::SecurityStatus;
 
 /// Maximum recursion depth across referral chasing, CNAME chains, and
@@ -143,6 +144,16 @@ pub struct Counters {
     pub bad_cache_hits: u64,
     /// Resolutions answered from expired cache entries (RFC 8767).
     pub stale_answers: u64,
+    /// Bogus outcomes caused specifically by a cryptographically sound
+    /// RRSIG whose validity window had lapsed (late re-sign storms).
+    pub expired_rrsig_bogus: u64,
+    /// Indeterminate outcomes caused by having no applicable trust anchor
+    /// (unconfigured, or an RFC 5011 rollover window missed) — the state
+    /// in which lax resolvers reach for DLV.
+    pub missing_anchor_indeterminate: u64,
+    /// Stale (RFC 8767) cache entries refused because their RRSIG had
+    /// expired while validation was enforcing.
+    pub stale_rejected_expired_sig: u64,
 }
 
 impl Counters {
@@ -160,6 +171,9 @@ impl Counters {
         self.malformed_retries += other.malformed_retries;
         self.bad_cache_hits += other.bad_cache_hits;
         self.stale_answers += other.stale_answers;
+        self.expired_rrsig_bogus += other.expired_rrsig_bogus;
+        self.missing_anchor_indeterminate += other.missing_anchor_indeterminate;
+        self.stale_rejected_expired_sig += other.stale_rejected_expired_sig;
     }
 }
 
@@ -249,6 +263,9 @@ pub struct RecursiveResolver {
     pub(crate) servfail: ServfailCache,
     pub(crate) hardening: Hardening,
     pub(crate) bad: BadCache,
+    /// RFC 5011 managed trust anchors for the root, when enabled (takes
+    /// precedence over the static `root_anchor`).
+    pub(crate) trust: Option<TrustAnchorSet>,
     /// Counters the experiments inspect.
     pub counters: Counters,
 }
@@ -312,6 +329,7 @@ impl RecursiveResolver {
             servfail: ServfailCache::new(),
             hardening: Hardening::off(),
             bad: BadCache::new(),
+            trust: None,
             counters: Counters::default(),
         }
     }
@@ -343,6 +361,45 @@ impl RecursiveResolver {
     /// The active hardening profile.
     pub fn hardening(&self) -> Hardening {
         self.hardening
+    }
+
+    /// Switches the root trust anchor to RFC 5011 automated management:
+    /// the statically configured anchor becomes the initial Valid anchor
+    /// and subsequent validated DNSKEY observations drive the AddPend /
+    /// hold-down / Revoked state machine. A no-op when the configuration
+    /// loaded no root anchor (there is nothing to bootstrap trust from).
+    pub fn enable_rfc5011(&mut self, hold_down_ns: u64) {
+        if let Some(anchor) = self.root_anchor {
+            self.trust = Some(TrustAnchorSet::new(anchor, hold_down_ns));
+        }
+    }
+
+    /// The RFC 5011 anchor state machine, when management is enabled.
+    pub fn trust_anchors(&self) -> Option<&TrustAnchorSet> {
+        self.trust.as_ref()
+    }
+
+    /// Installs `key` as a trusted root anchor out of band — the RFC 7958
+    /// style anchor refresh (or operator intervention) that rescues a
+    /// resolver which missed an RFC 5011 rollover window.
+    pub fn install_root_anchor(&mut self, key: PublicKey) {
+        self.root_anchor = Some(key);
+        if let Some(trust) = self.trust.as_mut() {
+            trust.install(key);
+        }
+    }
+
+    /// Drops every cached *validation conclusion* (zone statuses, validated
+    /// key sets, DLV attribution, remedy signals) while keeping answer and
+    /// infrastructure caches intact. Models the revalidation a real
+    /// resolver performs as DNSKEY/DS TTLs expire; the lifecycle sweep
+    /// calls this between timeline events so each event is judged against
+    /// the zone version then in service.
+    pub fn flush_security_state(&mut self) {
+        self.zone_status.clear();
+        self.validated_keys.clear();
+        self.secured_via_dlv.clear();
+        self.txt_signal_cache.clear();
     }
 
     /// The RFC 4035 §4.7 BAD cache (inspection for experiments).
@@ -414,8 +471,41 @@ impl RecursiveResolver {
                 // but is *not* re-validated, so it can never masquerade as
                 // Secure.
                 if self.hardening.serve_stale {
-                    if let Some(stale) = self.answers.get_stale(qname, qtype, now) {
-                        let answers = stale.rrset.to_records();
+                    let stale = self
+                        .answers
+                        .get_stale(qname, qtype, now)
+                        .map(|s| (s.rrset.to_records(), s.rrsig.clone()));
+                    if let Some((answers, rrsig)) = stale {
+                        // RFC 8767 §4: stale data must still be
+                        // DNSSEC-acceptable. An entry whose RRSIG window
+                        // has lapsed would fail validation if it were
+                        // fetched fresh; an enforcing resolver must not
+                        // smuggle it out as a stale answer — it is Bogus.
+                        let now_s = (now / 1_000_000_000).min(u64::from(u32::MAX)) as u32;
+                        let sig_expired = self.behavior.validate
+                            && rrsig.as_ref().is_some_and(|sig| match &sig.rdata {
+                                RData::Rrsig { inception, expiration, .. } => {
+                                    !lookaside_zone::serial_window_contains(
+                                        *inception,
+                                        *expiration,
+                                        now_s,
+                                    )
+                                }
+                                _ => false,
+                            });
+                        if sig_expired {
+                            self.counters.stale_rejected_expired_sig += 1;
+                            self.counters.bogus += 1;
+                            self.answers.remove(qname, qtype);
+                            return Ok(Resolution {
+                                qname: qname.clone(),
+                                qtype,
+                                rcode: Rcode::ServFail,
+                                answers: Vec::new(),
+                                status: SecurityStatus::Bogus,
+                                secured_via_dlv: false,
+                            });
+                        }
                         net.note_stale_serve();
                         self.counters.stale_answers += 1;
                         return Ok(Resolution {

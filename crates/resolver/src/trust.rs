@@ -1,0 +1,262 @@
+//! RFC 5011 automated trust-anchor management.
+//!
+//! A [`TrustAnchorSet`] tracks the key-signing keys a resolver trusts for
+//! one zone (here: the root) across rollovers. New SEP keys observed in a
+//! *validly signed* DNSKEY RRset enter the [`AnchorState::AddPend`] state
+//! and are promoted to [`AnchorState::Valid`] only after the hold-down
+//! timer expires with the key continuously present — the defence against a
+//! compromised active key signing in an attacker's replacement. A key seen
+//! with the REVOKE bit set moves to [`AnchorState::Revoked`] permanently.
+//!
+//! The model simplifies RFC 5011 §2.1 in one documented way: a revoked
+//! key's self-signature is not separately required, because the simulated
+//! `SignedRrSet` carries a single RRSIG per RRset; revocation is accepted
+//! from any validly signed DNSKEY RRset that publishes the REVOKE bit.
+//!
+//! The failure mode the lifecycle sweep measures is the *missed window*: a
+//! resolver whose hold-down has not elapsed by the time the old key leaves
+//! the zone holds no valid anchor matching any published key, which is a
+//! missing-anchor `Indeterminate` (not `Bogus`!) — exactly the state in
+//! which the paper's lax resolvers turn to DLV, leaking their query stream
+//! to the look-aside registry.
+
+use lookaside_crypto::{PublicKey, FLAG_REVOKE, FLAG_SEP};
+use lookaside_wire::{RData, RrSet};
+
+/// Lifecycle state of one managed trust anchor (RFC 5011 §3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnchorState {
+    /// Newly observed; trusted only after the hold-down timer expires.
+    AddPend {
+        /// Simulated time the key was first observed.
+        first_seen_ns: u64,
+    },
+    /// Trusted for validation.
+    Valid,
+    /// Seen with the REVOKE bit in a validated RRset; never trusted again.
+    Revoked,
+}
+
+/// One managed anchor: the key and where it is in the RFC 5011 lifecycle.
+#[derive(Debug, Clone, Copy)]
+pub struct TrustAnchor {
+    /// The public key material.
+    pub key: PublicKey,
+    /// Its RFC 5011 state.
+    pub state: AnchorState,
+}
+
+/// The RFC 5011 state machine over a zone's trust anchors.
+#[derive(Debug, Clone)]
+pub struct TrustAnchorSet {
+    anchors: Vec<TrustAnchor>,
+    hold_down_ns: u64,
+}
+
+/// RFC 5011 §2.3 recommends a hold-down of 30 days; the simulated
+/// timelines compress that, but the default mirrors the ratio of a
+/// well-configured resolver (hold-down well under the pre-publish lead).
+pub const DEFAULT_HOLD_DOWN_NS: u64 = 1800 * 1_000_000_000;
+
+impl TrustAnchorSet {
+    /// Starts managing anchors from one initially trusted key (the shipped
+    /// root anchor) with the given hold-down timer.
+    pub fn new(initial: PublicKey, hold_down_ns: u64) -> Self {
+        TrustAnchorSet {
+            anchors: vec![TrustAnchor { key: initial, state: AnchorState::Valid }],
+            hold_down_ns,
+        }
+    }
+
+    /// The configured hold-down duration.
+    pub fn hold_down_ns(&self) -> u64 {
+        self.hold_down_ns
+    }
+
+    /// Keys currently usable for validation.
+    pub fn valid_keys(&self) -> Vec<PublicKey> {
+        self.anchors.iter().filter(|a| a.state == AnchorState::Valid).map(|a| a.key).collect()
+    }
+
+    /// All tracked anchors (inspection for experiments and tests).
+    pub fn anchors(&self) -> &[TrustAnchor] {
+        &self.anchors
+    }
+
+    /// Installs `key` as immediately valid — the out-of-band anchor update
+    /// (e.g. an RFC 7958 anchor re-fetch or operator intervention) that
+    /// rescues a resolver which missed the rollover window.
+    pub fn install(&mut self, key: PublicKey) {
+        match self.anchors.iter_mut().find(|a| a.key == key) {
+            Some(anchor) => {
+                if anchor.state != AnchorState::Revoked {
+                    anchor.state = AnchorState::Valid;
+                }
+            }
+            None => self.anchors.push(TrustAnchor { key, state: AnchorState::Valid }),
+        }
+    }
+
+    /// Advances hold-down timers to `now_ns`: AddPend anchors whose timer
+    /// has run out graduate to Valid (RFC 5011 §2.3's active-refresh timer
+    /// firing between observations). Continuous *presence* is still policed
+    /// by [`TrustAnchorSet::observe`], which forgets AddPend keys that
+    /// vanish from the RRset. Without this time-based path a rollover would
+    /// deadlock: once the successor starts signing, the RRset no longer
+    /// verifies under the old anchors, so observation-driven graduation
+    /// alone could never run.
+    pub fn tick(&mut self, now_ns: u64) {
+        for anchor in &mut self.anchors {
+            if let AnchorState::AddPend { first_seen_ns } = anchor.state {
+                if now_ns.saturating_sub(first_seen_ns) >= self.hold_down_ns {
+                    anchor.state = AnchorState::Valid;
+                }
+            }
+        }
+    }
+
+    /// Processes one *validated* DNSKEY RRset observation at `now_ns`:
+    /// unseen SEP keys enter AddPend, AddPend keys continuously present for
+    /// the hold-down become Valid, keys carrying the REVOKE bit become
+    /// Revoked, and AddPend keys that vanish from the RRset are forgotten
+    /// (their hold-down restarts if they reappear — RFC 5011 §4.1).
+    ///
+    /// The caller must only pass RRsets whose signature verified under a
+    /// currently-valid anchor; observing unvalidated sets would let an
+    /// off-path attacker feed the state machine.
+    pub fn observe(&mut self, dnskeys: &RrSet, now_ns: u64) {
+        let mut present: Vec<(PublicKey, bool)> = Vec::new();
+        for rd in &dnskeys.rdatas {
+            let RData::Dnskey { flags, public_key, .. } = rd else { continue };
+            if flags & FLAG_SEP == 0 {
+                continue;
+            }
+            if let Some(key) = PublicKey::from_dnskey(*flags, public_key) {
+                present.push((key, flags & FLAG_REVOKE != 0));
+            }
+        }
+
+        for (key, revoked) in &present {
+            match self.anchors.iter_mut().find(|a| a.key == *key) {
+                Some(anchor) => {
+                    if *revoked {
+                        anchor.state = AnchorState::Revoked;
+                    } else if let AnchorState::AddPend { first_seen_ns } = anchor.state {
+                        if now_ns.saturating_sub(first_seen_ns) >= self.hold_down_ns {
+                            anchor.state = AnchorState::Valid;
+                        }
+                    }
+                }
+                None => {
+                    // A key first seen already-revoked is never trusted.
+                    let state = if *revoked {
+                        AnchorState::Revoked
+                    } else {
+                        AnchorState::AddPend { first_seen_ns: now_ns }
+                    };
+                    self.anchors.push(TrustAnchor { key: *key, state });
+                }
+            }
+        }
+
+        // AddPend keys must be *continuously* present: a disappearance
+        // restarts the hold-down from scratch.
+        self.anchors.retain(|a| {
+            !matches!(a.state, AnchorState::AddPend { .. })
+                || present.iter().any(|(k, _)| *k == a.key)
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lookaside_crypto::{KeyPair, KeyRole};
+    use lookaside_wire::{Name, RrType};
+
+    const SEC: u64 = 1_000_000_000;
+
+    fn rrset_of(keys: &[(KeyPair, bool)]) -> RrSet {
+        let apex = Name::root();
+        let mut set = RrSet::empty(apex, RrType::Dnskey, 3600);
+        for (pair, revoked) in keys {
+            let mut flags = KeyRole::Ksk.flags();
+            if *revoked {
+                flags |= FLAG_REVOKE;
+            }
+            set.push(pair.public().dnskey_rdata_with_flags(flags));
+        }
+        set
+    }
+
+    #[test]
+    fn new_key_waits_out_the_hold_down() {
+        let k0 = KeyPair::generate_ksk(1);
+        let k1 = KeyPair::generate_ksk(2);
+        let mut set = TrustAnchorSet::new(k0.public(), 100 * SEC);
+        let both = rrset_of(&[(k0, false), (k1, false)]);
+
+        set.observe(&both, 0);
+        assert_eq!(set.valid_keys(), vec![k0.public()], "hold-down not yet served");
+        set.observe(&both, 50 * SEC);
+        assert_eq!(set.valid_keys(), vec![k0.public()]);
+        set.observe(&both, 100 * SEC);
+        assert_eq!(set.valid_keys(), vec![k0.public(), k1.public()]);
+    }
+
+    #[test]
+    fn disappearing_addpend_key_restarts_its_hold_down() {
+        let k0 = KeyPair::generate_ksk(1);
+        let k1 = KeyPair::generate_ksk(2);
+        let mut set = TrustAnchorSet::new(k0.public(), 100 * SEC);
+        set.observe(&rrset_of(&[(k0, false), (k1, false)]), 0);
+        // k1 vanishes, then reappears: the clock restarts.
+        set.observe(&rrset_of(&[(k0, false)]), 60 * SEC);
+        set.observe(&rrset_of(&[(k0, false), (k1, false)]), 80 * SEC);
+        set.observe(&rrset_of(&[(k0, false), (k1, false)]), 120 * SEC);
+        assert_eq!(set.valid_keys(), vec![k0.public()], "interrupted presence must not count");
+        set.observe(&rrset_of(&[(k0, false), (k1, false)]), 180 * SEC);
+        assert_eq!(set.valid_keys(), vec![k0.public(), k1.public()]);
+    }
+
+    #[test]
+    fn revoked_key_is_distrusted_permanently() {
+        let k0 = KeyPair::generate_ksk(1);
+        let k1 = KeyPair::generate_ksk(2);
+        let mut set = TrustAnchorSet::new(k0.public(), 10 * SEC);
+        set.observe(&rrset_of(&[(k0, false), (k1, false)]), 0);
+        set.observe(&rrset_of(&[(k0, false), (k1, false)]), 10 * SEC);
+        assert_eq!(set.valid_keys().len(), 2);
+        // k0 revokes itself.
+        set.observe(&rrset_of(&[(k0, true), (k1, false)]), 20 * SEC);
+        assert_eq!(set.valid_keys(), vec![k1.public()]);
+        // Even re-installation cannot resurrect it.
+        set.install(k0.public());
+        assert_eq!(set.valid_keys(), vec![k1.public()]);
+    }
+
+    #[test]
+    fn install_rescues_a_missed_window() {
+        let k0 = KeyPair::generate_ksk(1);
+        let k1 = KeyPair::generate_ksk(2);
+        // Hold-down far longer than the roll: k1 never matures on its own.
+        let mut set = TrustAnchorSet::new(k0.public(), 1_000_000 * SEC);
+        set.observe(&rrset_of(&[(k0, false), (k1, false)]), 0);
+        set.observe(&rrset_of(&[(k1, false)]), 100 * SEC);
+        assert_eq!(set.valid_keys(), vec![k0.public()], "k1 still in hold-down");
+        set.install(k1.public());
+        assert!(set.valid_keys().contains(&k1.public()));
+    }
+
+    #[test]
+    fn non_sep_keys_are_ignored() {
+        let k0 = KeyPair::generate_ksk(1);
+        let zsk = KeyPair::generate_zsk(3);
+        let mut set = TrustAnchorSet::new(k0.public(), 0);
+        let mut rrset = rrset_of(&[(k0, false)]);
+        rrset.push(zsk.public().dnskey_rdata_with_flags(KeyRole::Zsk.flags()));
+        set.observe(&rrset, 0);
+        set.observe(&rrset, SEC);
+        assert_eq!(set.anchors().len(), 1, "ZSKs never become anchor candidates");
+    }
+}

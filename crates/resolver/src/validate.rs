@@ -12,7 +12,7 @@ use lookaside_crypto::{digest_matches, hashed_dlv_label, PublicKey};
 use lookaside_netsim::Network;
 use lookaside_wire::ext::{parse_txt_signal, RemedyMode};
 use lookaside_wire::{Name, RData, Rcode, Record, RrSet, RrType};
-use lookaside_zone::rrsig_signing_input;
+use lookaside_zone::{rrsig_signing_input, serial_window_contains};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -34,9 +34,28 @@ pub enum SecurityStatus {
     Indeterminate,
 }
 
-/// Verifies one RRset's RRSIG against a candidate key set at simulated time
-/// `now_secs`.
-pub fn verify_rrset(rrset: &RrSet, sig: &Record, keys: &[PublicKey], now_secs: u32) -> bool {
+/// Fine-grained outcome of one RRSIG verification. RFC 4035 folds every
+/// failure into Bogus; the key-lifecycle machinery needs to distinguish a
+/// cryptographically sound signature whose validity window has lapsed (an
+/// operational re-signing failure) from a signature that never verified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RrsigCheck {
+    /// Signature verifies and `now` is inside the validity window.
+    Valid,
+    /// Signature verifies under a candidate key but the validity window
+    /// does not contain `now` (RFC 4034 §3.1.5 serial arithmetic) — the
+    /// signer re-signed too late (or the wall clock is wrong).
+    Expired,
+    /// No candidate key verifies the signature (or the record is not an
+    /// applicable RRSIG at all).
+    Invalid,
+}
+
+/// Classifies one RRset's RRSIG against a candidate key set at simulated
+/// time `now_secs`. Validity-window comparisons use RFC 4034 §3.1.5
+/// serial-number arithmetic, so windows spanning the 2038 `u32` wraparound
+/// classify correctly.
+pub fn check_rrset(rrset: &RrSet, sig: &Record, keys: &[PublicKey], now_secs: u32) -> RrsigCheck {
     let RData::Rrsig {
         type_covered,
         algorithm,
@@ -49,13 +68,10 @@ pub fn verify_rrset(rrset: &RrSet, sig: &Record, keys: &[PublicKey], now_secs: u
         signature,
     } = &sig.rdata
     else {
-        return false;
+        return RrsigCheck::Invalid;
     };
     if *type_covered != rrset.rrtype || sig.name != rrset.name {
-        return false;
-    }
-    if now_secs < *inception || now_secs > *expiration {
-        return false;
+        return RrsigCheck::Invalid;
     }
     let input = rrsig_signing_input(
         *type_covered,
@@ -68,7 +84,19 @@ pub fn verify_rrset(rrset: &RrSet, sig: &Record, keys: &[PublicKey], now_secs: u
         signer_name,
         rrset,
     );
-    keys.iter().any(|k| k.key_tag() == *key_tag && k.verify_bytes(&input, signature))
+    if !keys.iter().any(|k| k.key_tag() == *key_tag && k.verify_bytes(&input, signature)) {
+        return RrsigCheck::Invalid;
+    }
+    if !serial_window_contains(*inception, *expiration, now_secs) {
+        return RrsigCheck::Expired;
+    }
+    RrsigCheck::Valid
+}
+
+/// Verifies one RRset's RRSIG against a candidate key set at simulated time
+/// `now_secs` (the boolean view of [`check_rrset`]).
+pub fn verify_rrset(rrset: &RrSet, sig: &Record, keys: &[PublicKey], now_secs: u32) -> bool {
+    check_rrset(rrset, sig, keys, now_secs) == RrsigCheck::Valid
 }
 
 fn parse_keys(rrset: &RrSet) -> Vec<PublicKey> {
@@ -116,12 +144,17 @@ impl RecursiveResolver {
                     continue;
                 }
                 let keys = self.validated_keys.get(&zone).cloned().unwrap_or_default();
-                let ok = match sig {
-                    Some(sig) => verify_rrset(set, sig, &keys, now),
-                    None => false,
+                let check = match sig {
+                    Some(sig) => check_rrset(set, sig, &keys, now),
+                    None => RrsigCheck::Invalid,
                 };
-                if !ok {
-                    return Ok((SecurityStatus::Bogus, via_dlv));
+                match check {
+                    RrsigCheck::Valid => {}
+                    RrsigCheck::Expired => {
+                        self.counters.expired_rrsig_bogus += 1;
+                        return Ok((SecurityStatus::Bogus, via_dlv));
+                    }
+                    RrsigCheck::Invalid => return Ok((SecurityStatus::Bogus, via_dlv)),
                 }
             }
         }
@@ -157,7 +190,11 @@ impl RecursiveResolver {
         zone: &Name,
     ) -> Result<SecurityStatus, ResolveError> {
         if zone.is_root() {
+            if self.trust.is_some() {
+                return self.validate_root_managed(net);
+            }
             let Some(anchor) = self.root_anchor else {
+                self.counters.missing_anchor_indeterminate += 1;
                 return Ok(SecurityStatus::Indeterminate);
             };
             return self.validate_apex_keys(net, zone, anchor);
@@ -174,11 +211,14 @@ impl RecursiveResolver {
                         let parent_keys =
                             self.validated_keys.get(&parent).cloned().unwrap_or_default();
                         let now = now_secs(net);
-                        let ds_ok = ds_sig
+                        let ds_check = ds_sig
                             .as_ref()
-                            .map(|sig| verify_rrset(&ds_set, sig, &parent_keys, now))
-                            .unwrap_or(false);
-                        if !ds_ok {
+                            .map(|sig| check_rrset(&ds_set, sig, &parent_keys, now))
+                            .unwrap_or(RrsigCheck::Invalid);
+                        if ds_check != RrsigCheck::Valid {
+                            if ds_check == RrsigCheck::Expired {
+                                self.counters.expired_rrsig_bogus += 1;
+                            }
                             return Ok(SecurityStatus::Bogus);
                         }
                         self.descend_with_ds(net, zone, &ds_set)
@@ -208,9 +248,14 @@ impl RecursiveResolver {
         if !anchored {
             return Ok(SecurityStatus::Bogus);
         }
-        let self_signed =
-            key_sig.as_ref().map(|sig| verify_rrset(&key_set, sig, &keys, now)).unwrap_or(false);
-        if !self_signed {
+        let self_check = key_sig
+            .as_ref()
+            .map(|sig| check_rrset(&key_set, sig, &keys, now))
+            .unwrap_or(RrsigCheck::Invalid);
+        if self_check != RrsigCheck::Valid {
+            if self_check == RrsigCheck::Expired {
+                self.counters.expired_rrsig_bogus += 1;
+            }
             return Ok(SecurityStatus::Bogus);
         }
         self.validated_keys.insert(zone.clone(), keys);
@@ -231,15 +276,73 @@ impl RecursiveResolver {
         if !keys.contains(&anchor) {
             return Ok(SecurityStatus::Bogus);
         }
-        let ok = key_sig
+        let check = key_sig
             .as_ref()
-            .map(|sig| verify_rrset(&key_set, sig, &[anchor], now_secs(net)))
-            .unwrap_or(false);
-        if !ok {
+            .map(|sig| check_rrset(&key_set, sig, &[anchor], now_secs(net)))
+            .unwrap_or(RrsigCheck::Invalid);
+        if check != RrsigCheck::Valid {
+            if check == RrsigCheck::Expired {
+                self.counters.expired_rrsig_bogus += 1;
+            }
             return Ok(SecurityStatus::Bogus);
         }
         self.validated_keys.insert(zone.clone(), keys);
         Ok(SecurityStatus::Secure)
+    }
+
+    /// Root validation under RFC 5011 automated trust-anchor management.
+    ///
+    /// Outcome classification — the part the DLV fallback depends on:
+    ///
+    /// * signature by a currently-valid anchor, window live → **Secure**
+    ///   (and the observation feeds the RFC 5011 state machine);
+    /// * signature by a valid anchor but outside its validity window →
+    ///   **Bogus** (expired-RRSIG storm; counted separately);
+    /// * no valid anchor verifies, but a valid anchor is still *published*
+    ///   in the RRset → **Bogus** (the chain ought to work and does not);
+    /// * no valid anchor appears in the RRset at all (the missed rollover
+    ///   window) → **Indeterminate** — the resolver effectively has no
+    ///   trust anchor, the §5.2 state in which lax resolvers reach for DLV.
+    fn validate_root_managed(&mut self, net: &mut Network) -> Result<SecurityStatus, ResolveError> {
+        let root = Name::root();
+        let Some((keys, key_set, key_sig)) = self.fetch_dnskeys(net, &root)? else {
+            return Ok(SecurityStatus::Bogus);
+        };
+        let valid = match self.trust.as_mut() {
+            Some(trust) => {
+                // Hold-down timers run on time, not on observations —
+                // otherwise the successor could never graduate once it
+                // starts signing (no RRset would validate to observe).
+                trust.tick(net.now_ns());
+                trust.valid_keys()
+            }
+            None => Vec::new(),
+        };
+        let check = key_sig
+            .as_ref()
+            .map(|sig| check_rrset(&key_set, sig, &valid, now_secs(net)))
+            .unwrap_or(RrsigCheck::Invalid);
+        match check {
+            RrsigCheck::Valid => {
+                if let Some(trust) = self.trust.as_mut() {
+                    trust.observe(&key_set, net.now_ns());
+                }
+                self.validated_keys.insert(root, keys);
+                Ok(SecurityStatus::Secure)
+            }
+            RrsigCheck::Expired => {
+                self.counters.expired_rrsig_bogus += 1;
+                Ok(SecurityStatus::Bogus)
+            }
+            RrsigCheck::Invalid => {
+                if keys.iter().any(|k| valid.contains(k)) {
+                    Ok(SecurityStatus::Bogus)
+                } else {
+                    self.counters.missing_anchor_indeterminate += 1;
+                    Ok(SecurityStatus::Indeterminate)
+                }
+            }
+        }
     }
 
     /// Fetches (and caches) a zone's DNSKEY RRset.
@@ -495,9 +598,14 @@ impl RecursiveResolver {
             return Ok(SecurityStatus::Bogus);
         }
         let now = now_secs(net);
-        let ok =
-            key_sig.as_ref().map(|sig| verify_rrset(&key_set, sig, &keys, now)).unwrap_or(false);
-        if !ok {
+        let check = key_sig
+            .as_ref()
+            .map(|sig| check_rrset(&key_set, sig, &keys, now))
+            .unwrap_or(RrsigCheck::Invalid);
+        if check != RrsigCheck::Valid {
+            if check == RrsigCheck::Expired {
+                self.counters.expired_rrsig_bogus += 1;
+            }
             return Ok(SecurityStatus::Bogus);
         }
         self.validated_keys.insert(zone.clone(), keys);
@@ -521,5 +629,95 @@ impl RecursiveResolver {
                 self.nsec_spans.insert(rec.name.clone(), next_name.clone(), rec.ttl, net.now_ns());
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lookaside_crypto::KeyPair;
+    use lookaside_wire::RrClass;
+    use std::net::Ipv4Addr;
+
+    fn signed_rrset(key: &KeyPair, inception: u32, expiration: u32) -> (RrSet, Record) {
+        let name = Name::parse("www.example.").unwrap();
+        let rrset = RrSet {
+            name: name.clone(),
+            rrtype: RrType::A,
+            ttl: 300,
+            rdatas: vec![RData::A(Ipv4Addr::new(192, 0, 2, 1))],
+        };
+        let key_tag = key.key_tag();
+        let algorithm = lookaside_crypto::ALGORITHM_SIM_SCHNORR;
+        let labels = rrset.name.label_count() as u8;
+        let signer = Name::parse("example.").unwrap();
+        let input = rrsig_signing_input(
+            rrset.rrtype,
+            algorithm,
+            labels,
+            rrset.ttl,
+            expiration,
+            inception,
+            key_tag,
+            &signer,
+            &rrset,
+        );
+        let signature = key.sign_to_bytes(&input);
+        let sig = Record {
+            name,
+            rrtype: RrType::Rrsig,
+            class: RrClass::In,
+            ttl: rrset.ttl,
+            rdata: RData::Rrsig {
+                type_covered: rrset.rrtype,
+                algorithm,
+                labels,
+                original_ttl: rrset.ttl,
+                expiration,
+                inception,
+                key_tag,
+                signer_name: signer,
+                signature,
+            },
+        };
+        (rrset, sig)
+    }
+
+    #[test]
+    fn window_boundaries_are_inclusive() {
+        let key = KeyPair::generate_zsk(7);
+        let keys = [key.public()];
+        let (rrset, sig) = signed_rrset(&key, 1_000, 2_000);
+        // RFC 4034 §3.1.5: both endpoints are inside the window.
+        assert_eq!(check_rrset(&rrset, &sig, &keys, 1_000), RrsigCheck::Valid);
+        assert_eq!(check_rrset(&rrset, &sig, &keys, 2_000), RrsigCheck::Valid);
+        assert_eq!(check_rrset(&rrset, &sig, &keys, 999), RrsigCheck::Expired);
+        assert_eq!(check_rrset(&rrset, &sig, &keys, 2_001), RrsigCheck::Expired);
+        assert!(verify_rrset(&rrset, &sig, &keys, 1_500));
+        assert!(!verify_rrset(&rrset, &sig, &keys, 2_001));
+    }
+
+    #[test]
+    fn wrapped_window_spans_the_serial_rollover() {
+        let key = KeyPair::generate_zsk(8);
+        let keys = [key.public()];
+        // A window straddling the 2038 u32 wraparound: inception near
+        // u32::MAX, expiration just past zero.
+        let (rrset, sig) = signed_rrset(&key, u32::MAX - 100, 100);
+        assert_eq!(check_rrset(&rrset, &sig, &keys, u32::MAX - 50), RrsigCheck::Valid);
+        assert_eq!(check_rrset(&rrset, &sig, &keys, 0), RrsigCheck::Valid);
+        assert_eq!(check_rrset(&rrset, &sig, &keys, 50), RrsigCheck::Valid);
+        assert_eq!(check_rrset(&rrset, &sig, &keys, 101), RrsigCheck::Expired);
+        assert_eq!(check_rrset(&rrset, &sig, &keys, u32::MAX - 101), RrsigCheck::Expired);
+    }
+
+    #[test]
+    fn wrong_key_is_invalid_not_expired() {
+        let key = KeyPair::generate_zsk(9);
+        let other = KeyPair::generate_zsk(10);
+        let (rrset, sig) = signed_rrset(&key, 1_000, 2_000);
+        assert_eq!(check_rrset(&rrset, &sig, &[other.public()], 1_500), RrsigCheck::Invalid);
+        // Crypto failure dominates even outside the window.
+        assert_eq!(check_rrset(&rrset, &sig, &[other.public()], 9_000), RrsigCheck::Invalid);
     }
 }

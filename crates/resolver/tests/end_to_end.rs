@@ -25,7 +25,9 @@ const LONELY: Ipv4Addr = Ipv4Addr::new(10, 1, 0, 4);
 const ISC: Ipv4Addr = Ipv4Addr::new(10, 2, 0, 1);
 const DLV: Ipv4Addr = Ipv4Addr::new(10, 2, 0, 2);
 
-const EXPIRE: u32 = u32::MAX;
+// Half the serial space: under RFC 4034 §3.1.5 serial arithmetic,
+// `u32::MAX` would sit *before* inception 0 and invalidate everything.
+const EXPIRE: u32 = 0x7fff_ffff;
 
 fn n(s: &str) -> Name {
     Name::parse(s).unwrap()
@@ -714,6 +716,188 @@ fn serve_stale_bridges_an_origin_outage() {
     w.net.advance(400 * 1_000_000_000);
     w.net.fault_plane_mut().set_link(EXAMPLE, LinkFaults::quiet().with_blackhole());
     assert!(r.resolve(&mut w.net, &n("www.example.com"), RrType::A).is_err());
+}
+
+#[test]
+fn hardened_serve_stale_rejects_expired_rrsigs_when_validating() {
+    use lookaside_netsim::LinkFaults;
+    use lookaside_resolver::Hardening;
+
+    // Re-sign example.com with a short validity window (same keys, so the
+    // DS in com still matches): RRSIGs lapse at t = 500 s.
+    let short_window = |w: &mut World| {
+        let example_keys = SigningKeys::from_seed(105);
+        let mut example = Zone::new(n("example.com"), n("ns1.example.com"));
+        example.add(n("ns1.example.com"), 3600, RData::A(EXAMPLE));
+        example.add(n("www.example.com"), 300, RData::A(Ipv4Addr::new(192, 0, 2, 1)));
+        let server =
+            AuthoritativeServer::single(PublishedZone::signed(example, &example_keys, 0, 500));
+        assert!(w.net.replace_node(EXAMPLE, "example.com", Box::new(server)));
+    };
+
+    // Enforcing resolver: a cached answer whose RRSIG window has since
+    // lapsed is NOT servable stale data (RFC 8767 §4: stale data must
+    // still be DNSSEC-acceptable). It is classified Bogus and purged.
+    let mut w = build_world(RemedyMode::None);
+    short_window(&mut w);
+    let mut r = correct_resolver(&w);
+    r.set_hardening(Hardening::full());
+    let fresh = r.resolve(&mut w.net, &n("www.example.com"), RrType::A).unwrap();
+    assert_eq!(fresh.rcode, Rcode::NoError);
+    assert_eq!(fresh.status, SecurityStatus::Secure);
+
+    // TTL (300 s) and signature window (500 s) both lapse; origin goes dark.
+    w.net.advance(600 * 1_000_000_000);
+    w.net.fault_plane_mut().set_link(EXAMPLE, LinkFaults::quiet().with_blackhole());
+    let stale = r.resolve(&mut w.net, &n("www.example.com"), RrType::A).unwrap();
+    assert_eq!(stale.rcode, Rcode::ServFail);
+    assert_eq!(stale.status, SecurityStatus::Bogus);
+    assert!(stale.answers.is_empty());
+    assert_eq!(r.counters.stale_rejected_expired_sig, 1);
+    assert_eq!(r.counters.stale_answers, 0, "the expired entry must not be served");
+    assert_eq!(w.net.stats().stale_serves, 0);
+    // The entry was purged: a retry finds nothing stale to fall back on.
+    assert!(r.resolve(&mut w.net, &n("www.example.com"), RrType::A).is_err());
+
+    // A non-validating hardened resolver has no signature to enforce and
+    // still bridges the outage with the stale answer.
+    let mut w = build_world(RemedyMode::None);
+    short_window(&mut w);
+    let mut cfg = BindConfig::correct();
+    cfg.validation = lookaside_resolver::DnssecValidation::No;
+    let mut r = resolver_with(&w, cfg, RemedyMode::None);
+    r.set_hardening(Hardening::full());
+    r.resolve(&mut w.net, &n("www.example.com"), RrType::A).unwrap();
+    w.net.advance(600 * 1_000_000_000);
+    w.net.fault_plane_mut().set_link(EXAMPLE, LinkFaults::quiet().with_blackhole());
+    let stale = r.resolve(&mut w.net, &n("www.example.com"), RrType::A).unwrap();
+    assert_eq!(stale.rcode, Rcode::NoError);
+    assert_eq!(r.counters.stale_answers, 1);
+}
+
+/// Swaps the root for an [`EpochAuthority`] replaying `timeline`. Base seed
+/// 100 makes generation 0 identical to the world's `SigningKeys`, so the
+/// resolver's configured anchor matches epoch 0 byte-for-byte.
+fn epoch_root(w: &mut World, timeline: &lookaside_zone::KeyTimeline, horizon_secs: u32) {
+    use lookaside_server::EpochAuthority;
+    use lookaside_zone::DenialMode;
+
+    let com_keys = SigningKeys::from_seed(101);
+    let org_keys = SigningKeys::from_seed(102);
+    let mut root = Zone::new(Name::root(), n("a.root-servers.net"));
+    root.delegate(n("com"), &[(n("ns.com"), COM)]).unwrap();
+    root.add_ds(n("com"), lookaside_crypto::ds_rdata(&n("com"), &com_keys.ksk.public()));
+    root.delegate(n("org"), &[(n("ns.org"), ORG)]).unwrap();
+    root.add_ds(n("org"), lookaside_crypto::ds_rdata(&n("org"), &org_keys.ksk.public()));
+    let authority =
+        EpochAuthority::from_epochs(&root, &timeline.epochs(horizon_secs), DenialMode::Nsec);
+    assert!(w.net.replace_node(ROOT, "root", Box::new(authority)));
+}
+
+#[test]
+fn rfc5011_survives_the_root_ksk_rollover() {
+    use lookaside_resolver::AnchorState;
+    use lookaside_zone::{KeyTimeline, RolloverPolicy};
+
+    // A 2018-root-roll-shaped timeline: successor KSK pre-published at
+    // t=3600, signs from t=7200 (old key marked REVOKE), predecessor
+    // removed at t=10800.
+    let policy = RolloverPolicy {
+        resign_every_secs: 1_800,
+        validity_secs: 7_200,
+        zsk_rollover_at: None,
+        ksk_rollover_at: Some(7_200),
+        rollover_lead_secs: 3_600,
+        revoke_old_ksk: true,
+    };
+    let timeline = KeyTimeline::correct(100, policy);
+    let new_ksk = timeline.ksk_generation(1).public();
+
+    let mut w = build_world(RemedyMode::None);
+    epoch_root(&mut w, &timeline, 14_400);
+    let mut r = correct_resolver(&w);
+    r.enable_rfc5011(1_800 * 1_000_000_000);
+
+    // Walk the roll: validate at each phase, flushing cached security
+    // state between steps (models DNSKEY-TTL-driven revalidation).
+    // Steps sit off the 3600 s DNSKEY TTL multiples so each revisit after
+    // a key event actually re-fetches instead of hitting the answer cache.
+    for at_secs in [0u64, 3_700, 5_600, 7_400, 11_100] {
+        let now = w.net.now_ns();
+        w.net.advance(at_secs * 1_000_000_000 - now);
+        r.flush_security_state();
+        let res = r.resolve(&mut w.net, &n("www.example.com"), RrType::A).unwrap();
+        assert_eq!(
+            res.status,
+            SecurityStatus::Secure,
+            "a tracking resolver stays Secure at t={at_secs}"
+        );
+    }
+
+    // The successor graduated AddPend -> Valid; the predecessor's REVOKE
+    // bit was honoured and it can never be trusted again.
+    let anchors = r.trust_anchors().unwrap();
+    let state_of = |tag: u16| anchors.anchors().iter().find(|a| a.key.key_tag() == tag);
+    assert_eq!(state_of(new_ksk.key_tag()).unwrap().state, AnchorState::Valid);
+    assert_eq!(
+        state_of(w.root_keys.ksk.key_tag()).unwrap().state,
+        AnchorState::Revoked,
+        "outgoing KSK is revoked"
+    );
+    assert_eq!(r.counters.bogus, 0);
+}
+
+#[test]
+fn missed_rfc5011_window_fails_bogus_then_leaks_to_dlv() {
+    use lookaside_zone::{KeyTimeline, RolloverPolicy};
+
+    let policy = RolloverPolicy {
+        resign_every_secs: 1_800,
+        validity_secs: 7_200,
+        zsk_rollover_at: None,
+        ksk_rollover_at: Some(7_200),
+        rollover_lead_secs: 3_600,
+        revoke_old_ksk: true,
+    };
+    let timeline = KeyTimeline::correct(100, policy);
+    let mut w = build_world(RemedyMode::None);
+    epoch_root(&mut w, &timeline, 14_400);
+    let mut r = correct_resolver(&w);
+    // Hold-down longer than the whole roll: the successor never graduates
+    // (the resolver was offline, or the roll was rushed — KSK-2010 style).
+    r.enable_rfc5011(1_000_000 * 1_000_000_000);
+
+    let res = r.resolve(&mut w.net, &n("www.example.com"), RrType::A).unwrap();
+    assert_eq!(res.status, SecurityStatus::Secure);
+
+    // Retire window: the RRset is signed by the (untrusted) successor but
+    // the trusted predecessor is still published -> Bogus, not a missing
+    // anchor.
+    let now = w.net.now_ns();
+    w.net.advance(7_400 * 1_000_000_000 - now);
+    r.flush_security_state();
+    let res = r.resolve(&mut w.net, &n("www.example.com"), RrType::A).unwrap();
+    assert_eq!(res.status, SecurityStatus::Bogus, "untrusted signer while anchor published");
+    assert_eq!(r.counters.missing_anchor_indeterminate, 0);
+
+    // After the predecessor is pulled there is no anchor to judge by: the
+    // root goes Indeterminate and the §5.2 leakage machinery kicks in —
+    // every child walks into look-aside, ending Insecure (no deposit).
+    let now = w.net.now_ns();
+    w.net.advance(11_100 * 1_000_000_000 - now);
+    r.flush_security_state();
+    let leaks_before = dlv_queries(&w.net);
+    let res = r.resolve(&mut w.net, &n("www.example.com"), RrType::A).unwrap();
+    assert_eq!(res.status, SecurityStatus::Insecure, "fell through to the DLV walk");
+    assert!(r.counters.missing_anchor_indeterminate > 0);
+    assert!(dlv_queries(&w.net) > leaks_before, "case-2 look-aside leak");
+
+    // Recovery: operator installs the new anchor out of band (RFC 5011
+    // §5's last resort) and validation heals.
+    r.install_root_anchor(timeline.ksk_generation(1).public());
+    r.flush_security_state();
+    let res = r.resolve(&mut w.net, &n("www.example.com"), RrType::A).unwrap();
+    assert_eq!(res.status, SecurityStatus::Secure, "manual anchor install recovers");
 }
 
 #[test]

@@ -52,6 +52,11 @@ impl AuthoritativeServer {
     pub fn zone_count(&self) -> usize {
         self.zones.len()
     }
+
+    /// The hosted zones, in insertion order.
+    pub fn zones(&self) -> &[PublishedZone] {
+        &self.zones
+    }
 }
 
 impl DnsHandler for AuthoritativeServer {

@@ -74,6 +74,9 @@ pub struct DlvRegistry {
     expiration: u32,
     span_ttl: u32,
     denial: DenialMode,
+    /// Pending timed transitions `(at_ns, stage)`, sorted ascending; each
+    /// is applied the first time a query arrives at or after its instant.
+    schedule: Vec<(u64, DecommissionStage)>,
 }
 
 impl DlvRegistry {
@@ -166,6 +169,7 @@ impl DlvRegistry {
             expiration,
             span_ttl,
             denial,
+            schedule: Vec::new(),
         }
     }
 
@@ -188,6 +192,27 @@ impl DlvRegistry {
             self.empty_server = Some(AuthoritativeServer::single(published));
         }
         self.stage = stage;
+    }
+
+    /// Schedules a decommission transition at simulated time `at_ns`: the
+    /// stage is applied when the first query arrives at or after that
+    /// instant. This is how lifecycle timelines script the historical
+    /// `dlv.isc.org` wind-down ladder against simulated time instead of
+    /// flipping stages between measurement phases by hand.
+    pub fn schedule_stage(&mut self, at_ns: u64, stage: DecommissionStage) {
+        self.schedule.push((at_ns, stage));
+        self.schedule.sort_by_key(|(at, _)| *at);
+    }
+
+    /// Applies every scheduled transition whose instant is ≤ `now_ns`.
+    fn apply_due(&mut self, now_ns: u64) {
+        while let Some(&(at, stage)) = self.schedule.first() {
+            if at > now_ns {
+                break;
+            }
+            self.schedule.remove(0);
+            self.set_stage(stage);
+        }
     }
 
     /// The current decommission stage.
@@ -259,6 +284,7 @@ fn corrupt_rrsigs(message: &mut Message) {
 
 impl DnsHandler for DlvRegistry {
     fn handle(&mut self, query: &Message, now_ns: u64) -> Message {
+        self.apply_due(now_ns);
         match self.stage {
             DecommissionStage::Populated => self.server.handle(query, now_ns),
             DecommissionStage::Emptied => self
@@ -284,6 +310,7 @@ impl DnsHandler for DlvRegistry {
     }
 
     fn handle_faulty(&mut self, query: &Message, now_ns: u64) -> ServerAction {
+        self.apply_due(now_ns);
         if self.stage == DecommissionStage::Offline {
             return ServerAction::Drop;
         }
@@ -424,5 +451,19 @@ mod tests {
     #[test]
     fn populated_is_the_default_stage() {
         assert_eq!(registry(false).stage(), DecommissionStage::Populated);
+    }
+
+    #[test]
+    fn scheduled_stages_apply_at_simulated_time() {
+        let mut reg = registry(false);
+        reg.schedule_stage(1_000_000_000, DecommissionStage::Emptied);
+        reg.schedule_stage(2_000_000_000, DecommissionStage::Offline);
+        let q = Message::dnssec_query(9, n("island.com.dlv.isc.org"), RrType::Dlv);
+        assert_eq!(reg.handle(&q, 0).rcode(), Rcode::NoError);
+        assert_eq!(reg.handle(&q, 1_500_000_000).rcode(), Rcode::NxDomain);
+        assert_eq!(reg.stage(), DecommissionStage::Emptied);
+        // Both remaining transitions fire even if time jumps past them.
+        assert!(matches!(reg.handle_faulty(&q, 3_000_000_000), ServerAction::Drop));
+        assert_eq!(reg.stage(), DecommissionStage::Offline);
     }
 }

@@ -25,12 +25,14 @@
 
 mod authority;
 mod dlv;
+mod epoch;
 mod flaky;
 mod render;
 mod synthetic;
 
 pub use authority::AuthoritativeServer;
 pub use dlv::{DecommissionStage, DlvDeposit, DlvRegistry, DLV_SPAN_TTL};
+pub use epoch::EpochAuthority;
 pub use flaky::{FaultyServer, FlakyServer};
 pub use render::render_lookup;
 pub use synthetic::{SyntheticAuthority, SyntheticSpec, ZoneOracle};

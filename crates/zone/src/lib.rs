@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 mod error;
+pub mod lifecycle;
 mod lookup;
 pub mod master;
 mod nsec;
@@ -39,10 +40,13 @@ mod published;
 mod zone;
 
 pub use error::ZoneError;
+pub use lifecycle::{
+    serial_lt, serial_window_contains, KeyTimeline, LifecycleFault, RolloverPolicy, ZoneEpoch,
+};
 pub use lookup::{Lookup, SignedRrSet};
 pub use nsec::{covers, NsecChain};
 pub use nsec3::{base32hex, nsec3_hash, DenialMode, Nsec3Chain, NSEC3_HASH_LEN};
-pub use published::{rrsig_signing_input, PublishedZone, SigningKeys};
+pub use published::{rrsig_signing_input, PublishedKey, PublishedZone, SigningKeys, ZoneKeySet};
 pub use zone::Zone;
 
 /// Default TTL for records created without an explicit TTL.

@@ -31,6 +31,83 @@ impl SigningKeys {
     }
 }
 
+/// One key published in a zone's DNSKEY RRset, with its RFC 5011
+/// revocation state.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PublishedKey {
+    /// The key pair.
+    pub pair: KeyPair,
+    /// Whether the DNSKEY record carries the RFC 5011 REVOKE bit.
+    pub revoked: bool,
+}
+
+impl PublishedKey {
+    /// An active (non-revoked) published key.
+    pub fn active(pair: KeyPair) -> Self {
+        PublishedKey { pair, revoked: false }
+    }
+
+    /// The DNSKEY RDATA for this key, including the REVOKE bit when set.
+    pub fn rdata(&self) -> lookaside_wire::RData {
+        let public = self.pair.public();
+        let mut flags = public.role().flags();
+        if self.revoked {
+            flags |= lookaside_crypto::FLAG_REVOKE;
+        }
+        public.dnskey_rdata_with_flags(flags)
+    }
+}
+
+/// A zone's full published key set with designated signers — the general
+/// form of [`SigningKeys`] that the lifecycle machinery uses to express
+/// rollovers: several ZSK/KSK generations may be *published* while only
+/// one of each actually *signs*.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ZoneKeySet {
+    /// Zone-signing keys published in the DNSKEY RRset, oldest first.
+    pub zsks: Vec<PublishedKey>,
+    /// Key-signing keys published in the DNSKEY RRset, oldest first.
+    pub ksks: Vec<PublishedKey>,
+    /// Index into `zsks` of the key that signs the data RRsets.
+    pub signer_zsk: usize,
+    /// Index into `ksks` of the key that signs the DNSKEY RRset.
+    pub signer_ksk: usize,
+}
+
+impl ZoneKeySet {
+    /// The degenerate one-ZSK/one-KSK key set equivalent to `keys`.
+    pub fn single(keys: &SigningKeys) -> Self {
+        ZoneKeySet {
+            zsks: vec![PublishedKey::active(keys.zsk)],
+            ksks: vec![PublishedKey::active(keys.ksk)],
+            signer_zsk: 0,
+            signer_ksk: 0,
+        }
+    }
+
+    /// The key signing data RRsets.
+    pub fn zsk_signer(&self) -> &KeyPair {
+        &self.zsks[self.signer_zsk].pair
+    }
+
+    /// The key signing the DNSKEY RRset.
+    pub fn ksk_signer(&self) -> &KeyPair {
+        &self.ksks[self.signer_ksk].pair
+    }
+
+    /// DNSKEY RDATAs of every published key, ZSKs before KSKs (matching
+    /// the order [`PublishedZone::signed`] has always used).
+    pub fn dnskey_rdatas(&self) -> Vec<lookaside_wire::RData> {
+        self.zsks.iter().chain(self.ksks.iter()).map(PublishedKey::rdata).collect()
+    }
+}
+
+impl From<&SigningKeys> for ZoneKeySet {
+    fn from(keys: &SigningKeys) -> Self {
+        ZoneKeySet::single(keys)
+    }
+}
+
 /// Builds the RFC 4034 §3.1.8.1 signature input: the RRSIG RDATA with the
 /// signature field removed, followed by the canonical RRset.
 ///
@@ -119,13 +196,31 @@ impl PublishedZone {
         expiration: u32,
         denial: DenialMode,
     ) -> Self {
-        let apex = zone.apex().clone();
+        Self::signed_with_keyset(zone, &ZoneKeySet::single(keys), inception, expiration, denial)
+    }
 
-        // DNSKEY RRset: ZSK + KSK, signed by the KSK.
+    /// Signs and publishes a zone from a general [`ZoneKeySet`] — the entry
+    /// point the key-lifecycle machinery uses to publish rollover epochs
+    /// where extra (pre-published, retiring, or revoked) keys appear in the
+    /// DNSKEY RRset while only the designated signers produce RRSIGs.
+    pub fn signed_with_keyset(
+        zone: Zone,
+        keyset: &ZoneKeySet,
+        inception: u32,
+        expiration: u32,
+        denial: DenialMode,
+    ) -> Self {
+        let apex = zone.apex().clone();
+        let zsk = keyset.zsk_signer();
+        let ksk = keyset.ksk_signer();
+
+        // DNSKEY RRset: every published key (ZSKs then KSKs), signed by the
+        // designated KSK.
         let mut dnskey_set = RrSet::empty(apex.clone(), RrType::Dnskey, DEFAULT_TTL);
-        dnskey_set.push(keys.zsk.public().dnskey_rdata());
-        dnskey_set.push(keys.ksk.public().dnskey_rdata());
-        let dnskey_sig = Arc::new(sign_rrset(&dnskey_set, &apex, &keys.ksk, inception, expiration));
+        for rdata in keyset.dnskey_rdatas() {
+            dnskey_set.push(rdata);
+        }
+        let dnskey_sig = Arc::new(sign_rrset(&dnskey_set, &apex, ksk, inception, expiration));
         let dnskeys = SignedRrSet::new(Arc::new(dnskey_set), Some(dnskey_sig));
 
         // Sign all authoritative RRsets (skip delegation NS sets).
@@ -134,7 +229,7 @@ impl PublishedZone {
             if set.rrtype == RrType::Ns && zone.is_cut(&set.name) {
                 continue;
             }
-            let sig = Arc::new(sign_rrset(set, &apex, &keys.zsk, inception, expiration));
+            let sig = Arc::new(sign_rrset(set, &apex, zsk, inception, expiration));
             sigs.insert((set.name.clone(), set.rrtype), sig);
         }
         sigs.insert(
@@ -160,7 +255,7 @@ impl PublishedZone {
             DenialMode::Nsec => {
                 let chain = NsecChain::build(apex.clone(), owners);
                 for set in chain.records(zone.soa().minimum) {
-                    let sig = Arc::new(sign_rrset(&set, &apex, &keys.zsk, inception, expiration));
+                    let sig = Arc::new(sign_rrset(&set, &apex, zsk, inception, expiration));
                     nsec_rendered.push(SignedRrSet::new(Arc::new(set), Some(sig)));
                 }
                 nsec = Some(chain);
@@ -176,7 +271,7 @@ impl PublishedZone {
                 let chain = Nsec3Chain::build(apex.clone(), owners, salt, 1);
                 for idx in 0..chain.len() {
                     let set = chain.record_at(idx, zone.soa().minimum);
-                    let sig = Arc::new(sign_rrset(&set, &apex, &keys.zsk, inception, expiration));
+                    let sig = Arc::new(sign_rrset(&set, &apex, zsk, inception, expiration));
                     nsec3_rendered.push(SignedRrSet::new(Arc::new(set), Some(sig)));
                 }
                 nsec3 = Some(chain);

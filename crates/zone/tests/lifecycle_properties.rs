@@ -1,0 +1,147 @@
+//! Property-based tests for the key-lifecycle timeline: every epoch a
+//! correctly operating signer publishes must round-trip sign → verify
+//! exactly within its validity window (boundaries inclusive, RFC 1982
+//! serial arithmetic at ±1 s), and a correct pre-publish ZSK rollover must
+//! never leave a cached signature without its verifying key in the
+//! following epoch.
+
+use proptest::prelude::*;
+
+use lookaside_wire::{Name, RData, RrType};
+use lookaside_zone::{
+    rrsig_signing_input, serial_window_contains, DenialMode, KeyTimeline, Lookup, RolloverPolicy,
+    Zone, ZoneEpoch,
+};
+
+fn tiny_zone(apex: &Name) -> Zone {
+    let mut zone = Zone::new(apex.clone(), Name::parse("ns1.example.com.").unwrap());
+    zone.add(apex.clone(), 300, RData::A("192.0.2.1".parse().unwrap()));
+    zone
+}
+
+/// Publishes `epoch` over a one-record zone and returns the apex A-RRSIG's
+/// `(inception, expiration, verified)` triple, verification done under the
+/// epoch's designated signer ZSK.
+fn sign_verify_apex(timeline: &KeyTimeline, epoch: &ZoneEpoch) -> (u32, u32, bool) {
+    let apex = Name::parse("example.com.").unwrap();
+    let published = epoch.publish(tiny_zone(&apex), DenialMode::Nsec);
+    let Lookup::Answer { answer } = published.lookup(&apex, RrType::A) else {
+        panic!("apex A lookup must answer");
+    };
+    let sig = answer.rrsig.as_ref().expect("epoch publishing signs");
+    let RData::Rrsig {
+        type_covered,
+        algorithm,
+        labels,
+        original_ttl,
+        expiration,
+        inception,
+        key_tag,
+        ref signer_name,
+        ref signature,
+    } = sig.rdata
+    else {
+        panic!("expected an RRSIG rdata");
+    };
+    let input = rrsig_signing_input(
+        type_covered,
+        algorithm,
+        labels,
+        original_ttl,
+        expiration,
+        inception,
+        key_tag,
+        signer_name,
+        &answer.rrset,
+    );
+    let signer = epoch.keyset.zsk_signer();
+    let verified = timeline
+        .zsk_generation(0)
+        .public()
+        .verify_bytes(&input, signature)
+        .then_some(0)
+        .or_else(|| {
+            timeline.zsk_generation(1).public().verify_bytes(&input, signature).then_some(1)
+        })
+        .map(|g| timeline.zsk_generation(g) == *signer)
+        .unwrap_or(false);
+    (inception, expiration, verified)
+}
+
+fn policies() -> impl Strategy<Value = RolloverPolicy> {
+    (
+        60u32..7_200, // resign interval
+        1u32..4,      // validity = interval × factor (never lapses)
+        any::<bool>(),
+        600u32..20_000, // zsk rollover activation (when rolling at all)
+        300u32..7_200,  // rollover lead
+    )
+        .prop_map(|(resign, factor, rolls, zsk_at, lead)| RolloverPolicy {
+            resign_every_secs: resign,
+            validity_secs: resign.saturating_mul(factor).max(resign),
+            zsk_rollover_at: rolls.then_some(zsk_at),
+            ksk_rollover_at: None,
+            rollover_lead_secs: lead,
+            revoke_old_ksk: false,
+        })
+}
+
+proptest! {
+    /// Every epoch of a correct timeline signs a zone whose apex RRSIG
+    /// verifies under the epoch's designated signer, and the signature
+    /// window matches the epoch exactly: valid at both endpoints, invalid
+    /// one serial-second outside either (wrapping, per RFC 4034 §3.1.5).
+    #[test]
+    fn epochs_round_trip_sign_verify_at_window_boundaries(
+        seed in 1u64..500,
+        policy in policies(),
+        horizon in 4_000u32..30_000,
+    ) {
+        let timeline = KeyTimeline::correct(seed, policy);
+        for epoch in timeline.epochs(horizon) {
+            let (inception, expiration, verified) = sign_verify_apex(&timeline, &epoch);
+            prop_assert!(verified, "epoch at t={} must verify under its signer", epoch.start_secs);
+            prop_assert_eq!(inception, epoch.inception);
+            prop_assert_eq!(expiration, epoch.expiration);
+            prop_assert!(serial_window_contains(inception, expiration, inception));
+            prop_assert!(serial_window_contains(inception, expiration, expiration));
+            prop_assert!(
+                !serial_window_contains(inception, expiration, inception.wrapping_sub(1)),
+                "inception-1 must fall outside"
+            );
+            prop_assert!(
+                !serial_window_contains(inception, expiration, expiration.wrapping_add(1)),
+                "expiration+1 must fall outside"
+            );
+        }
+    }
+
+    /// A *correct* pre-publish ZSK rollover never strands a signature: the
+    /// key that signed epoch `i` is still published in epoch `i+1`, so any
+    /// RRSIG cached during one epoch has its DNSKEY available through the
+    /// next (the pre-publish/retire overlap working as designed), and no
+    /// epoch ever publishes an empty ZSK set.
+    #[test]
+    fn correct_prepublish_rollovers_never_strand_a_signer(
+        seed in 1u64..500,
+        policy in policies(),
+        horizon in 4_000u32..30_000,
+    ) {
+        let timeline = KeyTimeline::correct(seed, policy);
+        let epochs = timeline.epochs(horizon);
+        for epoch in &epochs {
+            prop_assert!(!epoch.keyset.zsks.is_empty(), "no epoch may publish zero ZSKs");
+        }
+        for pair in epochs.windows(2) {
+            let signer = pair[0].keyset.zsk_signer();
+            let still_published =
+                pair[1].keyset.zsks.iter().any(|k| k.pair == *signer);
+            prop_assert!(
+                still_published,
+                "signer of epoch t={} gone by t={}",
+                pair[0].start_secs,
+                pair[1].start_secs
+            );
+        }
+    }
+}

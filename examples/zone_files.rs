@@ -57,7 +57,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     net.register(
         ROOT,
         "root",
-        Box::new(AuthoritativeServer::single(PublishedZone::signed(root, &root_keys, 0, u32::MAX))),
+        Box::new(AuthoritativeServer::single(PublishedZone::signed(
+            root,
+            &root_keys,
+            0,
+            0x7fff_ffff,
+        ))),
     );
 
     let mut com = Zone::new(Name::parse("com.")?, Name::parse("ns.com.")?);
@@ -67,7 +72,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     net.register(
         COM,
         "com",
-        Box::new(AuthoritativeServer::single(PublishedZone::signed(com, &com_keys, 0, u32::MAX))),
+        Box::new(AuthoritativeServer::single(PublishedZone::signed(
+            com,
+            &com_keys,
+            0,
+            0x7fff_ffff,
+        ))),
     );
 
     net.register(
@@ -77,7 +87,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             corp.clone(),
             &corp_keys,
             0,
-            u32::MAX,
+            0x7fff_ffff,
         ))),
     );
 
