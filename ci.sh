@@ -67,6 +67,17 @@ if ! diff -u target/ci/lifecycle.jobs1.txt target/ci/lifecycle.jobs4.txt; then
     exit 1
 fi
 
+# And for the resolver farm: one million hashed-cohort stub clients
+# against every cache topology. The reduction is a set union plus a
+# min-merge, so worker count (and cohort count — the farm proptests pin
+# that one) must never show up in the bytes.
+./target/release/repro farm --jobs 1 > target/ci/farm.jobs1.txt
+./target/release/repro farm --jobs 4 > target/ci/farm.jobs4.txt
+if ! diff -u target/ci/farm.jobs1.txt target/ci/farm.jobs4.txt; then
+    echo "ci: FAIL — repro farm output diverges between --jobs 1 and --jobs 4" >&2
+    exit 1
+fi
+
 # Corruption robustness gate: 10k fixed-seed mutated packets through the
 # wire decoder — typed WireError or success, never a panic. Backed by a
 # panic/unwrap lint wall on the wire crate, extended in PR-5 to the

@@ -346,11 +346,11 @@ fn run_cell(
 mod tests {
     use super::*;
 
-    fn cell<'a>(
-        points: &'a [ByzantinePoint],
+    fn cell(
+        points: &[ByzantinePoint],
         adversary: Adversary,
         profile: HardeningProfile,
-    ) -> &'a ByzantinePoint {
+    ) -> &ByzantinePoint {
         points
             .iter()
             .find(|p| p.adversary == adversary && p.profile == profile)

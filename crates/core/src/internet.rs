@@ -22,13 +22,15 @@ use lookaside_crypto::{ds_rdata, KeyPair, PublicKey};
 use lookaside_netsim::{CaptureFilter, LatencyModel, Network};
 use lookaside_resolver::{FeatureModel, RecursiveResolver, ResolverConfig, ResolverSetup};
 use lookaside_server::{
-    AuthoritativeServer, DecommissionStage, DlvDeposit, DlvRegistry, EpochAuthority,
+    AuthoritativeServer, DecommissionStage, DlvDeposit, DlvRegistry, EpochAuthority, EpochRouter,
     SyntheticAuthority, SyntheticSpec, ZoneOracle, DLV_SPAN_TTL,
 };
 use lookaside_wire::ext::RemedyMode;
 use lookaside_wire::{Name, RData};
 use lookaside_workload::{huque45, DomainPopulation, HuqueDomain, PopEntry, PopulationParams};
-use lookaside_zone::{DenialMode, KeyTimeline, PublishedZone, SigningKeys, Zone};
+use lookaside_zone::{DenialMode, KeyTimeline, LifecycleTarget, PublishedZone, SigningKeys, Zone};
+
+const NS_PER_SEC: u64 = 1_000_000_000;
 
 /// Root server address (mirrors `a.root-servers.net`).
 pub const ROOT_ADDR: Ipv4Addr = Ipv4Addr::new(198, 41, 0, 4);
@@ -263,6 +265,9 @@ pub struct Internet {
     pub population: DomainPopulation,
     /// Parameters the Internet was built with.
     pub params: InternetParams,
+    /// The shared zone oracle, kept so lifecycle timelines can rebuild
+    /// TLD authorities per epoch.
+    oracle: Rc<CoreOracle>,
 }
 
 impl Internet {
@@ -368,7 +373,7 @@ impl Internet {
 
         // Everything else — ranked SLDs, hosters, huque zones — is served by
         // the default-route synthetic authority.
-        let sld_authority = SyntheticAuthority::sld_default(oracle, INCEPTION, EXPIRATION);
+        let sld_authority = SyntheticAuthority::sld_default(oracle.clone(), INCEPTION, EXPIRATION);
         net.set_default_route(Box::new(sld_authority));
 
         Internet {
@@ -379,6 +384,7 @@ impl Internet {
             deposits,
             population,
             params,
+            oracle,
         }
     }
 
@@ -413,6 +419,90 @@ impl Internet {
         let replaced = self.net.replace_node(ROOT_ADDR, "root", Box::new(authority));
         assert!(replaced, "root node must exist before a timeline takes over");
         self.root_anchor = timeline.initial_keys().ksk.public();
+    }
+
+    /// The key seed a [`KeyTimeline`] must use as `base_seed` for its
+    /// generation-0 keys to equal `target`'s static signing keys — the
+    /// property that makes a timeline take-over invisible at epoch 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown TLD label.
+    pub fn timeline_base_seed(target: &LifecycleTarget) -> u64 {
+        match target {
+            LifecycleTarget::Root => ROOT_KEY_SEED,
+            LifecycleTarget::Tld(label) => {
+                let index = lookaside_workload::TLDS
+                    .iter()
+                    .position(|t| t.label == label.as_str())
+                    .unwrap_or_else(|| panic!("unknown TLD {label:?}"));
+                tld_key_seed(index)
+            }
+        }
+    }
+
+    /// Swaps the static authority of TLD `label` for an epoch router
+    /// replaying `timeline` out to `horizon_secs`: each epoch is a full
+    /// synthetic TLD authority rebuilt with that epoch's signer keys and
+    /// RRSIG validity window, so a late re-sign makes *this TLD's*
+    /// referral/DS signatures lapse while every other zone stays healthy.
+    ///
+    /// With `base_seed = Self::timeline_base_seed(..)` epoch 0 serves
+    /// byte-identical data to the static authority. The root's DS record
+    /// stays on the generation-0 KSK (the static root is not rebuilt), so
+    /// re-sign schedules and [`lookaside_zone::LifecycleFault::LateResign`]
+    /// reproduce exactly, while a KSK roll here behaves as
+    /// parent-DS-never-updated — the real-world failure that motivated DLV
+    /// in the first place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown TLD label.
+    pub fn install_tld_timeline(&mut self, label: &str, timeline: &KeyTimeline, horizon_secs: u32) {
+        let index = lookaside_workload::TLDS
+            .iter()
+            .position(|t| t.label == label)
+            .unwrap_or_else(|| panic!("unknown TLD {label:?}"));
+        let tld = &lookaside_workload::TLDS[index];
+        let apex = Name::parse(tld.label).expect("valid tld");
+        let oracle = self.oracle.clone();
+        let router = EpochRouter::new(
+            timeline
+                .epochs(horizon_secs)
+                .iter()
+                .map(|epoch| {
+                    let keys = SigningKeys {
+                        zsk: *epoch.keyset.zsk_signer(),
+                        ksk: *epoch.keyset.ksk_signer(),
+                    };
+                    let authority = SyntheticAuthority::tld(
+                        apex.clone(),
+                        keys,
+                        tld.signed,
+                        oracle.clone(),
+                        epoch.inception,
+                        epoch.expiration,
+                    );
+                    (u64::from(epoch.start_secs) * NS_PER_SEC, authority)
+                })
+                .collect(),
+        );
+        let replaced = self.net.replace_node(tld_addr(index), tld.label, Box::new(router));
+        assert!(replaced, "TLD node must exist before a timeline takes over");
+    }
+
+    /// Installs `timeline` on whichever zone `target` names — the root or
+    /// a single TLD.
+    pub fn install_timeline(
+        &mut self,
+        target: &LifecycleTarget,
+        timeline: &KeyTimeline,
+        horizon_secs: u32,
+    ) {
+        match target {
+            LifecycleTarget::Root => self.install_root_timeline(timeline, horizon_secs),
+            LifecycleTarget::Tld(label) => self.install_tld_timeline(label, timeline, horizon_secs),
+        }
     }
 
     /// Builds a resolver wired to this Internet.
@@ -538,6 +628,53 @@ mod tests {
                 .iter()
                 .any(|q| q.starts_with(&qname.to_string().trim_end_matches('.').to_string())),
             "expected {qname} among {leaked:?}"
+        );
+    }
+
+    #[test]
+    fn tld_timeline_fault_severs_only_that_tld() {
+        use lookaside_zone::{LifecycleFault, RolloverPolicy};
+
+        let mut internet = Internet::build(small_params());
+        let target = LifecycleTarget::Tld("com".to_string());
+        let timeline = KeyTimeline {
+            base_seed: Internet::timeline_base_seed(&target),
+            policy: RolloverPolicy::steady(3_600, 5_000),
+            fault: LifecycleFault::LateResign { resign_index: 1, delay_secs: 3_600 },
+        };
+        internet.install_timeline(&target, &timeline, 16_000);
+
+        let anchored = |internet: &Internet, tld: &str, want: bool| {
+            (1..2000)
+                .find(|&r| {
+                    let a = internet.population.attributes(r);
+                    a.signed && a.ds_in_parent && ((a.tld == tld) == want)
+                })
+                .expect("anchored rank")
+        };
+        let com_rank = anchored(&internet, "com", true);
+        let other_rank = anchored(&internet, "com", false);
+        let com_name = internet.population.domain(com_rank);
+        let other_name = internet.population.domain(other_rank);
+
+        // Epoch 0 is byte-identical to the static authority: both chains
+        // validate at t=0.
+        let mut early = internet.resolver(ResolverConfig::Bind(BindConfig::correct()), 11);
+        let res = early.resolve(&mut internet.net, &com_name, RrType::A).unwrap();
+        assert_eq!(res.status, SecurityStatus::Secure, "epoch-0 take-over must be invisible");
+
+        // Advance into the stale gap: the missed re-sign leaves .com's
+        // signatures expired from t=5000 until the catch-up at t=7200.
+        let target_ns = 6_000 * NS_PER_SEC;
+        internet.net.advance(target_ns.saturating_sub(internet.net.now_ns()));
+        let mut resolver = internet.resolver(ResolverConfig::Bind(BindConfig::correct()), 12);
+        let com = resolver.resolve(&mut internet.net, &com_name, RrType::A).unwrap();
+        assert_eq!(com.status, SecurityStatus::Bogus, "stale .com signatures fail closed");
+        let other = resolver.resolve(&mut internet.net, &other_name, RrType::A).unwrap();
+        assert_eq!(
+            other.status,
+            SecurityStatus::Secure,
+            "{other_name} is outside the faulted TLD's blast radius"
         );
     }
 

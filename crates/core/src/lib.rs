@@ -20,6 +20,10 @@
 //!   [`parallel::Worker`]s owning private Internet replicas, driven by the
 //!   `lookaside-engine` thread pool (`--jobs` / `LOOKASIDE_JOBS`), with
 //!   reduction in shard-id order so any worker count is byte-identical,
+//! * [`farm`] — the million-stub client plane in front of a resolver
+//!   farm: topology-aware (per-resolver / shared-cache / ODoH /
+//!   Resolver-Less), cache-hit-aware, per-client case-2 leak accounting
+//!   over `lookaside-population`'s synthetic stubs,
 //! * [`report`] — plain-text table rendering for the `repro` binary.
 //!
 //! # Quickstart
@@ -40,6 +44,7 @@ pub mod byzantine;
 pub mod chaos;
 pub mod client;
 pub mod experiments;
+pub mod farm;
 pub mod internet;
 pub mod leakage;
 pub mod lifecycle;
@@ -47,9 +52,12 @@ pub mod parallel;
 pub mod report;
 
 pub use client::Client;
+pub use farm::{Farm, FarmConfig, FarmTopology, TopologyReport};
 pub use internet::{Internet, InternetParams, VantagePoint};
 pub use leakage::{classify, LeakageReport};
-pub use parallel::{executor, run_sharded, Worker};
+pub use parallel::{executor, map_cohorts, run_sharded, Worker};
+
+pub use lookaside_population as population;
 
 pub use lookaside_engine as engine;
 pub use lookaside_netsim as netsim;

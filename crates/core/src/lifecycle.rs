@@ -41,7 +41,7 @@ use lookaside_resolver::{BindConfig, FeatureModel, ResolverConfig, RetryPolicy, 
 use lookaside_wire::ext::RemedyMode;
 use lookaside_wire::RrType;
 use lookaside_workload::PopulationParams;
-use lookaside_zone::{KeyTimeline, LifecycleFault, RolloverPolicy};
+use lookaside_zone::{KeyTimeline, LifecycleFault, LifecycleTarget, RolloverPolicy};
 use serde::Serialize;
 
 use crate::internet::{Internet, InternetParams, ROOT_KEY_SEED};
@@ -169,16 +169,24 @@ pub struct LifecycleConfig {
     pub seed: u64,
     /// Scenarios to replay.
     pub scenarios: Vec<LifecycleScenario>,
+    /// The zone the timeline takes over. [`LifecycleTarget::Root`] is the
+    /// original (PR 6) root-wide sweep; a [`LifecycleTarget::Tld`] scopes
+    /// the fault's blast radius to one TLD's children. The KSK scenarios
+    /// manage the *root* trust anchor, so they are only meaningful with
+    /// the root target (a TLD KSK roll against the static root DS behaves
+    /// as parent-DS-never-updated).
+    pub target: LifecycleTarget,
 }
 
 impl LifecycleConfig {
-    /// The canonical five-scenario schedule.
+    /// The canonical five-scenario schedule against the root.
     pub fn quick(queries_per_event: usize) -> Self {
         LifecycleConfig {
             queries_per_event,
             warmup: 6,
             seed: 0x11f_3cc,
             scenarios: LifecycleScenario::ALL.to_vec(),
+            target: LifecycleTarget::Root,
         }
     }
 }
@@ -267,8 +275,9 @@ fn run_cell(config: &LifecycleConfig, scenario: LifecycleScenario) -> LifecycleP
     params.capture = CaptureFilter::DlvOnly;
     let mut internet = Internet::build(params);
     let ranks = anchored_ranks(&internet, needed);
-    let timeline = scenario.timeline();
-    internet.install_root_timeline(&timeline, HORIZON_SECS);
+    let mut timeline = scenario.timeline();
+    timeline.base_seed = Internet::timeline_base_seed(&config.target);
+    internet.install_timeline(&config.target, &timeline, HORIZON_SECS);
 
     // As in the chaos and Byzantine harnesses: aggressive NSEC caching
     // would suppress the look-aside lookups whose volume we measure.
@@ -296,7 +305,10 @@ fn run_cell(config: &LifecycleConfig, scenario: LifecycleScenario) -> LifecycleP
         let target_ns = at_secs * NS_PER_SEC;
         let now_ns = internet.net.now_ns();
         internet.net.advance(target_ns.saturating_sub(now_ns));
-        if !installed && scenario.anchor_install_at_secs().is_some_and(|t| at_secs >= t) {
+        if !installed
+            && config.target == LifecycleTarget::Root
+            && scenario.anchor_install_at_secs().is_some_and(|t| at_secs >= t)
+        {
             resolver.install_root_anchor(timeline.ksk_generation(1).public());
             installed = true;
         }
@@ -354,7 +366,7 @@ mod tests {
         lifecycle_sweep(&LifecycleConfig { scenarios, ..LifecycleConfig::quick(4) })
     }
 
-    fn point<'a>(points: &'a [LifecyclePoint], scenario: LifecycleScenario) -> &'a LifecyclePoint {
+    fn point(points: &[LifecyclePoint], scenario: LifecycleScenario) -> &LifecyclePoint {
         points.iter().find(|p| p.scenario == scenario).expect("scenario present")
     }
 
@@ -420,6 +432,32 @@ mod tests {
         let healed = missed.last().unwrap();
         assert_eq!(healed.at_secs, 14_123);
         assert_eq!(healed.secure, healed.client_queries, "manual install recovers: {healed:?}");
+    }
+
+    #[test]
+    fn tld_scoped_expiry_storm_strands_only_that_tld() {
+        let config = LifecycleConfig {
+            scenarios: vec![LifecycleScenario::ExpiryStorm],
+            target: LifecycleTarget::Tld("com".to_string()),
+            ..LifecycleConfig::quick(6)
+        };
+        let points = lifecycle_sweep(&config);
+        let events = &point(&points, LifecycleScenario::ExpiryStorm).events;
+        // In the stale gap only the .com share of the anchored workload
+        // fails closed — the fault's blast radius is one TLD, not the
+        // whole namespace as in the root-scoped storm.
+        let storm = &events[3];
+        assert_eq!(storm.at_secs, 6_123);
+        assert!(storm.bogus > 0, "the faulted TLD's children fail: {storm:?}");
+        assert!(
+            storm.secure > 0 && storm.bogus < storm.client_queries,
+            "other TLDs ride through the .com storm: {storm:?}"
+        );
+        // Outside the gap everything validates, exactly as with the root
+        // target: the catch-up re-sign heals the TLD without intervention.
+        for event in events.iter().filter(|e| e.at_secs != 6_123) {
+            assert_eq!(event.secure, event.client_queries, "bounded storm: {event:?}");
+        }
     }
 
     #[test]

@@ -30,6 +30,29 @@
 //! `(config, shard count)`: worker threads only decide *when* a shard
 //! runs, never what it produces, so `--jobs 1` and `--jobs N` are
 //! byte-identical (the engine determinism suite pins this down).
+//!
+//! # Two cohort models
+//!
+//! The workspace shards along two different axes, and the distinction is
+//! load-bearing:
+//!
+//! * **Rank sweeps shard by contiguous rank range** (this module's
+//!   [`run_sharded`]). The paper's boxes each replay a contiguous slice
+//!   of the ranked list, and adjacent ranks share registry NSEC spans —
+//!   slicing contiguously preserves the span-cache locality the Fig. 8/9
+//!   calibration anchors depend on. Hashing ranks across boxes would
+//!   scatter neighbours and silently deflate cache-hit ratios.
+//! * **Client planes shard by hashed client cohort** ([`map_cohorts`],
+//!   used by [`crate::farm`]). Clients are independent; their cohort is a
+//!   pure function of `(seed, client)` (see
+//!   `lookaside_population::StubPlane::cohort_of`), and the farm's
+//!   reduction is a set union plus a min-merge — associative and
+//!   commutative — so *any* partition of clients reduces to the same
+//!   bytes. Here hashing is correct **and** required: it keeps cohort
+//!   sizes balanced no matter how client ids are distributed.
+//!
+//! Both models end at the same place: output is a pure function of the
+//! configuration, never of the worker pool.
 
 use std::ops::Range;
 
@@ -46,6 +69,26 @@ use crate::leakage::classify;
 /// defaulting to the machine's available parallelism.
 pub fn executor() -> Executor {
     Executor::from_env()
+}
+
+/// Maps `work` over cohorts `0..cohorts` on `exec`'s pool and returns the
+/// per-cohort results in cohort order.
+///
+/// This is the client-plane half of the fleet machinery (see the module
+/// docs): each shard's input is a cohort *index*, the caller resolves
+/// membership through a stable hash, and the caller's reduction must be
+/// order-independent. The engine seeds each shard from
+/// `splitmix64(seed, cohort)` should `work` want per-cohort entropy;
+/// results come back indexed by cohort id, never by completion order, so
+/// the worker pool cannot leak into the output.
+pub fn map_cohorts<T, F>(seed: u64, cohorts: usize, exec: &Executor, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&lookaside_engine::Shard<usize>) -> T + Sync,
+{
+    assert!(cohorts > 0, "cohort count must be positive");
+    let plan = ShardPlan::new(seed).over(0..cohorts);
+    expect_all(exec.run(&plan, work))
 }
 
 /// One measurement box of the fleet: a private simulated-Internet replica

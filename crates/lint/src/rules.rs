@@ -32,7 +32,7 @@ use crate::report::{Finding, Suppressed};
 
 /// Crates whose outputs feed experiment tables: full determinism rules.
 pub const RESULT_BEARING: &[&str] =
-    &["core", "engine", "netsim", "resolver", "server", "zone", "workload"];
+    &["core", "engine", "netsim", "population", "resolver", "server", "zone", "workload"];
 
 /// Crates on the per-query hot path: panic-surface rules.
 pub const HOT_PATH: &[&str] = &["wire", "engine", "resolver"];

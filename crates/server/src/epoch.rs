@@ -96,6 +96,81 @@ impl DnsHandler for EpochAuthority {
     }
 }
 
+/// A generic epoch router: like [`EpochAuthority`] but over *any*
+/// [`DnsHandler`], for zones that are fabricated on demand rather than
+/// published statically — e.g. a [`crate::SyntheticAuthority`] TLD, where
+/// each epoch is a whole authority rebuilt with that epoch's signer keys
+/// and validity window. Queries route to the version whose start is the
+/// latest at or before the simulated arrival time; pre-window queries get
+/// the first version.
+pub struct EpochRouter<H> {
+    /// `(start_ns, handler)` pairs, sorted ascending by start.
+    epochs: Vec<(u64, H)>,
+}
+
+impl<H: DnsHandler> EpochRouter<H> {
+    /// Builds a router from explicit `(start_ns, handler)` pairs.
+    pub fn new(mut versions: Vec<(u64, H)>) -> Self {
+        assert!(!versions.is_empty(), "an epoch router needs at least one version");
+        versions.sort_by_key(|(start, _)| *start);
+        EpochRouter { epochs: versions }
+    }
+
+    /// Builds a router with one handler per zone-time epoch start (seconds,
+    /// as [`ZoneEpoch::start_secs`] carries them).
+    pub fn from_starts(
+        starts_secs: impl IntoIterator<Item = u32>,
+        build: impl Fn(u32) -> H,
+    ) -> Self {
+        Self::new(
+            starts_secs
+                .into_iter()
+                .map(|start| (u64::from(start) * NS_PER_SEC, build(start)))
+                .collect(),
+        )
+    }
+
+    /// Number of versions held.
+    pub fn epoch_count(&self) -> usize {
+        self.epochs.len()
+    }
+
+    fn active_index(&self, now_ns: u64) -> usize {
+        self.epochs.partition_point(|(start, _)| *start <= now_ns).saturating_sub(1)
+    }
+}
+
+impl<H: DnsHandler> DnsHandler for EpochRouter<H> {
+    fn handle(&mut self, query: &Message, now_ns: u64) -> Message {
+        let idx = self.active_index(now_ns);
+        self.epochs[idx].1.handle(query, now_ns)
+    }
+
+    fn handle_faulty(&mut self, query: &Message, now_ns: u64) -> ServerAction {
+        let idx = self.active_index(now_ns);
+        self.epochs[idx].1.handle_faulty(query, now_ns)
+    }
+
+    fn handle_transport(
+        &mut self,
+        query: &Message,
+        now_ns: u64,
+        transport: Transport,
+    ) -> ServerAction {
+        let idx = self.active_index(now_ns);
+        self.epochs[idx].1.handle_transport(query, now_ns, transport)
+    }
+}
+
+impl<H> std::fmt::Debug for EpochRouter<H> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochRouter")
+            .field("epochs", &self.epochs.len())
+            .field("starts_ns", &self.epochs.iter().map(|(s, _)| *s).collect::<Vec<_>>())
+            .finish()
+    }
+}
+
 impl std::fmt::Debug for EpochAuthority {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EpochAuthority")

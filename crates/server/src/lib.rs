@@ -32,7 +32,7 @@ mod synthetic;
 
 pub use authority::AuthoritativeServer;
 pub use dlv::{DecommissionStage, DlvDeposit, DlvRegistry, DLV_SPAN_TTL};
-pub use epoch::EpochAuthority;
+pub use epoch::{EpochAuthority, EpochRouter};
 pub use flaky::{FaultyServer, FlakyServer};
 pub use render::render_lookup;
 pub use synthetic::{SyntheticAuthority, SyntheticSpec, ZoneOracle};

@@ -41,7 +41,8 @@ mod zone;
 
 pub use error::ZoneError;
 pub use lifecycle::{
-    serial_lt, serial_window_contains, KeyTimeline, LifecycleFault, RolloverPolicy, ZoneEpoch,
+    serial_lt, serial_window_contains, KeyTimeline, LifecycleFault, LifecycleTarget,
+    RolloverPolicy, ZoneEpoch,
 };
 pub use lookup::{Lookup, SignedRrSet};
 pub use nsec::{covers, NsecChain};

@@ -118,6 +118,29 @@ impl LifecycleFault {
     }
 }
 
+/// Which zone a [`KeyTimeline`] takes over. Lifecycle faults are not a
+/// root-only phenomenon: a TLD operator can miss a re-sign just as well,
+/// and the blast radius differs — a root fault severs every chain, a TLD
+/// fault severs only that TLD's children (and only *their* case-2 traffic
+/// spikes at the look-aside registry).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LifecycleTarget {
+    /// The root zone: the study's original (PR 6) scope.
+    Root,
+    /// One top-level domain, by label (e.g. `"com"`).
+    Tld(String),
+}
+
+impl LifecycleTarget {
+    /// Stable label for reports and sharded-output ordering.
+    pub fn label(&self) -> String {
+        match self {
+            LifecycleTarget::Root => "root".to_string(),
+            LifecycleTarget::Tld(tld) => format!("tld:{tld}"),
+        }
+    }
+}
+
 /// One zone version: the key set, signing window, and parent-side DS
 /// target active from `start_secs` until the next epoch begins.
 #[derive(Debug, Clone, Serialize, Deserialize)]
