@@ -25,7 +25,7 @@ cargo fmt --check
 # allocation of a deterministic fig8_9 run, so allocations/query is an
 # exact number, not a timing. Fail if it creeps >10% above the recorded
 # PR-3 baseline (see BENCH_pr3.json).
-ALLOC_BASELINE=616
+ALLOC_BASELINE=619
 cargo bench --bench alloc_sweep | tee target/ci/alloc_sweep.txt
 ALLOCS_PER_QUERY=$(awk '/allocs\/query/ { print $3; exit }' target/ci/alloc_sweep.txt)
 if [ -z "${ALLOCS_PER_QUERY}" ]; then
@@ -38,12 +38,52 @@ if awk -v got="${ALLOCS_PER_QUERY}" -v base="${ALLOC_BASELINE}" \
     exit 1
 fi
 
+# Streaming-regression gate: the stream_sweep bench measures the
+# steady-state allocations/query of the capture-less observer path (hard
+# ceiling, see BENCH_pr8.json) and the streamed Fig. 12 replay rate
+# (floor set ~10x under the recorded 4-worker figure, so it only trips
+# on order-of-magnitude regressions, not machine noise).
+STREAM_ALLOC_CEILING=50
+STREAM_QPS_FLOOR=150000
+cargo bench --bench stream_sweep | tee target/ci/stream_sweep.txt
+STREAM_ALLOCS=$(awk '/steady_state:.*allocs\/query/ { print $3; exit }' target/ci/stream_sweep.txt)
+STREAM_QPS=$(awk '/sampled queries\/sec/ { print $3; exit }' target/ci/stream_sweep.txt)
+if [ -z "${STREAM_ALLOCS}" ] || [ -z "${STREAM_QPS}" ]; then
+    echo "ci: FAIL — stream_sweep did not report allocs/query and queries/sec" >&2
+    exit 1
+fi
+if [ "${STREAM_ALLOCS}" -ge "${STREAM_ALLOC_CEILING}" ]; then
+    echo "ci: FAIL — ${STREAM_ALLOCS} steady-state allocs/query breaches the <${STREAM_ALLOC_CEILING} ceiling" >&2
+    exit 1
+fi
+if [ "${STREAM_QPS}" -lt "${STREAM_QPS_FLOOR}" ]; then
+    echo "ci: FAIL — ${STREAM_QPS} sampled queries/sec is under the ${STREAM_QPS_FLOOR} floor" >&2
+    exit 1
+fi
+
 # Byte-identity gate: `repro fig9` must print the same bytes at --jobs 1
 # and --jobs 4.
 ./target/release/repro fig9 --jobs 1 > target/ci/fig9.jobs1.txt
 ./target/release/repro fig9 --jobs 4 > target/ci/fig9.jobs4.txt
 if ! diff -u target/ci/fig9.jobs1.txt target/ci/fig9.jobs4.txt; then
     echo "ci: FAIL — repro fig9 output diverges between --jobs 1 and --jobs 4" >&2
+    exit 1
+fi
+
+# Streaming-vs-batch byte-diff gate: `--stream` swaps the whole
+# execution substrate (per-packet LeakSink, fold-based reduction,
+# capture-less network) and must still print the same bytes. Batch is
+# the correctness oracle; fig9, fig12, and the farm cover the three
+# reduction shapes (ranked merge, ordered prefix-sum fold, set union).
+./target/release/repro fig9 --stream --jobs 4 > target/ci/fig9.stream.txt
+if ! diff -u target/ci/fig9.jobs1.txt target/ci/fig9.stream.txt; then
+    echo "ci: FAIL — repro fig9 --stream diverges from the batch oracle" >&2
+    exit 1
+fi
+./target/release/repro fig12 --jobs 1 > target/ci/fig12.jobs1.txt
+./target/release/repro fig12 --stream --jobs 4 > target/ci/fig12.stream.txt
+if ! diff -u target/ci/fig12.jobs1.txt target/ci/fig12.stream.txt; then
+    echo "ci: FAIL — repro fig12 --stream diverges from the batch oracle" >&2
     exit 1
 fi
 
@@ -75,6 +115,11 @@ fi
 ./target/release/repro farm --jobs 4 > target/ci/farm.jobs4.txt
 if ! diff -u target/ci/farm.jobs1.txt target/ci/farm.jobs4.txt; then
     echo "ci: FAIL — repro farm output diverges between --jobs 1 and --jobs 4" >&2
+    exit 1
+fi
+./target/release/repro farm --stream --jobs 4 > target/ci/farm.stream.txt
+if ! diff -u target/ci/farm.jobs1.txt target/ci/farm.stream.txt; then
+    echo "ci: FAIL — repro farm --stream diverges from the batch oracle" >&2
     exit 1
 fi
 

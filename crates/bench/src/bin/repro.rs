@@ -1,9 +1,10 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--full] [--jobs N] [table1|table2|table3|table4|table5|fig8|fig9|
-//!                            fig10|fig11|fig12|order|utility|survey|dict|
-//!                            attacks|chaos|byzantine|lifecycle|farm|all]
+//! repro [--full] [--jobs N] [--stream] [table1|table2|table3|table4|table5|
+//!                            fig8|fig9|fig10|fig11|fig12|order|utility|
+//!                            survey|dict|attacks|chaos|byzantine|lifecycle|
+//!                            farm|all]
 //! ```
 //!
 //! Without `--full`, dataset sweeps stop at 10k domains (seconds); with it
@@ -13,6 +14,12 @@
 //! worker-pool size the experiment engine shards sweeps across. The output
 //! is byte-identical for every N — parallelism only changes wall-clock
 //! time, never results.
+//!
+//! `--stream` (or `LOOKASIDE_STREAM=1`) switches experiments to the
+//! streaming execution mode: packets fold into accumulators as they
+//! happen instead of being captured and classified afterwards, holding
+//! O(shards) memory. Output is byte-identical to batch — `ci.sh` diffs
+//! the two — so the flag trades nothing but peak memory.
 
 use std::env;
 
@@ -37,6 +44,12 @@ fn main() {
         // executor; setting it here makes --jobs authoritative for the
         // whole process.
         env::set_var(lookaside::engine::JOBS_ENV, jobs.to_string());
+    }
+    if args.iter().any(|a| a == "--stream") {
+        // Experiments consult LOOKASIDE_STREAM through ExecMode::from_env
+        // when they dispatch; setting it here makes --stream authoritative
+        // for the whole process.
+        env::set_var(lookaside::engine::STREAM_ENV, "1");
     }
     let mut skip_next = false;
     let what = args

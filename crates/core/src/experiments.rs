@@ -42,7 +42,7 @@ impl QuerySet {
         }
     }
 
-    fn names(&self, internet: &Internet) -> Vec<Name> {
+    pub(crate) fn names(&self, internet: &Internet) -> Vec<Name> {
         match self {
             QuerySet::Top(n) => internet.population.top(*n),
             QuerySet::Ranks(ranks) => {
@@ -394,9 +394,13 @@ pub struct LeakPoint {
 }
 
 /// Runs the Fig. 8 / Fig. 9 sweep on the session executor (`--jobs` /
-/// `LOOKASIDE_JOBS`).
+/// `LOOKASIDE_JOBS`), streaming when `LOOKASIDE_STREAM` is set.
 pub fn fig8_9(sizes: &[usize], seed: u64) -> Vec<LeakPoint> {
-    fig8_9_with(&crate::parallel::executor(), sizes, seed)
+    if crate::stream::ExecMode::from_env().is_stream() {
+        crate::stream::fig8_9_stream(&crate::parallel::executor(), sizes, seed)
+    } else {
+        fig8_9_with(&crate::parallel::executor(), sizes, seed)
+    }
 }
 
 /// [`fig8_9`] on an explicit executor. Each dataset size is one shard — a
@@ -421,7 +425,7 @@ pub fn fig8_9_with(exec: &Executor, sizes: &[usize], seed: u64) -> Vec<LeakPoint
 
 /// Distinct leaked *ranked domains* (TLD-level strip leaks and hoster-zone
 /// leaks excluded), matching the paper's "leaked domains" notion.
-fn count_leaked_ranked(outcome: &RunOutcome) -> usize {
+pub(crate) fn count_leaked_ranked(outcome: &RunOutcome) -> usize {
     outcome
         .leakage
         .leaked_names
@@ -850,7 +854,11 @@ pub struct Fig12Data {
 /// aggregate volumes). `scale` divides the trace volume for cheap test
 /// runs; use 1 for the full figure.
 pub fn fig12(seed: u64, scale: u64) -> Fig12Data {
-    fig12_with(&crate::parallel::executor(), seed, scale)
+    if crate::stream::ExecMode::from_env().is_stream() {
+        crate::stream::fig12_stream(&crate::parallel::executor(), seed, scale)
+    } else {
+        fig12_with(&crate::parallel::executor(), seed, scale)
+    }
 }
 
 /// [`fig12`] on an explicit executor.

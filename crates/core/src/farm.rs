@@ -52,7 +52,8 @@ use lookaside_server::DLV_SPAN_TTL;
 use lookaside_workload::{DitlTrace, DomainPopulation, PopulationParams, Zipf, DITL_MINUTES};
 use serde::Serialize;
 
-use crate::parallel::map_cohorts;
+use crate::parallel::{fold_cohorts, map_cohorts};
+use crate::stream::ExecMode;
 
 fn mix(a: u64, b: u64) -> u64 {
     let mut x = a ^ b.wrapping_mul(0x9e37_79b9_7f4a_7c15);
@@ -346,13 +347,44 @@ impl Farm {
         }
     }
 
+    /// Merges per-cohort tallies on `exec`: in batch mode all cohort
+    /// tallies are collected then absorbed in cohort order; in streaming
+    /// mode (`LOOKASIDE_STREAM`) [`fold_cohorts`] absorbs each tally as
+    /// its cohort completes, keeping one live tally per worker. The
+    /// reduction is a set union plus a min-merge, so both paths (and any
+    /// worker count) produce the same bytes.
+    fn merged_tallies<F>(&self, cohorts: usize, exec: &Executor, work: F) -> CohortTally
+    where
+        F: Fn(&lookaside_engine::Shard<usize>) -> CohortTally + Sync,
+    {
+        if ExecMode::from_env().is_stream() {
+            fold_cohorts(
+                self.config.seed,
+                cohorts,
+                exec,
+                work,
+                CohortTally::default(),
+                |mut acc, tally| {
+                    acc.absorb(tally);
+                    acc
+                },
+            )
+        } else {
+            let mut merged = CohortTally::default();
+            for tally in map_cohorts(self.config.seed, cohorts, exec, work) {
+                merged.absorb(tally);
+            }
+            merged
+        }
+    }
+
     /// Runs one topology at `resolvers` instances, sharded by client
     /// cohort on `exec`. Output is a pure function of `(config,
     /// topology, resolvers)` — invariant under worker count *and* cohort
     /// count, because the reduction is a set union plus a min-merge.
     pub fn run(&self, topology: FarmTopology, resolvers: usize, exec: &Executor) -> TopologyReport {
         let cohorts = self.config.cohorts;
-        let tallies = map_cohorts(self.config.seed, cohorts, exec, |shard| {
+        let merged = self.merged_tallies(cohorts, exec, |shard| {
             let mut tally = CohortTally::default();
             for client in self.plane.cohort_members(shard.input, cohorts) {
                 let events = self.plane.events(client);
@@ -367,7 +399,7 @@ impl Farm {
             }
             tally
         });
-        self.reduce(topology, resolvers, tallies, false)
+        self.reduce(topology, resolvers, merged, false)
     }
 
     /// All four topologies at the configured farm size.
@@ -396,7 +428,7 @@ impl Farm {
         FarmTopology::ALL
             .iter()
             .map(|&topology| {
-                let tallies = map_cohorts(self.config.seed, cohorts, exec, |shard| {
+                let merged = self.merged_tallies(cohorts, exec, |shard| {
                     let lo = shard.input * DITL_MINUTES / cohorts;
                     let hi = (shard.input + 1) * DITL_MINUTES / cohorts;
                     let mut tally = CohortTally::default();
@@ -416,23 +448,19 @@ impl Farm {
                     }
                     tally
                 });
-                self.reduce(topology, self.config.resolvers, tallies, true)
+                self.reduce(topology, self.config.resolvers, merged, true)
             })
             .collect()
     }
 
-    /// Merges cohort tallies and classifies the registry's view.
+    /// Classifies the registry's view of the merged cohort tally.
     fn reduce(
         &self,
         topology: FarmTopology,
         resolvers: usize,
-        tallies: Vec<CohortTally>,
+        merged: CohortTally,
         clients_from_set: bool,
     ) -> TopologyReport {
-        let mut merged = CohortTally::default();
-        for tally in tallies {
-            merged.absorb(tally);
-        }
         let mut case1 = 0u64;
         let mut case2 = 0u64;
         let mut per_client: BTreeMap<u64, u64> = BTreeMap::new();

@@ -24,6 +24,9 @@
 //!   farm: topology-aware (per-resolver / shared-cache / ODoH /
 //!   Resolver-Less), cache-hit-aware, per-client case-2 leak accounting
 //!   over `lookaside-population`'s synthetic stubs,
+//! * [`stream`] — the streaming execution mode (`LOOKASIDE_STREAM` /
+//!   `repro --stream`): capture-less runs folding each packet into the
+//!   leakage accumulators as it happens, byte-identical to batch,
 //! * [`report`] — plain-text table rendering for the `repro` binary.
 //!
 //! # Quickstart
@@ -50,12 +53,14 @@ pub mod leakage;
 pub mod lifecycle;
 pub mod parallel;
 pub mod report;
+pub mod stream;
 
 pub use client::Client;
 pub use farm::{Farm, FarmConfig, FarmTopology, TopologyReport};
 pub use internet::{Internet, InternetParams, VantagePoint};
 pub use leakage::{classify, LeakageReport};
-pub use parallel::{executor, map_cohorts, run_sharded, Worker};
+pub use parallel::{executor, fold_cohorts, map_cohorts, run_sharded, Worker};
+pub use stream::{fig12_stream, fig8_9_stream, run_stream, ExecMode, LeakSink};
 
 pub use lookaside_population as population;
 

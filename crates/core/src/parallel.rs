@@ -91,6 +91,35 @@ where
     expect_all(exec.run(&plan, work))
 }
 
+/// [`map_cohorts`]'s streaming twin: folds per-cohort results into one
+/// accumulator in ascending cohort order instead of collecting a vector,
+/// so only one cohort result is live at a time. For the order-free
+/// reductions client planes use (set union + min-merge), the fold equals
+/// merging the collected vector — the farm equivalence tests pin it down.
+///
+/// Panics on the first shard failure, like [`map_cohorts`] via
+/// [`expect_all`].
+pub fn fold_cohorts<T, A, F, G>(
+    seed: u64,
+    cohorts: usize,
+    exec: &Executor,
+    work: F,
+    init: A,
+    fold: G,
+) -> A
+where
+    T: Send,
+    F: Fn(&lookaside_engine::Shard<usize>) -> T + Sync,
+    G: FnMut(A, T) -> A,
+{
+    assert!(cohorts > 0, "cohort count must be positive");
+    let plan = ShardPlan::new(seed).over(0..cohorts);
+    match exec.run_fold(&plan, work, init, fold) {
+        Ok(acc) => acc,
+        Err(e) => panic!("{e}"),
+    }
+}
+
 /// One measurement box of the fleet: a private simulated-Internet replica
 /// plus the resolver under test, re-buildable cheaply from a [`RunConfig`].
 pub struct Worker {

@@ -1,0 +1,332 @@
+//! Streaming execution mode: fold packets into accumulators as they
+//! happen, never materialize a capture.
+//!
+//! The batch pipeline is faithful to the paper — run, capture, classify
+//! the pcap — but it holds O(packets) memory per shard. Streaming mode
+//! replaces the capture with a [`LeakSink`]: a [`PacketSink`] installed on
+//! the network that applies the run's [`CaptureFilter`] and folds each
+//! retained packet straight into a [`LeakageReport`]. The simulation path
+//! is untouched (same exchanges, same virtual clock, same RNG draws), so
+//! the two modes are **byte-identical** by construction:
+//!
+//! * [`crate::leakage::classify`] examines packets independently, so
+//!   per-packet classification commutes with capture-then-classify;
+//! * the sink applies retention via [`CaptureFilter::keeps`] — the same
+//!   predicate `Capture::record` uses — not a re-derived rule;
+//! * shard reductions fold in ascending shard id
+//!   ([`lookaside_engine::Executor::run_fold`]), the order batch merges
+//!   captures in.
+//!
+//! The equivalence suite (`tests/stream_equivalence.rs`) pins the contract
+//! down for every experiment family at several worker counts; `ci.sh`
+//! additionally byte-diffs `repro --stream` output against batch.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use lookaside_engine::{expect_all, Executor, ShardPlan};
+use lookaside_netsim::{CaptureFilter, Direction, Packet, PacketSink};
+use lookaside_wire::ext::RemedyMode;
+use lookaside_wire::{Name, Rcode, RrType};
+use lookaside_workload::{DitlTrace, Zipf};
+
+use crate::experiments::{
+    count_leaked_ranked, Fig12Data, LeakPoint, RunConfig, RunOutcome, StatusTally,
+};
+use crate::internet::{Internet, InternetParams};
+use crate::leakage::LeakageReport;
+
+/// Which execution path an experiment takes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Capture packets, classify afterwards — the paper's pcap pipeline
+    /// and the correctness oracle.
+    #[default]
+    Batch,
+    /// Fold packets into accumulators on the fly — O(shards) memory.
+    Stream,
+}
+
+impl ExecMode {
+    /// The session's mode: [`ExecMode::Stream`] when `LOOKASIDE_STREAM`
+    /// is set (`1`/`true`/`on`), else [`ExecMode::Batch`].
+    pub fn from_env() -> Self {
+        if lookaside_engine::stream_requested() {
+            ExecMode::Stream
+        } else {
+            ExecMode::Batch
+        }
+    }
+
+    /// Whether this is the streaming path.
+    pub fn is_stream(self) -> bool {
+        self == ExecMode::Stream
+    }
+}
+
+/// The streaming Case-1/Case-2 classifier: `classify()` refactored into a
+/// per-packet fold, plus the capture's retention filter.
+///
+/// Observes every packet the network builds, keeps the ones the run's
+/// [`CaptureFilter`] would have retained, and applies exactly the
+/// per-packet logic of [`crate::leakage::classify`]. After the run the
+/// accumulated [`LeakageReport`] equals classifying the capture the batch
+/// path would have recorded.
+#[derive(Debug, Clone)]
+pub struct LeakSink {
+    filter: CaptureFilter,
+    dlv_apex: Name,
+    /// The report accumulated so far.
+    pub report: LeakageReport,
+}
+
+impl LeakSink {
+    /// A sink for a run using `filter`, classifying against `dlv_apex`.
+    pub fn new(filter: CaptureFilter, dlv_apex: Name) -> Self {
+        LeakSink { filter, dlv_apex, report: LeakageReport::default() }
+    }
+}
+
+impl PacketSink for LeakSink {
+    fn observe(&mut self, packet: &Packet) {
+        // Retention first (the `Capture::record` predicate), then the
+        // classifier's own DLV-type filter — `classify` only ever looks
+        // at DLV packets, whatever the capture retained.
+        if !self.filter.keeps(packet.qtype) || packet.qtype != RrType::Dlv {
+            return;
+        }
+        match packet.direction {
+            Direction::Query => self.report.dlv_queries += 1,
+            Direction::Response => {
+                self.report.dlv_responses += 1;
+                match (packet.rcode, packet.answers) {
+                    (Rcode::NoError, answers) if answers > 0 => self.report.case1 += 1,
+                    (Rcode::NoError, _) | (Rcode::NxDomain, _) => {
+                        self.report.case2 += 1;
+                        let leaked = packet
+                            .qname
+                            .strip_suffix(&self.dlv_apex)
+                            .filter(|n| !n.is_root())
+                            .unwrap_or_else(|| packet.qname.clone());
+                        self.report.leaked_names.insert(leaked);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.report = LeakageReport::default();
+    }
+}
+
+/// [`crate::experiments::run`] in streaming mode: same simulation, no
+/// capture — the network retains nothing and a [`LeakSink`] folds the
+/// packet stream into the [`LeakageReport`] directly.
+pub fn run_stream(config: &RunConfig) -> RunOutcome {
+    let limit = config.queries.max_rank().max(1);
+    let mut params = InternetParams::for_top(limit, config.population, config.remedy);
+    params.dlv_span_ttl = config.dlv_span_ttl;
+    params.dlv_denial = config.dlv_denial;
+    params.seed = config.seed;
+    // The sink replaces the capture; the network stores nothing. The
+    // *run's* filter still applies — inside the sink.
+    params.capture = CaptureFilter::None;
+    let mut internet = Internet::build(params);
+    let sink = Rc::new(RefCell::new(LeakSink::new(config.capture, internet.dlv_apex.clone())));
+    internet.net.set_observer(Box::new(Rc::clone(&sink)));
+    let mut resolver = internet.resolver(config.resolver, config.seed ^ 0x5a17);
+    let names = config.queries.names(&internet);
+    let mut statuses = StatusTally::default();
+    for name in &names {
+        let result = resolver.resolve(&mut internet.net, name, RrType::A);
+        crate::parallel::tally(&mut statuses, &result);
+    }
+    let leakage = sink.borrow().report.clone();
+    RunOutcome {
+        stats: internet.net.stats().clone(),
+        leakage,
+        counters: resolver.counters,
+        statuses,
+        elapsed_ns: internet.net.now_ns(),
+        queried: names.len(),
+    }
+}
+
+/// [`crate::experiments::fig8_9_with`] on the streaming path: each dataset
+/// size is still one shard, but every shard runs capture-less.
+pub fn fig8_9_stream(exec: &Executor, sizes: &[usize], seed: u64) -> Vec<LeakPoint> {
+    let shards = ShardPlan::new(seed).over(sizes.iter().copied());
+    expect_all(exec.run(&shards, |shard| {
+        let n = shard.input;
+        let mut config = RunConfig::for_top(n, RemedyMode::None);
+        config.seed = seed;
+        let outcome = run_stream(&config);
+        LeakPoint {
+            n,
+            dlv_queries: outcome.leakage.dlv_queries,
+            leaked_domains: count_leaked_ranked(&outcome),
+            proportion: count_leaked_ranked(&outcome) as f64 / n as f64,
+            suppressed: outcome.counters.dlv_suppressed_by_nsec,
+        }
+    }))
+}
+
+/// Prefix-sum accumulator for the Fig. 12 cumulative series — the fold
+/// state [`fig12_stream`] threads through the window shards.
+struct Fig12Acc {
+    cum_q: u64,
+    cum_base: u64,
+    cum_overhead: u64,
+    queries: Vec<u64>,
+    baseline: Vec<u64>,
+    overhead: Vec<u64>,
+}
+
+/// [`crate::experiments::fig12_with`] on the streaming path.
+///
+/// Calibration runs stream (capture-less); the trace windows run through
+/// [`Executor::run_fold`], which folds each window's minute triples into
+/// the cumulative prefix sums **as windows complete**, in shard order —
+/// so the reduction holds one window's triples at a time instead of all
+/// seven, and the arithmetic happens in exactly the order the batch
+/// concatenation performs it.
+pub fn fig12_stream(exec: &Executor, seed: u64, scale: u64) -> Fig12Data {
+    assert!(scale >= 1);
+    let trace = DitlTrace::generate(seed);
+
+    let calib = ShardPlan::new(seed ^ 0xca11b).over([RemedyMode::None, RemedyMode::TxtSignal]);
+    let calibrated = expect_all(exec.run(&calib, |shard| {
+        let mut cfg = RunConfig::quick(60);
+        cfg.remedy = shard.input;
+        cfg.capture = CaptureFilter::None;
+        run_stream(&cfg)
+    }));
+    let (base, txt) = (&calibrated[0], &calibrated[1]);
+    let cold_bytes_per_resolution = base.stats.total_bytes() as f64 / base.queried as f64;
+    let txt_probes = txt.stats.queries_of(RrType::Txt).max(1);
+    let txt_bytes_per_probe = txt.stats.bytes_of(RrType::Txt) as f64 / txt_probes as f64;
+    let stub_bytes_per_query = 130.0;
+
+    let windows: Vec<Vec<u64>> =
+        trace.per_minute().chunks(60).map(|chunk| chunk.to_vec()).collect();
+    let shards = ShardPlan::new(seed ^ 0xd17f).over(windows);
+    let minutes_total = trace.per_minute().len();
+    let folded = exec.run_fold(
+        &shards,
+        |shard| {
+            let zipf = Zipf::new(2_000_000, 0.92);
+            let mut seen = vec![false; zipf.n() + 1];
+            let mut rng_state = shard.seed;
+            let mut next = || {
+                rng_state = rng_state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = rng_state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            let mut minutes = Vec::with_capacity(shard.input.len());
+            for &volume in &shard.input {
+                let sampled = volume / scale;
+                let mut misses = 0u64;
+                for _ in 0..sampled {
+                    let domain = zipf.sample_hash(next());
+                    if !seen[domain] {
+                        seen[domain] = true;
+                        misses += 1;
+                    }
+                }
+                let scaled_misses = misses * scale;
+                let base_bytes = (volume as f64 * stub_bytes_per_query) as u64
+                    + (scaled_misses as f64 * cold_bytes_per_resolution) as u64;
+                let overhead_bytes = (scaled_misses as f64 * txt_bytes_per_probe) as u64;
+                minutes.push((volume, base_bytes, overhead_bytes));
+            }
+            minutes
+        },
+        Fig12Acc {
+            cum_q: 0,
+            cum_base: 0,
+            cum_overhead: 0,
+            queries: Vec::with_capacity(minutes_total),
+            baseline: Vec::with_capacity(minutes_total),
+            overhead: Vec::with_capacity(minutes_total),
+        },
+        |mut acc, minutes| {
+            for (volume, base_bytes, overhead_bytes) in minutes {
+                acc.cum_q += volume;
+                acc.cum_base += base_bytes;
+                acc.cum_overhead += overhead_bytes;
+                acc.queries.push(acc.cum_q);
+                acc.baseline.push(acc.cum_base);
+                acc.overhead.push(acc.cum_overhead);
+            }
+            acc
+        },
+    );
+    let acc = match folded {
+        Ok(acc) => acc,
+        Err(e) => panic!("{e}"),
+    };
+    let overhead_mbps = acc.cum_overhead as f64 * 8.0 / (420.0 * 60.0) / 1e6;
+    Fig12Data {
+        per_minute: trace.per_minute().to_vec(),
+        cumulative_queries: acc.queries,
+        cumulative_baseline_bytes: acc.baseline,
+        cumulative_overhead_bytes: acc.overhead,
+        overhead_mbps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::run;
+
+    fn assert_outcomes_match(stream: &RunOutcome, batch: &RunOutcome) {
+        assert_eq!(stream.leakage, batch.leakage);
+        assert_eq!(stream.stats, batch.stats);
+        assert_eq!(stream.counters, batch.counters);
+        assert_eq!(stream.statuses, batch.statuses);
+        assert_eq!(stream.elapsed_ns, batch.elapsed_ns);
+        assert_eq!(stream.queried, batch.queried);
+    }
+
+    #[test]
+    fn stream_run_is_byte_identical_to_batch() {
+        let config = RunConfig::quick(25);
+        assert_outcomes_match(&run_stream(&config), &run(&config));
+    }
+
+    #[test]
+    fn stream_honours_the_runs_capture_filter() {
+        let mut config = RunConfig::quick(20);
+        config.capture = CaptureFilter::None;
+        let stream = run_stream(&config);
+        let batch = run(&config);
+        // A capture-less batch run classifies an empty capture; the sink
+        // must reproduce that, not classify the unfiltered stream.
+        assert_eq!(stream.leakage, LeakageReport::default());
+        assert_outcomes_match(&stream, &batch);
+    }
+
+    #[test]
+    fn stream_fig12_matches_batch_at_any_job_count() {
+        for exec in [Executor::serial(), Executor::new(4)] {
+            let stream = fig12_stream(&exec, 7, 500_000);
+            let batch = crate::experiments::fig12_with(&exec, 7, 500_000);
+            assert_eq!(stream.per_minute, batch.per_minute);
+            assert_eq!(stream.cumulative_queries, batch.cumulative_queries);
+            assert_eq!(stream.cumulative_baseline_bytes, batch.cumulative_baseline_bytes);
+            assert_eq!(stream.cumulative_overhead_bytes, batch.cumulative_overhead_bytes);
+            assert_eq!(stream.overhead_mbps, batch.overhead_mbps);
+        }
+    }
+
+    #[test]
+    fn mode_defaults_to_batch() {
+        assert!(!ExecMode::default().is_stream());
+        assert!(ExecMode::Stream.is_stream());
+    }
+}

@@ -13,6 +13,17 @@ use crate::queue::BoundedQueue;
 /// Environment variable overriding the default worker count.
 pub const JOBS_ENV: &str = "LOOKASIDE_JOBS";
 
+/// Environment variable selecting the streaming execution mode
+/// (`1`/`true`/`on`). Streaming and batch are byte-identical by contract;
+/// the variable only picks which machinery produces those bytes.
+pub const STREAM_ENV: &str = "LOOKASIDE_STREAM";
+
+/// Whether streaming execution was requested via [`STREAM_ENV`].
+pub fn stream_requested() -> bool {
+    // lint:allow(determinism::env-read) -- LOOKASIDE_STREAM picks between two byte-identical execution paths (batch vs streaming); it can never reach results
+    matches!(env::var(STREAM_ENV).ok().as_deref().map(str::trim), Some("1" | "true" | "on"))
+}
+
 /// A shard that panicked instead of producing a result.
 ///
 /// Panic isolation keeps one bad cell from poisoning a whole sweep: the
@@ -151,7 +162,7 @@ pub fn expect_all<T>(results: Vec<Result<T, ShardError>>) -> Vec<T> {
         .collect()
 }
 
-fn run_one<I, T, F>(task: &F, shard: &Shard<I>) -> Result<T, ShardError>
+pub(crate) fn run_one<I, T, F>(task: &F, shard: &Shard<I>) -> Result<T, ShardError>
 where
     F: Fn(&Shard<I>) -> T,
 {

@@ -44,11 +44,12 @@
 #![warn(missing_docs)]
 
 mod executor;
+mod fold;
 mod plan;
 mod queue;
 mod seed;
 
-pub use executor::{expect_all, Executor, ShardError, JOBS_ENV};
+pub use executor::{expect_all, stream_requested, Executor, ShardError, JOBS_ENV, STREAM_ENV};
 pub use plan::{Shard, ShardPlan};
 pub use queue::BoundedQueue;
 pub use seed::splitmix64;

@@ -13,6 +13,12 @@
 //!   a whole table.
 //! * **unsafe** — every non-bench crate root carries
 //!   `#![forbid(unsafe_code)]` and no `unsafe` token appears anywhere.
+//! * **stream** — modules opting in with a `// lint:stream-hot-path`
+//!   comment (the streaming steady state: per-packet observers, the
+//!   render arena, flat zone lookup, timer rings) must not allocate per
+//!   call: `format!`, `.to_string()`, and `Vec::new()` are banned in
+//!   live (non-test) code. These keep the <50 allocs/query budget of
+//!   BENCH_pr8.json honest.
 //!
 //! Suppression grammar (justification mandatory, both forms):
 //!
@@ -52,6 +58,7 @@ pub const ALL_RULES: &[&str] = &[
     "panic::slice-index",
     "unsafe::token",
     "unsafe::missing-forbid",
+    "stream::hot-path",
     "allow::missing-justification",
     "allow::unknown-rule",
     "allow::unused",
@@ -126,6 +133,10 @@ pub struct ScanOutcome {
 pub fn scan_source(class: &FileClass, src: &str) -> ScanOutcome {
     let lexed = lex(src);
     let mut allows = parse_allows(&lexed.comments);
+    // A module opts into the streaming allocation rules with a bare
+    // `// lint:stream-hot-path` comment (conventionally line 1).
+    let stream_tagged = class.role == Role::Src
+        && lexed.comments.iter().any(|c| !c.doc && c.text.trim() == "lint:stream-hot-path");
     let mut out = ScanOutcome::default();
 
     // Grammar findings first: they are never suppressible.
@@ -147,7 +158,7 @@ pub fn scan_source(class: &FileClass, src: &str) -> ScanOutcome {
         }
     }
 
-    let raw = detect(class, &lexed.tokens, src);
+    let raw = detect(class, &lexed.tokens, src, stream_tagged);
     for f in raw {
         match allows.iter_mut().find(|a| a.matches(f.rule, f.line)) {
             Some(a) => {
@@ -297,7 +308,7 @@ const NON_INDEX_KEYWORDS: &[&str] = &[
     "yield",
 ];
 
-fn detect(class: &FileClass, tokens: &[Token], src: &str) -> Vec<Finding> {
+fn detect(class: &FileClass, tokens: &[Token], src: &str, stream_tagged: bool) -> Vec<Finding> {
     let mut f = Vec::new();
     let determinism = class.in_crate(RESULT_BEARING);
     let panic_rules = class.in_crate(HOT_PATH);
@@ -386,6 +397,35 @@ fn detect(class: &FileClass, tokens: &[Token], src: &str) -> Vec<Finding> {
                              plumbing (engine::seed, bench)"
                     ),
                 ));
+            }
+        }
+
+        if stream_tagged {
+            match ident.as_str() {
+                "format" if matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Punct(b'!'))) => {
+                    f.push(finding(
+                        "stream::hot-path",
+                        t.line,
+                        "`format!` allocates in a stream-hot-path module — write into a \
+                         reused buffer"
+                            .into(),
+                    ))
+                }
+                "to_string" if method_call(tokens, i) => f.push(finding(
+                    "stream::hot-path",
+                    t.line,
+                    "`.to_string()` allocates in a stream-hot-path module — borrow or \
+                     intern instead"
+                        .into(),
+                )),
+                "Vec" if path_call(tokens, i, "new") => f.push(finding(
+                    "stream::hot-path",
+                    t.line,
+                    "`Vec::new()` in a stream-hot-path module — preallocate with \
+                     `with_capacity` outside the steady state"
+                        .into(),
+                )),
+                _ => {}
             }
         }
 

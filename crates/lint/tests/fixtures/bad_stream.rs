@@ -1,0 +1,31 @@
+// lint:stream-hot-path
+//! Known-bad fixture: a module tagged as a streaming hot path that
+//! allocates in live code. Exercises all three banned constructs plus
+//! the allow escape hatch and the `#[cfg(test)]` exemption.
+
+pub fn banned_format(n: u32) -> String {
+    format!("q{n}")
+}
+
+pub fn banned_to_string(name: &str) -> String {
+    name.to_string()
+}
+
+pub fn banned_vec() -> Vec<u8> {
+    Vec::new()
+}
+
+pub fn allowed_cold_path() -> String {
+    // lint:allow(stream::hot-path) -- cold boot banner, runs once per process
+    "boot".to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_allocate() {
+        let mut v = Vec::new();
+        v.push(super::banned_format(7));
+        assert_eq!(v[0], format!("q{}", 7).to_string());
+    }
+}

@@ -60,6 +60,32 @@ fn bad_unsafe_fires_unsafe_token() {
 }
 
 #[test]
+fn bad_stream_fires_hot_path_with_allow_and_test_exemptions() {
+    let out =
+        scan_fixture("crates/netsim/src/bad_stream.rs", include_str!("fixtures/bad_stream.rs"));
+    // Exactly the three live allocation sites — the `lint:allow` site and
+    // the whole `#[cfg(test)]` module stay silent.
+    assert_eq!(rules_of(&out), vec!["stream::hot-path"]);
+    assert_eq!(out.findings.len(), 3, "{:#?}", out.findings);
+    assert_eq!(out.suppressed.len(), 1);
+    assert_eq!(out.suppressed[0].rule, "stream::hot-path");
+    assert_eq!(out.suppressed[0].justification, "cold boot banner, runs once per process");
+}
+
+#[test]
+fn untagged_files_are_exempt_from_stream_rules() {
+    // Strip the line-1 tag: the same allocation-heavy source must no
+    // longer trip the stream family (the now-pointless allow is flagged
+    // as unused instead).
+    let src = include_str!("fixtures/bad_stream.rs");
+    let untagged: String = src.lines().skip(1).map(|l| format!("{l}\n")).collect();
+    let out = scan_fixture("crates/netsim/src/bad_stream.rs", &untagged);
+    let rules = rules_of(&out);
+    assert!(!rules.contains(&"stream::hot-path"), "{rules:?}");
+    assert!(rules.contains(&"allow::unused"), "{rules:?}");
+}
+
+#[test]
 fn clean_fixture_has_zero_findings_and_one_used_suppression() {
     let out = scan_fixture("crates/core/src/clean.rs", include_str!("fixtures/clean.rs"));
     assert!(out.findings.is_empty(), "{:#?}", out.findings);

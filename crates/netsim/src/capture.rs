@@ -76,7 +76,13 @@ pub enum CaptureFilter {
 }
 
 impl CaptureFilter {
-    fn keeps(self, qtype: RrType) -> bool {
+    /// Whether a packet of this query type would be retained.
+    ///
+    /// Public so streaming accumulators (which replace the capture
+    /// entirely) can apply exactly the retention rule the batch path would
+    /// have applied — the byte-identity contract between the two modes
+    /// hinges on this predicate being shared, not re-derived.
+    pub fn keeps(self, qtype: RrType) -> bool {
         match self {
             CaptureFilter::All => true,
             CaptureFilter::DlvOnly => qtype == RrType::Dlv,

@@ -46,6 +46,7 @@ mod capture;
 mod fault;
 mod latency;
 mod network;
+mod observe;
 mod stats;
 
 pub use capture::{
@@ -57,4 +58,5 @@ pub use network::{
     DnsHandler, Exchange, NetError, Network, ServerAction, SpoofedResponse, Transport,
     DEFAULT_TIMEOUT_NS, TCP_OVERHEAD_BYTES, UDP_LIMIT_NO_EDNS,
 };
+pub use observe::{DlvQueryCounter, PacketSink};
 pub use stats::TrafficStats;

@@ -4,11 +4,12 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::net::Ipv4Addr;
 
-use lookaside_wire::{Message, MessageBuilder, RData, Rcode, Record, RrClass, RrType};
+use lookaside_wire::{Message, MessageBuilder, RData, Rcode, Record, RenderArena, RrClass, RrType};
 
 use crate::capture::{Capture, CaptureFilter, Direction, Packet};
 use crate::fault::{splitmix64, FaultPlane, GOLDEN};
 use crate::latency::LatencyModel;
+use crate::observe::PacketSink;
 use crate::stats::TrafficStats;
 
 /// How a server treats one incoming query — the hook [`crate::FaultPlane`]
@@ -166,6 +167,8 @@ pub struct Network {
     tcp_latency: Option<LatencyModel>,
     capture: Capture,
     stats: TrafficStats,
+    observer: Option<Box<dyn PacketSink>>,
+    arena: RenderArena,
     clock_ns: u64,
     seq: u64,
     next_id: u16,
@@ -194,6 +197,8 @@ impl Network {
             tcp_latency: None,
             capture: Capture::new(CaptureFilter::DlvOnly),
             stats: TrafficStats::new(),
+            observer: None,
+            arena: RenderArena::new(),
             clock_ns: 0,
             seq: 0,
             next_id: 1,
@@ -235,6 +240,19 @@ impl Network {
     /// Replaces the capture filter (clears retained packets).
     pub fn set_capture_filter(&mut self, filter: CaptureFilter) {
         self.capture = Capture::new(filter);
+    }
+
+    /// Installs a streaming packet observer (see [`PacketSink`]). The sink
+    /// is shown every packet the capture would see — unfiltered, in
+    /// capture order — so a fold over it can replace the capture entirely.
+    /// Streaming runs pair this with [`CaptureFilter::None`].
+    pub fn set_observer(&mut self, sink: Box<dyn PacketSink>) {
+        self.observer = Some(sink);
+    }
+
+    /// Removes and returns the installed observer, if any.
+    pub fn take_observer(&mut self) -> Option<Box<dyn PacketSink>> {
+        self.observer.take()
     }
 
     /// Installs a man-in-the-middle hook (§6.2.3 attacks).
@@ -356,7 +374,7 @@ impl Network {
         if let Some(tamper) = &mut self.tamper {
             tamper(&mut query, Direction::Query);
         }
-        let mut query_bytes = query.wire_len();
+        let mut query_bytes = self.arena.measure(&query);
         let mut rtt_ns = match (transport, &self.tcp_latency) {
             (Transport::Tcp, Some(tcp)) => tcp.rtt_ns(dst, self.seq),
             _ => self.latency.rtt_ns(dst, self.seq),
@@ -373,7 +391,7 @@ impl Network {
             Some(q) => (q.name.clone(), q.rrtype),
             None => (lookaside_wire::Name::root(), RrType::Unknown(0)),
         };
-        self.capture.record(Packet {
+        let query_packet = Packet {
             time_ns: self.clock_ns,
             dst,
             direction: Direction::Query,
@@ -382,7 +400,11 @@ impl Network {
             rcode: Rcode::NoError,
             answers: 0,
             size: query_bytes,
-        });
+        };
+        if let Some(sink) = &mut self.observer {
+            sink.observe(&query_packet);
+        }
+        self.capture.record(query_packet);
 
         if plan.query_lost {
             return Err(self.time_out(dst, qtype, query_bytes, timeout_ns));
@@ -412,7 +434,7 @@ impl Network {
         }
         if transport == Transport::Udp {
             let limit = query.edns.map_or(UDP_LIMIT_NO_EDNS, |e| e.udp_size) as usize;
-            if response.wire_len() > limit || plan.truncate {
+            if self.arena.measure(&response) > limit || plan.truncate {
                 // Truncate: keep the header + question, raise TC. The fault
                 // plane can force this on fitting responses too (a
                 // middlebox or rate-limiter clipping the datagram).
@@ -448,10 +470,10 @@ impl Network {
             }
             _ => None,
         };
-        let response_bytes = response.wire_len();
+        let response_bytes = self.arena.measure(&response);
         self.clock_ns += rtt_ns;
 
-        self.capture.record(Packet {
+        let response_packet = Packet {
             time_ns: self.clock_ns,
             dst,
             direction: Direction::Response,
@@ -460,7 +482,11 @@ impl Network {
             rcode: response.rcode(),
             answers: response.answers.len() as u16,
             size: response_bytes,
-        });
+        };
+        if let Some(sink) = &mut self.observer {
+            sink.observe(&response_packet);
+        }
+        self.capture.record(response_packet);
         self.stats.record(qtype, response.rcode(), query_bytes, response_bytes, rtt_ns);
 
         Ok(Exchange { response, rtt_ns, query_bytes, response_bytes, spoof })
@@ -539,12 +565,23 @@ impl Network {
         &self.stats
     }
 
-    /// Resets clock, capture, and statistics (topology unchanged).
+    /// Resets clock, capture, statistics, and any installed observer's
+    /// accumulated state (topology unchanged).
     pub fn reset_measurement(&mut self) {
         self.clock_ns = 0;
         self.seq = 0;
         self.capture.clear();
         self.stats = TrafficStats::new();
+        if let Some(sink) = &mut self.observer {
+            sink.reset();
+        }
+    }
+
+    /// Rendering-arena occupancy: `(messages rendered, high-water octets)`
+    /// — the streaming bench reports these to show the arena stops growing
+    /// once the largest message has been seen.
+    pub fn arena_stats(&self) -> (u64, usize) {
+        (self.arena.renders(), self.arena.high_water())
     }
 }
 

@@ -27,8 +27,14 @@ pub mod config;
 pub mod harden;
 mod resolver;
 pub mod retry;
+mod ring;
 mod trust;
 mod validate;
+
+/// Slots in the per-resolver holddown [`TimerRing`] — far above the number
+/// of simultaneously misbehaving servers any scenario sweeps, while fixing
+/// the cache's steady-state footprint.
+pub const HOLDDOWN_RING_CAPACITY: usize = 64;
 
 pub use config::{
     environments, BindConfig, DnssecValidation, EffectiveBehavior, Environment, FeatureModel,
@@ -37,5 +43,6 @@ pub use config::{
 pub use harden::{BadCache, Hardening};
 pub use resolver::{Counters, RecursiveResolver, Resolution, ResolveError, ResolverSetup};
 pub use retry::{InfraCache, RetryPolicy, ServfailCache};
+pub use ring::TimerRing;
 pub use trust::{AnchorState, TrustAnchor, TrustAnchorSet, DEFAULT_HOLD_DOWN_NS};
 pub use validate::{check_rrset, verify_rrset, RrsigCheck, SecurityStatus};

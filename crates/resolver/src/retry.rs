@@ -22,6 +22,8 @@ use std::net::Ipv4Addr;
 
 use lookaside_wire::{Name, RrType};
 
+use crate::ring::TimerRing;
+
 /// Nanoseconds per second.
 const SEC: u64 = 1_000_000_000;
 
@@ -90,8 +92,10 @@ struct RttEstimate {
 #[derive(Debug, Clone, Default)]
 pub struct InfraCache {
     rtt: BTreeMap<Ipv4Addr, RttEstimate>,
-    /// Absolute simulated time until which the server is skipped.
-    held_until: BTreeMap<Ipv4Addr, u64>,
+    /// Holddown timers in a fixed-capacity ring (see [`TimerRing`]):
+    /// expired slots are reclaimed in place, so steady-state memory is the
+    /// ring capacity no matter how many servers a replay touches.
+    held: TimerRing,
 }
 
 impl InfraCache {
@@ -129,21 +133,19 @@ impl InfraCache {
     }
 
     /// Holds `addr` down (lame or unresponsive) until `now_ns +
-    /// policy.holddown_ns`.
+    /// policy.holddown_ns`. Re-holding keeps the later expiry.
     pub fn hold_down(&mut self, addr: Ipv4Addr, now_ns: u64, policy: &RetryPolicy) {
-        let until = now_ns + policy.holddown_ns;
-        let slot = self.held_until.entry(addr).or_insert(0);
-        *slot = (*slot).max(until);
+        self.held.arm(addr, now_ns + policy.holddown_ns, now_ns);
     }
 
     /// Whether `addr` is currently held down.
     pub fn is_held_down(&self, addr: Ipv4Addr, now_ns: u64) -> bool {
-        self.held_until.get(&addr).is_some_and(|&until| until > now_ns)
+        self.held.active(addr, now_ns)
     }
 
     /// Clears a holddown (a successful exchange redeems the server).
     pub fn redeem(&mut self, addr: Ipv4Addr) {
-        self.held_until.remove(&addr);
+        self.held.disarm(addr);
     }
 
     /// Orders candidate servers best-RTT-first, preserving the incoming

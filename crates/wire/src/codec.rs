@@ -52,6 +52,19 @@ impl Writer {
         self.buf
     }
 
+    /// The encoded bytes written so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Clears the buffer and the compression map, keeping both allocations
+    /// — the reset that lets one writer render many messages (see
+    /// [`crate::RenderArena`]).
+    pub fn reset(&mut self) {
+        self.buf.clear();
+        self.names.clear();
+    }
+
     /// Appends one octet.
     pub fn write_u8(&mut self, v: u8) {
         self.buf.push(v);

@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod error;
 mod header;
 mod message;
@@ -41,6 +42,7 @@ mod rrtype;
 pub mod codec;
 pub mod ext;
 
+pub use arena::RenderArena;
 pub use error::WireError;
 pub use header::{Flags, Header, Opcode, Rcode};
 pub use message::{Message, MessageBuilder, Question, Section};

@@ -179,16 +179,30 @@ impl Message {
     /// Encodes to wire bytes, recomputing section counts and materialising
     /// the OPT record.
     pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        self.render_with(&mut w);
+        w.into_bytes()
+    }
+
+    /// Encodes into an existing [`Writer`] (call [`Writer::reset`] first to
+    /// reuse one) — the allocation-free rendering path behind
+    /// [`crate::RenderArena`]. Produces exactly the bytes of
+    /// [`Message::to_bytes`].
+    pub fn render_with(&self, w: &mut Writer) {
         let mut header = self.header;
         header.qdcount = self.questions.len() as u16;
         header.ancount = self.answers.len() as u16;
         header.nscount = self.authorities.len() as u16;
         header.arcount = (self.additionals.len() + usize::from(self.edns.is_some())) as u16;
 
-        let mut w = Writer::new();
-        let mut hdr_buf = Vec::with_capacity(Header::WIRE_LEN);
-        header.encode(&mut hdr_buf);
-        w.write_bytes(&hdr_buf);
+        // The header is six big-endian u16 fields (RFC 1035 §4.1.1),
+        // written directly so rendering borrows no scratch buffer.
+        w.write_u16(header.id);
+        w.write_u16(header.flags.to_u16());
+        w.write_u16(header.qdcount);
+        w.write_u16(header.ancount);
+        w.write_u16(header.nscount);
+        w.write_u16(header.arcount);
 
         for q in &self.questions {
             w.write_name(&q.name);
@@ -196,7 +210,7 @@ impl Message {
             w.write_u16(q.class.code());
         }
         for rec in self.answers.iter().chain(&self.authorities).chain(&self.additionals) {
-            rec.encode(&mut w);
+            rec.encode(w);
         }
         if let Some(edns) = self.edns {
             // OPT pseudo-record: root owner, type 41, class = udp size,
@@ -216,10 +230,13 @@ impl Message {
                 w.write_u16(0);
             }
         }
-        w.into_bytes()
     }
 
     /// Size of the encoded message in octets.
+    ///
+    /// Allocates a fresh buffer per call; hot paths that size many
+    /// messages should prefer [`crate::RenderArena::measure`], which
+    /// reuses one.
     pub fn wire_len(&self) -> usize {
         self.to_bytes().len()
     }

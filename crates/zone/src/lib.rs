@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 mod error;
+mod flat;
 pub mod lifecycle;
 mod lookup;
 pub mod master;
@@ -40,6 +41,7 @@ mod published;
 mod zone;
 
 pub use error::ZoneError;
+pub use flat::{FlatHandle, FlatZone};
 pub use lifecycle::{
     serial_lt, serial_window_contains, KeyTimeline, LifecycleFault, LifecycleTarget,
     RolloverPolicy, ZoneEpoch,

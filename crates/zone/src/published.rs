@@ -5,6 +5,7 @@ use lookaside_crypto::KeyPair;
 use lookaside_wire::{Name, RData, Record, RrClass, RrSet, RrType, TypeBitmap};
 use serde::{Deserialize, Serialize};
 
+use crate::flat::FlatZone;
 use crate::lookup::{Lookup, SignedRrSet};
 use crate::nsec::NsecChain;
 use crate::nsec3::{DenialMode, Nsec3Chain};
@@ -142,6 +143,9 @@ pub fn rrsig_signing_input(
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PublishedZone {
     zone: Zone,
+    /// The publish-time freeze of `zone` + `sigs`: one sorted flat array
+    /// binary-searched on the lookup hot path (see [`crate::FlatZone`]).
+    flat: FlatZone,
     signed: bool,
     dnskeys: Option<SignedRrSet>,
     /// RRSIG covering each (owner, type) RRset, behind `Arc` so answers
@@ -163,8 +167,10 @@ impl PublishedZone {
     /// Publishes a zone without DNSSEC.
     pub fn unsigned(zone: Zone) -> Self {
         let soa = SignedRrSet::unsigned(zone.soa_rrset());
+        let flat = FlatZone::build(&zone, &BTreeMap::new());
         PublishedZone {
             zone,
+            flat,
             signed: false,
             dnskeys: None,
             sigs: BTreeMap::new(),
@@ -281,9 +287,11 @@ impl PublishedZone {
         let soa_set = zone.soa_rrset();
         let soa_sig = sigs.get(&(soa_set.name.clone(), RrType::Soa)).cloned();
         let soa = SignedRrSet::new(Arc::new(soa_set), soa_sig);
+        let flat = FlatZone::build(&zone, &sigs);
 
         PublishedZone {
             zone,
+            flat,
             signed: true,
             dnskeys: Some(dnskeys),
             sigs,
@@ -382,14 +390,14 @@ impl PublishedZone {
             }
         }
 
-        if let Some(cname) = self.zone.rrset(qname, RrType::Cname) {
-            if qtype != RrType::Cname {
-                return Lookup::Cname { cname: self.with_sig(cname) };
+        if qtype != RrType::Cname {
+            if let Some(cname) = self.flat.signed(qname, RrType::Cname) {
+                return Lookup::Cname { cname };
             }
         }
 
-        if let Some(set) = self.zone.rrset(qname, qtype) {
-            return Lookup::Answer { answer: self.with_sig(set) };
+        if let Some(answer) = self.flat.signed(qname, qtype) {
+            return Lookup::Answer { answer };
         }
 
         if qtype == RrType::Nsec {
@@ -398,7 +406,7 @@ impl PublishedZone {
             }
         }
 
-        if self.zone.name_exists(qname) {
+        if self.flat.name_exists(qname) {
             Lookup::NoData { soa: self.soa_signed(), proof: self.nodata_proof(qname) }
         } else {
             Lookup::NxDomain { soa: self.soa_signed(), proof: self.nxdomain_proof(qname) }

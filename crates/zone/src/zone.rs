@@ -211,6 +211,14 @@ impl Zone {
         self.records.keys()
     }
 
+    /// Iterates all RRsets as shared handles in canonical `(owner, type)`
+    /// order — the order [`crate::FlatZone`] lays its flat table out in.
+    pub fn shared_rrsets(&self) -> impl Iterator<Item = (&Name, RrType, &Arc<RrSet>)> {
+        self.records
+            .iter()
+            .flat_map(|(name, sets)| sets.iter().map(move |(rrtype, set)| (name, *rrtype, set)))
+    }
+
     /// Glue address for an in-bailiwick name server.
     pub fn glue_for(&self, ns: &Name) -> Option<Ipv4Addr> {
         self.glue.get(ns).copied()

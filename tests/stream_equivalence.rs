@@ -1,0 +1,99 @@
+//! Streaming execution is byte-identical to batch execution.
+//!
+//! The streaming mode (PR 8) replaces capture-then-classify with a
+//! per-packet [`lookaside::LeakSink`] observer and replaces
+//! collect-then-reduce sweeps with `run_fold` accumulators. None of that
+//! may show up in the bytes: for every seed, remedy, capture filter, and
+//! worker count, the streamed result must equal the batch result exactly.
+//! Batch stays the correctness oracle; these tests are the contract that
+//! lets `--stream` default into the figure pipeline later.
+//!
+//! Equality is asserted on `Debug` renderings where the result types do
+//! not implement `PartialEq` — a stricter statement (field-order and
+//! formatting included) that matches the `diff`-based gate in `ci.sh`.
+
+use lookaside::engine::Executor;
+use lookaside::experiments::{fig12_with, fig8_9_with, run, RunConfig};
+use lookaside::farm::{Farm, FarmConfig};
+use lookaside::netsim::CaptureFilter;
+use lookaside::wire::ext::RemedyMode;
+use lookaside::{fig12_stream, fig8_9_stream, run_stream};
+use proptest::prelude::*;
+
+fn debug_bytes<T: std::fmt::Debug>(value: &T) -> String {
+    format!("{value:?}")
+}
+
+proptest! {
+    /// A single run: the `LeakSink` classifying per packet produces the
+    /// same outcome as capturing everything and classifying afterwards,
+    /// for any seed, remedy, and capture filter (including `None`, where
+    /// both modes must report nothing).
+    #[test]
+    fn run_stream_matches_batch_for_any_config(
+        seed in 0u64..1_000,
+        n in 10usize..40,
+        remedy_idx in 0usize..4,
+        capture_idx in 0usize..3,
+    ) {
+        let mut config = RunConfig::quick(n);
+        config.seed = seed;
+        config.remedy = match remedy_idx {
+            0 => RemedyMode::None,
+            1 => RemedyMode::TxtSignal,
+            2 => RemedyMode::ZBit,
+            _ => RemedyMode::HashedDlv,
+        };
+        config.capture = match capture_idx {
+            0 => CaptureFilter::All,
+            1 => CaptureFilter::DlvOnly,
+            _ => CaptureFilter::None,
+        };
+        let batch = run(&config);
+        let streamed = run_stream(&config);
+        prop_assert_eq!(debug_bytes(&batch), debug_bytes(&streamed));
+    }
+
+    /// The Fig. 8–9 sweep: streamed shards equal batch shards at one
+    /// worker and at four.
+    #[test]
+    fn fig8_9_stream_matches_batch_at_one_and_four_workers(seed in 0u64..1_000) {
+        let sizes = [10, 25, 40];
+        let batch = fig8_9_with(&Executor::serial(), &sizes, seed);
+        for exec in [Executor::serial(), Executor::new(4)] {
+            let streamed = fig8_9_stream(&exec, &sizes, seed);
+            prop_assert_eq!(debug_bytes(&batch), debug_bytes(&streamed));
+        }
+    }
+
+    /// The Fig. 12 trace replay: the fold over window shards reproduces
+    /// the batch concatenate-then-prefix-sum arithmetic bit for bit.
+    #[test]
+    fn fig12_stream_matches_batch_at_one_and_four_workers(seed in 0u64..200) {
+        let scale = 500_000;
+        let batch = fig12_with(&Executor::serial(), seed, scale);
+        for exec in [Executor::serial(), Executor::new(4)] {
+            let streamed = fig12_stream(&exec, seed, scale);
+            prop_assert_eq!(debug_bytes(&batch), debug_bytes(&streamed));
+        }
+    }
+}
+
+/// The resolver-farm sweep honours the `LOOKASIDE_STREAM` toggle and the
+/// fold-based cohort reduction it selects equals the batch
+/// collect-then-absorb reduction. Env-toggled rather than proptested:
+/// the variable is process-global, so one test owns it.
+#[test]
+fn farm_streaming_fold_matches_batch_reduction() {
+    let mut config = FarmConfig::quick(1_200);
+    config.cohorts = 6;
+    config.seed = 41;
+    config.plane.seed = 41 ^ 0x9d;
+    let farm = Farm::new(config);
+    let exec = Executor::new(3);
+    let batch = farm.sweep(&exec);
+    std::env::set_var(lookaside::engine::STREAM_ENV, "1");
+    let streamed = farm.sweep(&exec);
+    std::env::remove_var(lookaside::engine::STREAM_ENV);
+    assert_eq!(batch, streamed);
+}
