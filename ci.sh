@@ -24,8 +24,9 @@ cargo fmt --check
 # Allocation-regression gate: the alloc_sweep bench counts every heap
 # allocation of a deterministic fig8_9 run, so allocations/query is an
 # exact number, not a timing. Fail if it creeps >10% above the recorded
-# PR-3 baseline (see BENCH_pr3.json).
-ALLOC_BASELINE=619
+# baseline (PR-3 set 619, see BENCH_pr3.json; PR-9's `resolve_into` +
+# RRset scratch pool lowered the batch path to 453).
+ALLOC_BASELINE=453
 cargo bench --bench alloc_sweep | tee target/ci/alloc_sweep.txt
 ALLOCS_PER_QUERY=$(awk '/allocs\/query/ { print $3; exit }' target/ci/alloc_sweep.txt)
 if [ -z "${ALLOCS_PER_QUERY}" ]; then
@@ -42,8 +43,11 @@ fi
 # steady-state allocations/query of the capture-less observer path (hard
 # ceiling, see BENCH_pr8.json) and the streamed Fig. 12 replay rate
 # (floor set ~10x under the recorded 4-worker figure, so it only trips
-# on order-of-magnitude regressions, not machine noise).
-STREAM_ALLOC_CEILING=50
+# on order-of-magnitude regressions, not machine noise). The warm query
+# path is allocation-free since `resolve_into` + the resolver's RRset
+# scratch pool (PR 9); the ceiling of 2 leaves headroom for residual
+# cold-path traffic without letting a per-query allocation back in.
+STREAM_ALLOC_CEILING=2
 STREAM_QPS_FLOOR=150000
 cargo bench --bench stream_sweep | tee target/ci/stream_sweep.txt
 STREAM_ALLOCS=$(awk '/steady_state:.*allocs\/query/ { print $3; exit }' target/ci/stream_sweep.txt)
@@ -62,7 +66,8 @@ if [ "${STREAM_QPS}" -lt "${STREAM_QPS_FLOOR}" ]; then
 fi
 
 # Byte-identity gate: `repro fig9` must print the same bytes at --jobs 1
-# and --jobs 4.
+# and --jobs 4. Since PR 9 the default execution mode is streaming, so
+# this exercises the streamed path.
 ./target/release/repro fig9 --jobs 1 > target/ci/fig9.jobs1.txt
 ./target/release/repro fig9 --jobs 4 > target/ci/fig9.jobs4.txt
 if ! diff -u target/ci/fig9.jobs1.txt target/ci/fig9.jobs4.txt; then
@@ -70,22 +75,62 @@ if ! diff -u target/ci/fig9.jobs1.txt target/ci/fig9.jobs4.txt; then
     exit 1
 fi
 
-# Streaming-vs-batch byte-diff gate: `--stream` swaps the whole
-# execution substrate (per-packet LeakSink, fold-based reduction,
-# capture-less network) and must still print the same bytes. Batch is
-# the correctness oracle; fig9, fig12, and the farm cover the three
+# Streaming-vs-batch byte-diff gate: streaming (the default) swaps the
+# whole execution substrate (per-packet LeakSink, fold-based reduction,
+# capture-less network) and must still print the same bytes as the batch
+# oracle behind `--batch`; fig9, fig12, and the farm cover the three
 # reduction shapes (ranked merge, ordered prefix-sum fold, set union).
-./target/release/repro fig9 --stream --jobs 4 > target/ci/fig9.stream.txt
-if ! diff -u target/ci/fig9.jobs1.txt target/ci/fig9.stream.txt; then
-    echo "ci: FAIL — repro fig9 --stream diverges from the batch oracle" >&2
+./target/release/repro fig9 --batch --jobs 4 > target/ci/fig9.batch.txt
+if ! diff -u target/ci/fig9.batch.txt target/ci/fig9.jobs1.txt; then
+    echo "ci: FAIL — repro fig9 (stream default) diverges from the --batch oracle" >&2
     exit 1
 fi
-./target/release/repro fig12 --jobs 1 > target/ci/fig12.jobs1.txt
-./target/release/repro fig12 --stream --jobs 4 > target/ci/fig12.stream.txt
-if ! diff -u target/ci/fig12.jobs1.txt target/ci/fig12.stream.txt; then
-    echo "ci: FAIL — repro fig12 --stream diverges from the batch oracle" >&2
+./target/release/repro fig12 --batch --jobs 1 > target/ci/fig12.batch.txt
+./target/release/repro fig12 --jobs 4 > target/ci/fig12.stream.txt
+if ! diff -u target/ci/fig12.batch.txt target/ci/fig12.stream.txt; then
+    echo "ci: FAIL — repro fig12 (stream default) diverges from the --batch oracle" >&2
     exit 1
 fi
+
+# Supervised checkpoint/resume gate: SIGKILL a mid-flight full-scale
+# fig12 run that is journalling to --checkpoint, resume it from the same
+# journal, and demand the resumed output byte-match an uninterrupted
+# run. The kill lands wherever the machine happens to be — mid-journal
+# (the interesting case), before the first record, or after the run
+# finished (an all-from-journal replay); every outcome must survive the
+# same hard byte-diff.
+CKPT=target/ci/fig12.ckpt
+rm -f "${CKPT}"
+./target/release/repro fig12 --full --jobs 4 > target/ci/fig12.full.clean.txt
+./target/release/repro fig12 --full --jobs 4 --checkpoint "${CKPT}" \
+    > target/ci/fig12.full.killed.txt 2>/dev/null &
+REPRO_PID=$!
+sleep 15
+kill -9 "${REPRO_PID}" 2>/dev/null || echo "ci: note — fig12 finished before the kill"
+wait "${REPRO_PID}" 2>/dev/null || true
+echo "ci: journal after SIGKILL: $(wc -c < "${CKPT}" 2>/dev/null || echo 0) bytes"
+./target/release/repro fig12 --full --jobs 4 --resume "${CKPT}" \
+    > target/ci/fig12.full.resumed.txt
+if ! diff -u target/ci/fig12.full.clean.txt target/ci/fig12.full.resumed.txt; then
+    echo "ci: FAIL — resumed fig12 --full diverges from the uninterrupted run" >&2
+    exit 1
+fi
+
+# Deterministic variant of the same gate, independent of machine speed:
+# the resumed run above left a complete journal; shear it to 60% (tearing
+# whatever record straddles the cut) and resume again. The torn record
+# must be dropped, the journalled prefix folded from disk, the sheared
+# suffix recomputed — and the bytes must still match.
+FULL_BYTES=$(wc -c < "${CKPT}")
+KEEP=$((FULL_BYTES * 60 / 100))
+head -c "${KEEP}" "${CKPT}" > "${CKPT}.sheared" && mv "${CKPT}.sheared" "${CKPT}"
+./target/release/repro fig12 --full --jobs 4 --resume "${CKPT}" \
+    > target/ci/fig12.full.sheared.txt
+if ! diff -u target/ci/fig12.full.clean.txt target/ci/fig12.full.sheared.txt; then
+    echo "ci: FAIL — fig12 resumed from a sheared journal diverges from the clean run" >&2
+    exit 1
+fi
+rm -f "${CKPT}"
 
 # Same contract for the Byzantine sweep: seeded faults (bit-flips,
 # truncation, forged payloads) must not perturb worker-count
@@ -117,9 +162,9 @@ if ! diff -u target/ci/farm.jobs1.txt target/ci/farm.jobs4.txt; then
     echo "ci: FAIL — repro farm output diverges between --jobs 1 and --jobs 4" >&2
     exit 1
 fi
-./target/release/repro farm --stream --jobs 4 > target/ci/farm.stream.txt
-if ! diff -u target/ci/farm.jobs1.txt target/ci/farm.stream.txt; then
-    echo "ci: FAIL — repro farm --stream diverges from the batch oracle" >&2
+./target/release/repro farm --batch --jobs 4 > target/ci/farm.batch.txt
+if ! diff -u target/ci/farm.batch.txt target/ci/farm.jobs1.txt; then
+    echo "ci: FAIL — repro farm (stream default) diverges from the --batch oracle" >&2
     exit 1
 fi
 

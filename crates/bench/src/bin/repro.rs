@@ -1,7 +1,8 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--full] [--jobs N] [--stream] [table1|table2|table3|table4|table5|
+//! repro [--full] [--jobs N] [--batch|--stream] [--checkpoint P|--resume P]
+//!       [--allow-partial]   [table1|table2|table3|table4|table5|
 //!                            fig8|fig9|fig10|fig11|fig12|order|utility|
 //!                            survey|dict|attacks|chaos|byzantine|lifecycle|
 //!                            farm|all]
@@ -15,11 +16,20 @@
 //! is byte-identical for every N — parallelism only changes wall-clock
 //! time, never results.
 //!
-//! `--stream` (or `LOOKASIDE_STREAM=1`) switches experiments to the
-//! streaming execution mode: packets fold into accumulators as they
-//! happen instead of being captured and classified afterwards, holding
-//! O(shards) memory. Output is byte-identical to batch — `ci.sh` diffs
+//! Experiments run in the **streaming** execution mode by default:
+//! packets fold into accumulators as they happen instead of being
+//! captured and classified afterwards, holding O(shards) memory.
+//! `--batch` (or `LOOKASIDE_BATCH=1`) opts back into the capture-based
+//! oracle pipeline. Output is byte-identical either way — `ci.sh` diffs
 //! the two — so the flag trades nothing but peak memory.
+//!
+//! `--checkpoint P` / `--resume P` (or `LOOKASIDE_CHECKPOINT=P`) journal
+//! every completed `fig12` window shard to the CRC-checked file `P`; a
+//! run killed mid-sweep resumes from the journal's valid prefix and
+//! produces byte-identical output. `--allow-partial` (or
+//! `LOOKASIDE_ALLOW_PARTIAL=1`) accepts sweeps whose shards exhausted
+//! their retry budget, printing an explicit per-shard coverage table to
+//! stderr instead of aborting.
 
 use std::env;
 
@@ -48,15 +58,29 @@ fn main() {
     if args.iter().any(|a| a == "--stream") {
         // Experiments consult LOOKASIDE_STREAM through ExecMode::from_env
         // when they dispatch; setting it here makes --stream authoritative
-        // for the whole process.
+        // for the whole process (it also wins over --batch).
         env::set_var(lookaside::engine::STREAM_ENV, "1");
+    }
+    if args.iter().any(|a| a == "--batch") {
+        // Streaming is the default; --batch opts back into the capture
+        // oracle.
+        env::set_var(lookaside::engine::BATCH_ENV, "1");
+    }
+    if args.iter().any(|a| a == "--allow-partial") {
+        env::set_var(lookaside::engine::ALLOW_PARTIAL_ENV, "1");
+    }
+    if let Some(path) = parse_value(&args, &["--checkpoint", "--resume"]) {
+        // --checkpoint and --resume are the same mechanism: the journal
+        // loader folds back whatever valid prefix the file holds (none,
+        // for a fresh path) and the sweep continues from there.
+        env::set_var(lookaside::engine::CHECKPOINT_ENV, path);
     }
     let mut skip_next = false;
     let what = args
         .iter()
         .filter(|a| {
             let keep = !skip_next;
-            skip_next = **a == "--jobs";
+            skip_next = ["--jobs", "--checkpoint", "--resume"].contains(&a.as_str());
             keep && !a.starts_with("--")
         })
         .map(String::as_str)
@@ -153,13 +177,21 @@ fn main() {
 
 /// Extracts `--jobs N` / `--jobs=N` from the argument list.
 fn parse_jobs(args: &[String]) -> Option<usize> {
+    parse_value(args, &["--jobs"]).and_then(|v| v.parse().ok())
+}
+
+/// Extracts the value of the first flag in `names` present in the
+/// argument list, accepting both `--flag VALUE` and `--flag=VALUE`.
+fn parse_value(args: &[String], names: &[&str]) -> Option<String> {
     let mut it = args.iter();
     while let Some(arg) = it.next() {
-        if arg == "--jobs" {
-            return it.next().and_then(|v| v.parse().ok());
+        if names.contains(&arg.as_str()) {
+            return it.next().cloned();
         }
-        if let Some(v) = arg.strip_prefix("--jobs=") {
-            return v.parse().ok();
+        for name in names {
+            if let Some(v) = arg.strip_prefix(&format!("{name}=")) {
+                return Some(v.to_string());
+            }
         }
     }
     None

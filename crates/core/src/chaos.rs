@@ -199,6 +199,11 @@ pub fn chaos_outage_with(
 /// [`chaos_outage`] with an explicit execution mode. In streaming mode
 /// each cell runs capture-less with a [`DlvQueryCounter`] sink counting
 /// leaked packets on the fly — byte-identical to the batch capture count.
+///
+/// Cells run under the session supervisor: a failed cell is retried
+/// within the bounded budget, and with `--allow-partial` a still-failing
+/// cell is dropped from the grid (printed in the coverage table, never
+/// silently) instead of aborting the sweep.
 pub fn chaos_outage_mode(
     exec: &lookaside_engine::Executor,
     config: &ChaosConfig,
@@ -211,9 +216,17 @@ pub fn chaos_outage_mode(
         }
     }
     let shards = lookaside_engine::ShardPlan::new(config.seed).over(cells);
-    lookaside_engine::expect_all(
-        exec.run(&shards, |shard| run_cell(config, shard.input.0, shard.input.1, mode)),
-    )
+    let sup = crate::parallel::supervisor();
+    crate::parallel::accept(exec.run_fold_supervised(
+        &shards,
+        |shard| run_cell(config, shard.input.0, shard.input.1, mode),
+        Vec::with_capacity(shards.len()),
+        |mut acc, _cell, point| {
+            acc.push(point);
+            acc
+        },
+        &sup,
+    ))
 }
 
 fn run_cell(

@@ -125,6 +125,11 @@ pub struct InternetParams {
     /// Decommission stage of the DLV registry (the 2017 wind-down
     /// timeline and its failure variants).
     pub dlv_stage: DecommissionStage,
+    /// Scheduled registry stage transitions `(at_ns, stage)`, applied in
+    /// simulated time on top of the initial [`Self::dlv_stage`] — the
+    /// lifecycle sweep uses this to corrupt and heal the registry while
+    /// a key timeline is in motion.
+    pub dlv_schedule: Vec<(u64, DecommissionStage)>,
 }
 
 impl InternetParams {
@@ -140,6 +145,7 @@ impl InternetParams {
             capture: CaptureFilter::DlvOnly,
             vantage: VantagePoint::Campus,
             dlv_stage: DecommissionStage::Populated,
+            dlv_schedule: Vec::new(),
         }
     }
 }
@@ -369,6 +375,9 @@ impl Internet {
             params.dlv_denial,
         );
         registry.set_stage(params.dlv_stage);
+        for &(at_ns, stage) in &params.dlv_schedule {
+            registry.schedule_stage(at_ns, stage);
+        }
         net.register(DLV_ADDR, "dlv-registry", Box::new(registry));
 
         // Everything else — ranked SLDs, hosters, huque zones — is served by

@@ -59,8 +59,10 @@ pub use client::Client;
 pub use farm::{Farm, FarmConfig, FarmTopology, TopologyReport};
 pub use internet::{Internet, InternetParams, VantagePoint};
 pub use leakage::{classify, LeakageReport};
-pub use parallel::{executor, fold_cohorts, map_cohorts, run_sharded, Worker};
-pub use stream::{fig12_stream, fig8_9_stream, run_stream, ExecMode, LeakSink};
+pub use parallel::{accept, executor, fold_cohorts, map_cohorts, run_sharded, supervisor, Worker};
+pub use stream::{
+    fig12_stream, fig12_stream_checkpointed, fig8_9_stream, run_stream, ExecMode, LeakSink,
+};
 
 pub use lookaside_population as population;
 

@@ -21,6 +21,14 @@
 //! * **expiry-storm** — one re-sign arrives a full interval late; every
 //!   cached RRSIG lapses and validation fails closed until the fresh
 //!   window lands,
+//! * **storm-corrupt-registry** — the same late re-sign, but the DLV
+//!   registry itself serves corrupted signatures
+//!   ([`DecommissionStage::BogusSignatures`]) through the storm window:
+//!   the two fault planes cross. Corruption severs the registry's own
+//!   chain of trust, so look-aside walks abort before a single DLV-type
+//!   query leaves the resolver — privacy-wise a corrupt registry is an
+//!   unplugged one, the leak channel goes dark until the registry heals
+//!   and the resolver's bad-key judgement ages out,
 //! * **zsk-abrupt** — a rushed ZSK rollover (pre-publish lead shorter
 //!   than the DNSKEY TTL, predecessor deleted at activation): resolvers
 //!   holding cached parent-side records signed by the vanished key go
@@ -38,6 +46,7 @@
 
 use lookaside_netsim::CaptureFilter;
 use lookaside_resolver::{BindConfig, FeatureModel, ResolverConfig, RetryPolicy, SecurityStatus};
+use lookaside_server::DecommissionStage;
 use lookaside_wire::ext::RemedyMode;
 use lookaside_wire::RrType;
 use lookaside_workload::PopulationParams;
@@ -66,6 +75,10 @@ pub enum LifecycleScenario {
     Steady,
     /// Re-sign #1 lands a full interval late: the RRSIG-expiry storm.
     ExpiryStorm,
+    /// The expiry storm with the registry *also* failing: the DLV zone
+    /// serves corrupted signatures through the storm window and heals
+    /// after the late re-sign lands.
+    StormCorruptRegistry,
     /// Rushed ZSK rollover: 900 s pre-publish lead against a 3600 s TTL,
     /// predecessor removed at activation.
     ZskAbrupt,
@@ -78,9 +91,10 @@ pub enum LifecycleScenario {
 
 impl LifecycleScenario {
     /// Every scenario, control first.
-    pub const ALL: [LifecycleScenario; 5] = [
+    pub const ALL: [LifecycleScenario; 6] = [
         LifecycleScenario::Steady,
         LifecycleScenario::ExpiryStorm,
+        LifecycleScenario::StormCorruptRegistry,
         LifecycleScenario::ZskAbrupt,
         LifecycleScenario::KskRollTracked,
         LifecycleScenario::KskRollMissed,
@@ -91,6 +105,7 @@ impl LifecycleScenario {
         match self {
             LifecycleScenario::Steady => "steady",
             LifecycleScenario::ExpiryStorm => "expiry-storm",
+            LifecycleScenario::StormCorruptRegistry => "storm-corrupt-registry",
             LifecycleScenario::ZskAbrupt => "zsk-abrupt",
             LifecycleScenario::KskRollTracked => "ksk-roll-tracked",
             LifecycleScenario::KskRollMissed => "ksk-roll-missed",
@@ -103,11 +118,13 @@ impl LifecycleScenario {
             LifecycleScenario::Steady => {
                 KeyTimeline::correct(ROOT_KEY_SEED, RolloverPolicy::steady(3_600, 5_000))
             }
-            LifecycleScenario::ExpiryStorm => KeyTimeline {
-                base_seed: ROOT_KEY_SEED,
-                policy: RolloverPolicy::steady(3_600, 5_000),
-                fault: LifecycleFault::LateResign { resign_index: 1, delay_secs: 3_600 },
-            },
+            LifecycleScenario::ExpiryStorm | LifecycleScenario::StormCorruptRegistry => {
+                KeyTimeline {
+                    base_seed: ROOT_KEY_SEED,
+                    policy: RolloverPolicy::steady(3_600, 5_000),
+                    fault: LifecycleFault::LateResign { resign_index: 1, delay_secs: 3_600 },
+                }
+            }
             LifecycleScenario::ZskAbrupt => KeyTimeline {
                 base_seed: ROOT_KEY_SEED,
                 policy: RolloverPolicy {
@@ -153,6 +170,23 @@ impl LifecycleScenario {
         match self {
             LifecycleScenario::KskRollMissed => Some(13_000),
             _ => None,
+        }
+    }
+
+    /// Scheduled DLV-registry stage transitions for this scenario, in
+    /// simulated nanoseconds. The storm-crossing scenario corrupts the
+    /// registry over the stale-RRSIG gap (cached signatures lapse at
+    /// t=5000; the late re-sign lands at t=7200) and heals it at t=9000,
+    /// after the root has recovered — so the t=8123 event sees a healthy
+    /// root against a still-corrupt registry, and the resolver's cached
+    /// bad-key judgement keeps the walk dark past the heal itself.
+    fn registry_schedule(self) -> Vec<(u64, DecommissionStage)> {
+        match self {
+            LifecycleScenario::StormCorruptRegistry => vec![
+                (5_000 * NS_PER_SEC, DecommissionStage::BogusSignatures),
+                (9_000 * NS_PER_SEC, DecommissionStage::Populated),
+            ],
+            _ => Vec::new(),
         }
     }
 }
@@ -273,6 +307,7 @@ fn run_cell(config: &LifecycleConfig, scenario: LifecycleScenario) -> LifecycleP
     let mut params = InternetParams::for_top(size, population, RemedyMode::None);
     params.seed = config.seed;
     params.capture = CaptureFilter::DlvOnly;
+    params.dlv_schedule = scenario.registry_schedule();
     let mut internet = Internet::build(params);
     let ranks = anchored_ranks(&internet, needed);
     let mut timeline = scenario.timeline();
@@ -432,6 +467,38 @@ mod tests {
         let healed = missed.last().unwrap();
         assert_eq!(healed.at_secs, 14_123);
         assert_eq!(healed.secure, healed.client_queries, "manual install recovers: {healed:?}");
+    }
+
+    #[test]
+    fn corrupt_registry_during_storm_silences_the_leak_channel() {
+        let points =
+            sweep(vec![LifecycleScenario::ExpiryStorm, LifecycleScenario::StormCorruptRegistry]);
+        let storm = &point(&points, LifecycleScenario::ExpiryStorm).events;
+        let crossed = &point(&points, LifecycleScenario::StormCorruptRegistry).events;
+        // Inside the stale gap the two scenarios are indistinguishable:
+        // anchored chains fail closed at the *root*, before the walk ever
+        // considers look-aside — the corrupt registry cannot worsen (or
+        // rescue) them.
+        assert_eq!(crossed[3].at_secs, 6_123);
+        assert_eq!(crossed[3].bogus, crossed[3].client_queries, "{:?}", crossed[3]);
+        assert!(crossed[3].expired_rrsig_bogus > 0, "{:?}", crossed[3]);
+        assert_eq!(crossed[3].dlv_queries, storm[3].dlv_queries, "{:?}", crossed[3]);
+        // Once the late re-sign lands (t=7200) anchored validation heals
+        // in both scenarios — but with the registry still corrupt, its
+        // own chain of trust is severed and the look-aside walk aborts
+        // before a single DLV-type query reaches the wire: the leak
+        // channel goes dark while the healthy-registry storm keeps
+        // leaking infrastructure names.
+        for idx in [4, 5] {
+            assert_eq!(crossed[idx].secure, crossed[idx].client_queries, "{:?}", crossed[idx]);
+            assert_eq!(crossed[idx].dlv_queries, 0, "corrupt = unplugged: {:?}", crossed[idx]);
+            assert_eq!(crossed[idx].case2_leaks, 0, "{:?}", crossed[idx]);
+            assert!(storm[idx].dlv_queries > 0, "healthy registry keeps leaking: {:?}", storm[idx]);
+        }
+        // The registry heals at t=9000 but the resolver's bad-key
+        // judgement must age out first; by t=12123 the walk — and the
+        // leak — is back.
+        assert!(crossed[6].dlv_queries > 0, "leak channel resumes: {:?}", crossed[6]);
     }
 
     #[test]

@@ -56,7 +56,7 @@
 
 use std::ops::Range;
 
-use lookaside_engine::{expect_all, Executor, ShardPlan};
+use lookaside_engine::{expect_all, Executor, ShardPlan, Supervisor, SweepOutcome};
 use lookaside_netsim::{Capture, TrafficStats};
 use lookaside_resolver::{Counters, RecursiveResolver, SecurityStatus};
 use lookaside_wire::{Name, RrType};
@@ -69,6 +69,40 @@ use crate::leakage::classify;
 /// defaulting to the machine's available parallelism.
 pub fn executor() -> Executor {
     Executor::from_env()
+}
+
+/// The supervisor experiments route through: honours
+/// `LOOKASIDE_RETRIES`, `LOOKASIDE_WATCHDOG_MS` and `LOOKASIDE_FAULTS`,
+/// defaulting to three attempts per shard with the watchdog disarmed and
+/// no injected faults — a configuration under which every clean run is
+/// byte-identical to the unsupervised path.
+pub fn supervisor() -> Supervisor {
+    Supervisor::from_env()
+}
+
+/// Unwraps a supervised sweep, enforcing the no-silent-caps contract.
+///
+/// Complete sweeps pass straight through (with `--allow-partial` the
+/// coverage summary is still printed, so a "clean" resumed run shows its
+/// resumed-shard count). Degraded sweeps — shards that exhausted their
+/// retry budget — print the full per-shard coverage table to **stderr**
+/// (stdout stays byte-diffable) and then abort, unless the session opted
+/// into partial results via `repro --allow-partial` /
+/// `LOOKASIDE_ALLOW_PARTIAL`, in which case the partial accumulator is
+/// returned and the caller's tables simply omit the failed shards.
+pub fn accept<A>(outcome: SweepOutcome<A>) -> A {
+    let allow_partial = lookaside_engine::allow_partial_requested();
+    if !outcome.coverage.is_complete() {
+        eprintln!("{}", outcome.coverage.table());
+        assert!(
+            allow_partial,
+            "sweep degraded: {} (rerun with --allow-partial to accept partial coverage)",
+            outcome.coverage.summary()
+        );
+    } else if allow_partial {
+        eprintln!("{}", outcome.coverage.summary());
+    }
+    outcome.value
 }
 
 /// Maps `work` over cohorts `0..cohorts` on `exec`'s pool and returns the
@@ -88,7 +122,17 @@ where
 {
     assert!(cohorts > 0, "cohort count must be positive");
     let plan = ShardPlan::new(seed).over(0..cohorts);
-    expect_all(exec.run(&plan, work))
+    let sup = supervisor();
+    accept(exec.run_fold_supervised(
+        &plan,
+        work,
+        Vec::with_capacity(cohorts),
+        |mut acc, _cohort, t| {
+            acc.push(t);
+            acc
+        },
+        &sup,
+    ))
 }
 
 /// [`map_cohorts`]'s streaming twin: folds per-cohort results into one
@@ -97,15 +141,16 @@ where
 /// reductions client planes use (set union + min-merge), the fold equals
 /// merging the collected vector — the farm equivalence tests pin it down.
 ///
-/// Panics on the first shard failure, like [`map_cohorts`] via
-/// [`expect_all`].
+/// Runs under the session [`supervisor`]: failed cohorts are retried
+/// under the bounded budget, and a degraded sweep aborts with its
+/// coverage table via [`accept`] unless `--allow-partial` is set.
 pub fn fold_cohorts<T, A, F, G>(
     seed: u64,
     cohorts: usize,
     exec: &Executor,
     work: F,
     init: A,
-    fold: G,
+    mut fold: G,
 ) -> A
 where
     T: Send,
@@ -114,10 +159,8 @@ where
 {
     assert!(cohorts > 0, "cohort count must be positive");
     let plan = ShardPlan::new(seed).over(0..cohorts);
-    match exec.run_fold(&plan, work, init, fold) {
-        Ok(acc) => acc,
-        Err(e) => panic!("{e}"),
-    }
+    let sup = supervisor();
+    accept(exec.run_fold_supervised(&plan, work, init, |acc, _cohort, t| fold(acc, t), &sup))
 }
 
 /// One measurement box of the fleet: a private simulated-Internet replica

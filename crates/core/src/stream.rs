@@ -22,9 +22,10 @@
 //! additionally byte-diffs `repro --stream` output against batch.
 
 use std::cell::RefCell;
+use std::path::Path;
 use std::rc::Rc;
 
-use lookaside_engine::{expect_all, Executor, ShardPlan};
+use lookaside_engine::{Checkpoint, Executor, ShardPlan};
 use lookaside_netsim::{CaptureFilter, Direction, Packet, PacketSink};
 use lookaside_wire::ext::RemedyMode;
 use lookaside_wire::{Name, Rcode, RrType};
@@ -40,16 +41,18 @@ use crate::leakage::LeakageReport;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExecMode {
     /// Capture packets, classify afterwards — the paper's pcap pipeline
-    /// and the correctness oracle.
-    #[default]
+    /// and the correctness oracle (`repro --batch` / `LOOKASIDE_BATCH`).
     Batch,
     /// Fold packets into accumulators on the fly — O(shards) memory.
+    /// The default since PR 9.
+    #[default]
     Stream,
 }
 
 impl ExecMode {
-    /// The session's mode: [`ExecMode::Stream`] when `LOOKASIDE_STREAM`
-    /// is set (`1`/`true`/`on`), else [`ExecMode::Batch`].
+    /// The session's mode: [`ExecMode::Stream`] unless `LOOKASIDE_BATCH`
+    /// opts back into the capture oracle (`1`/`true`/`on`);
+    /// `LOOKASIDE_STREAM` wins when both are set.
     pub fn from_env() -> Self {
         if lookaside_engine::stream_requested() {
             ExecMode::Stream
@@ -155,22 +158,35 @@ pub fn run_stream(config: &RunConfig) -> RunOutcome {
 }
 
 /// [`crate::experiments::fig8_9_with`] on the streaming path: each dataset
-/// size is still one shard, but every shard runs capture-less.
+/// size is still one shard, but every shard runs capture-less and under
+/// the session supervisor — failed sizes are retried within the bounded
+/// budget, and with `--allow-partial` a still-failing size is dropped
+/// from the point list (its absence is printed, never silent).
 pub fn fig8_9_stream(exec: &Executor, sizes: &[usize], seed: u64) -> Vec<LeakPoint> {
     let shards = ShardPlan::new(seed).over(sizes.iter().copied());
-    expect_all(exec.run(&shards, |shard| {
-        let n = shard.input;
-        let mut config = RunConfig::for_top(n, RemedyMode::None);
-        config.seed = seed;
-        let outcome = run_stream(&config);
-        LeakPoint {
-            n,
-            dlv_queries: outcome.leakage.dlv_queries,
-            leaked_domains: count_leaked_ranked(&outcome),
-            proportion: count_leaked_ranked(&outcome) as f64 / n as f64,
-            suppressed: outcome.counters.dlv_suppressed_by_nsec,
-        }
-    }))
+    let sup = crate::parallel::supervisor();
+    crate::parallel::accept(exec.run_fold_supervised(
+        &shards,
+        |shard| {
+            let n = shard.input;
+            let mut config = RunConfig::for_top(n, RemedyMode::None);
+            config.seed = seed;
+            let outcome = run_stream(&config);
+            LeakPoint {
+                n,
+                dlv_queries: outcome.leakage.dlv_queries,
+                leaked_domains: count_leaked_ranked(&outcome),
+                proportion: count_leaked_ranked(&outcome) as f64 / n as f64,
+                suppressed: outcome.counters.dlv_suppressed_by_nsec,
+            }
+        },
+        Vec::with_capacity(sizes.len()),
+        |mut acc, _shard, point| {
+            acc.push(point);
+            acc
+        },
+        &sup,
+    ))
 }
 
 /// Prefix-sum accumulator for the Fig. 12 cumulative series — the fold
@@ -187,23 +203,59 @@ struct Fig12Acc {
 /// [`crate::experiments::fig12_with`] on the streaming path.
 ///
 /// Calibration runs stream (capture-less); the trace windows run through
-/// [`Executor::run_fold`], which folds each window's minute triples into
-/// the cumulative prefix sums **as windows complete**, in shard order —
-/// so the reduction holds one window's triples at a time instead of all
-/// seven, and the arithmetic happens in exactly the order the batch
-/// concatenation performs it.
+/// [`Executor::run_fold_supervised`], which folds each window's minute
+/// triples into the cumulative prefix sums **as windows complete**, in
+/// shard order — so the reduction holds one window's triples at a time
+/// instead of all seven, and the arithmetic happens in exactly the order
+/// the batch concatenation performs it.
+///
+/// With `LOOKASIDE_CHECKPOINT` set (the `repro --checkpoint` /
+/// `--resume` flags) the window sweep journals through
+/// [`fig12_stream_checkpointed`] instead.
 pub fn fig12_stream(exec: &Executor, seed: u64, scale: u64) -> Fig12Data {
+    match lookaside_engine::checkpoint_path() {
+        Some(path) => fig12_stream_checkpointed(exec, seed, scale, Path::new(&path)),
+        None => fig12_stream_inner(exec, seed, scale, None),
+    }
+}
+
+/// [`fig12_stream`] journalling every completed window shard to
+/// `journal`: an atomic, CRC-checked [`Checkpoint`] file keyed by a
+/// fingerprint of `(seed, scale, window count)`. A run killed mid-sweep
+/// resumes from the journal's valid prefix — already-journalled windows
+/// fold back without re-running — and produces byte-identical output; a
+/// journal written under different parameters is refused.
+pub fn fig12_stream_checkpointed(
+    exec: &Executor,
+    seed: u64,
+    scale: u64,
+    journal: &Path,
+) -> Fig12Data {
+    fig12_stream_inner(exec, seed, scale, Some(journal))
+}
+
+fn fig12_stream_inner(exec: &Executor, seed: u64, scale: u64, journal: Option<&Path>) -> Fig12Data {
     assert!(scale >= 1);
     let trace = DitlTrace::generate(seed);
+    let sup = crate::parallel::supervisor();
 
     let calib = ShardPlan::new(seed ^ 0xca11b).over([RemedyMode::None, RemedyMode::TxtSignal]);
-    let calibrated = expect_all(exec.run(&calib, |shard| {
-        let mut cfg = RunConfig::quick(60);
-        cfg.remedy = shard.input;
-        cfg.capture = CaptureFilter::None;
-        run_stream(&cfg)
-    }));
-    let (base, txt) = (&calibrated[0], &calibrated[1]);
+    let calibrated = crate::parallel::accept(exec.run_supervised(
+        &calib,
+        |shard| {
+            let mut cfg = RunConfig::quick(60);
+            cfg.remedy = shard.input;
+            cfg.capture = CaptureFilter::None;
+            run_stream(&cfg)
+        },
+        &sup,
+    ));
+    let (base, txt) = match (&calibrated[0], &calibrated[1]) {
+        (Some(base), Some(txt)) => (base, txt),
+        // Every window cost derives from calibration; there is no
+        // partial figure without it, --allow-partial or not.
+        _ => panic!("fig12 calibration shard failed; the figure cannot be produced"),
+    };
     let cold_bytes_per_resolution = base.stats.total_bytes() as f64 / base.queried as f64;
     let txt_probes = txt.stats.queries_of(RrType::Txt).max(1);
     let txt_bytes_per_probe = txt.stats.bytes_of(RrType::Txt) as f64 / txt_probes as f64;
@@ -211,64 +263,73 @@ pub fn fig12_stream(exec: &Executor, seed: u64, scale: u64) -> Fig12Data {
 
     let windows: Vec<Vec<u64>> =
         trace.per_minute().chunks(60).map(|chunk| chunk.to_vec()).collect();
+    let window_count = windows.len() as u64;
     let shards = ShardPlan::new(seed ^ 0xd17f).over(windows);
     let minutes_total = trace.per_minute().len();
-    let folded = exec.run_fold(
-        &shards,
-        |shard| {
-            let zipf = Zipf::new(2_000_000, 0.92);
-            let mut seen = vec![false; zipf.n() + 1];
-            let mut rng_state = shard.seed;
-            let mut next = || {
-                rng_state = rng_state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-                let mut z = rng_state;
-                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-                z ^ (z >> 31)
-            };
-            let mut minutes = Vec::with_capacity(shard.input.len());
-            for &volume in &shard.input {
-                let sampled = volume / scale;
-                let mut misses = 0u64;
-                for _ in 0..sampled {
-                    let domain = zipf.sample_hash(next());
-                    if !seen[domain] {
-                        seen[domain] = true;
-                        misses += 1;
-                    }
+    let task = |shard: &lookaside_engine::Shard<Vec<u64>>| {
+        let zipf = Zipf::new(2_000_000, 0.92);
+        let mut seen = vec![false; zipf.n() + 1];
+        let mut rng_state = shard.seed;
+        let mut next = || {
+            rng_state = rng_state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = rng_state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut minutes = Vec::with_capacity(shard.input.len());
+        for &volume in &shard.input {
+            let sampled = volume / scale;
+            let mut misses = 0u64;
+            for _ in 0..sampled {
+                let domain = zipf.sample_hash(next());
+                if !seen[domain] {
+                    seen[domain] = true;
+                    misses += 1;
                 }
-                let scaled_misses = misses * scale;
-                let base_bytes = (volume as f64 * stub_bytes_per_query) as u64
-                    + (scaled_misses as f64 * cold_bytes_per_resolution) as u64;
-                let overhead_bytes = (scaled_misses as f64 * txt_bytes_per_probe) as u64;
-                minutes.push((volume, base_bytes, overhead_bytes));
             }
-            minutes
-        },
-        Fig12Acc {
-            cum_q: 0,
-            cum_base: 0,
-            cum_overhead: 0,
-            queries: Vec::with_capacity(minutes_total),
-            baseline: Vec::with_capacity(minutes_total),
-            overhead: Vec::with_capacity(minutes_total),
-        },
-        |mut acc, minutes| {
-            for (volume, base_bytes, overhead_bytes) in minutes {
-                acc.cum_q += volume;
-                acc.cum_base += base_bytes;
-                acc.cum_overhead += overhead_bytes;
-                acc.queries.push(acc.cum_q);
-                acc.baseline.push(acc.cum_base);
-                acc.overhead.push(acc.cum_overhead);
-            }
-            acc
-        },
-    );
-    let acc = match folded {
-        Ok(acc) => acc,
-        Err(e) => panic!("{e}"),
+            let scaled_misses = misses * scale;
+            let base_bytes = (volume as f64 * stub_bytes_per_query) as u64
+                + (scaled_misses as f64 * cold_bytes_per_resolution) as u64;
+            let overhead_bytes = (scaled_misses as f64 * txt_bytes_per_probe) as u64;
+            minutes.push((volume, base_bytes, overhead_bytes));
+        }
+        minutes
     };
+    let init = Fig12Acc {
+        cum_q: 0,
+        cum_base: 0,
+        cum_overhead: 0,
+        queries: Vec::with_capacity(minutes_total),
+        baseline: Vec::with_capacity(minutes_total),
+        overhead: Vec::with_capacity(minutes_total),
+    };
+    let fold = |mut acc: Fig12Acc, _window: usize, minutes: Vec<(u64, u64, u64)>| {
+        for (volume, base_bytes, overhead_bytes) in minutes {
+            acc.cum_q += volume;
+            acc.cum_base += base_bytes;
+            acc.cum_overhead += overhead_bytes;
+            acc.queries.push(acc.cum_q);
+            acc.baseline.push(acc.cum_base);
+            acc.overhead.push(acc.cum_overhead);
+        }
+        acc
+    };
+    let outcome = match journal {
+        Some(path) => {
+            // The fingerprint binds the journal to everything that shapes
+            // a window's bytes; resuming under different parameters is a
+            // refusal, not a silent mix of two runs.
+            let run_id =
+                lookaside_engine::run_fingerprint(&[0xf161_2a11, seed, scale, window_count]);
+            let mut ckpt = Checkpoint::resume(path, run_id, 1)
+                .unwrap_or_else(|e| panic!("fig12 journal {}: {e}", path.display()));
+            exec.run_fold_checkpointed(&shards, task, init, fold, &sup, &mut ckpt)
+                .unwrap_or_else(|e| panic!("fig12 journal {}: {e}", path.display()))
+        }
+        None => exec.run_fold_supervised(&shards, task, init, fold, &sup),
+    };
+    let acc = crate::parallel::accept(outcome);
     let overhead_mbps = acc.cum_overhead as f64 * 8.0 / (420.0 * 60.0) / 1e6;
     Fig12Data {
         per_minute: trace.per_minute().to_vec(),
@@ -325,8 +386,8 @@ mod tests {
     }
 
     #[test]
-    fn mode_defaults_to_batch() {
-        assert!(!ExecMode::default().is_stream());
-        assert!(ExecMode::Stream.is_stream());
+    fn mode_defaults_to_stream() {
+        assert!(ExecMode::default().is_stream());
+        assert!(!ExecMode::Batch.is_stream());
     }
 }

@@ -43,13 +43,26 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod executor;
 mod fold;
 mod plan;
 mod queue;
 mod seed;
+mod supervisor;
 
-pub use executor::{expect_all, stream_requested, Executor, ShardError, JOBS_ENV, STREAM_ENV};
+pub use checkpoint::{
+    crc32, run_fingerprint, Checkpoint, JournalCodec, JournalError, JOURNAL_MAGIC, JOURNAL_VERSION,
+};
+pub use executor::{
+    batch_requested, expect_all, stream_requested, Executor, ShardError, BATCH_ENV, JOBS_ENV,
+    STREAM_ENV,
+};
 pub use plan::{Shard, ShardPlan};
 pub use queue::BoundedQueue;
 pub use seed::splitmix64;
+pub use supervisor::{
+    allow_partial_requested, checkpoint_path, Coverage, EngineFault, EngineFaultPlan, RetryPolicy,
+    ShardFailure, Supervisor, SweepOutcome, Watchdog, ALLOW_PARTIAL_ENV, CHECKPOINT_ENV,
+    FAULTS_ENV, RETRIES_ENV, WATCHDOG_ENV,
+};

@@ -19,6 +19,11 @@
 //!   call: `format!`, `.to_string()`, and `Vec::new()` are banned in
 //!   live (non-test) code. These keep the <50 allocs/query budget of
 //!   BENCH_pr8.json honest.
+//! * **checkpoint** — modules opting in with a `// lint:checkpoint-codec`
+//!   comment (journal serialization) must keep encode/decode a pure,
+//!   byte-stable function of the value: hash-ordered collections, wall
+//!   clocks, and native-endian `{to,from}_ne_bytes` are banned, so a
+//!   journal written on one machine resumes identically on any other.
 //!
 //! Suppression grammar (justification mandatory, both forms):
 //!
@@ -59,6 +64,7 @@ pub const ALL_RULES: &[&str] = &[
     "unsafe::token",
     "unsafe::missing-forbid",
     "stream::hot-path",
+    "checkpoint::codec",
     "allow::missing-justification",
     "allow::unknown-rule",
     "allow::unused",
@@ -137,6 +143,12 @@ pub fn scan_source(class: &FileClass, src: &str) -> ScanOutcome {
     // `// lint:stream-hot-path` comment (conventionally line 1).
     let stream_tagged = class.role == Role::Src
         && lexed.comments.iter().any(|c| !c.doc && c.text.trim() == "lint:stream-hot-path");
+    // Checkpoint serialization modules opt into the journal-determinism
+    // wall with a bare `// lint:checkpoint-codec` comment: encode/decode
+    // must be a pure, byte-stable function of the value, so hash-ordered
+    // collections, wall clocks, and native-endian conversions are banned.
+    let ckpt_tagged = class.role == Role::Src
+        && lexed.comments.iter().any(|c| !c.doc && c.text.trim() == "lint:checkpoint-codec");
     let mut out = ScanOutcome::default();
 
     // Grammar findings first: they are never suppressible.
@@ -158,7 +170,7 @@ pub fn scan_source(class: &FileClass, src: &str) -> ScanOutcome {
         }
     }
 
-    let raw = detect(class, &lexed.tokens, src, stream_tagged);
+    let raw = detect(class, &lexed.tokens, src, stream_tagged, ckpt_tagged);
     for f in raw {
         match allows.iter_mut().find(|a| a.matches(f.rule, f.line)) {
             Some(a) => {
@@ -308,7 +320,13 @@ const NON_INDEX_KEYWORDS: &[&str] = &[
     "yield",
 ];
 
-fn detect(class: &FileClass, tokens: &[Token], src: &str, stream_tagged: bool) -> Vec<Finding> {
+fn detect(
+    class: &FileClass,
+    tokens: &[Token],
+    src: &str,
+    stream_tagged: bool,
+    ckpt_tagged: bool,
+) -> Vec<Finding> {
     let mut f = Vec::new();
     let determinism = class.in_crate(RESULT_BEARING);
     let panic_rules = class.in_crate(HOT_PATH);
@@ -426,6 +444,39 @@ fn detect(class: &FileClass, tokens: &[Token], src: &str, stream_tagged: bool) -
                         .into(),
                 )),
                 _ => {}
+            }
+        }
+
+        if ckpt_tagged {
+            if HASH_IDENTS.contains(&ident.as_str()) {
+                f.push(finding(
+                    "checkpoint::codec",
+                    t.line,
+                    format!(
+                        "`{ident}` in a checkpoint-codec module — journal contents must \
+                         not depend on per-process hash order"
+                    ),
+                ));
+            }
+            if ident == "Instant" || ident == "SystemTime" {
+                f.push(finding(
+                    "checkpoint::codec",
+                    t.line,
+                    format!(
+                        "`{ident}` in a checkpoint-codec module — journal encode/decode \
+                         must not touch the wall clock"
+                    ),
+                ));
+            }
+            if ident == "to_ne_bytes" || ident == "from_ne_bytes" {
+                f.push(finding(
+                    "checkpoint::codec",
+                    t.line,
+                    format!(
+                        "`{ident}` in a checkpoint-codec module — journals are \
+                         little-endian on every platform; use the `_le_` forms"
+                    ),
+                ));
             }
         }
 

@@ -1,0 +1,25 @@
+// lint:checkpoint-codec
+//! Known-bad fixture: a journal serialization module that leaks
+//! nondeterminism into the checkpoint format — hash-ordered records,
+//! wall-clock stamps, and native-endian integer encoding.
+
+use std::collections::HashMap;
+use std::time::SystemTime;
+
+pub fn banned_hash_records(records: &HashMap<u64, Vec<u8>>) -> Vec<u8> {
+    let mut out = Vec::new();
+    for (id, payload) in records {
+        out.extend_from_slice(&id.to_ne_bytes());
+        out.extend_from_slice(payload);
+    }
+    out
+}
+
+pub fn banned_wall_clock_stamp(out: &mut Vec<u8>) {
+    let _ = SystemTime::now();
+    out.push(0);
+}
+
+pub fn banned_native_decode(bytes: [u8; 8]) -> u64 {
+    u64::from_ne_bytes(bytes)
+}

@@ -73,6 +73,30 @@ fn bad_stream_fires_hot_path_with_allow_and_test_exemptions() {
 }
 
 #[test]
+fn bad_checkpoint_fires_codec_rule_on_every_nondeterminism_class() {
+    // Classified under `wire` so the generic determinism rules stay out
+    // of the way and only the tag-driven codec wall fires.
+    let out = scan_fixture(
+        "crates/wire/src/bad_checkpoint.rs",
+        include_str!("fixtures/bad_checkpoint.rs"),
+    );
+    assert_eq!(rules_of(&out), vec!["checkpoint::codec"]);
+    let messages: Vec<&str> = out.findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(messages.iter().any(|m| m.contains("hash order")), "{messages:?}");
+    assert!(messages.iter().any(|m| m.contains("wall clock")), "{messages:?}");
+    assert!(messages.iter().any(|m| m.contains("little-endian")), "{messages:?}");
+}
+
+#[test]
+fn untagged_checkpoint_source_is_exempt_from_codec_rules() {
+    let src = include_str!("fixtures/bad_checkpoint.rs");
+    let untagged: String = src.lines().skip(1).map(|l| format!("{l}\n")).collect();
+    let out = scan_fixture("crates/wire/src/bad_checkpoint.rs", &untagged);
+    let rules = rules_of(&out);
+    assert!(!rules.contains(&"checkpoint::codec"), "{rules:?}");
+}
+
+#[test]
 fn untagged_files_are_exempt_from_stream_rules() {
     // Strip the line-1 tag: the same allocation-heavy source must no
     // longer trip the stream family (the now-pointless allow is flagged

@@ -15,7 +15,7 @@ use std::sync::Arc;
 use lookaside_crypto::PublicKey;
 use lookaside_netsim::{NetError, Network};
 use lookaside_wire::ext::RemedyMode;
-use lookaside_wire::{Message, Name, RData, Rcode, Record, RrSet, RrType};
+use lookaside_wire::{Message, Name, RData, Rcode, Record, RrSet, RrType, Scratch};
 
 use crate::cache::{AnswerCache, NsecSpanCache, ZoneServerCache};
 use crate::config::{EffectiveBehavior, FeatureModel, ResolverConfig};
@@ -117,6 +117,22 @@ pub struct Resolution {
     /// Whether the chain of trust was completed through a DLV record
     /// rather than the root (Case 1 of the threat model).
     pub secured_via_dlv: bool,
+}
+
+impl Resolution {
+    /// An inert resolution to pass to [`RecursiveResolver::resolve_into`],
+    /// which overwrites every field. Reusing one placeholder across queries
+    /// keeps the `answers` capacity and makes the warm path allocation-free.
+    pub fn placeholder() -> Self {
+        Resolution {
+            qname: Name::root(),
+            qtype: RrType::A,
+            rcode: Rcode::NoError,
+            answers: Vec::new(),
+            status: SecurityStatus::Indeterminate,
+            secured_via_dlv: false,
+        }
+    }
 }
 
 /// Internal counters the experiments assert on.
@@ -266,6 +282,11 @@ pub struct RecursiveResolver {
     /// RFC 5011 managed trust anchors for the root, when enabled (takes
     /// precedence over the static `root_anchor`).
     pub(crate) trust: Option<TrustAnchorSet>,
+    /// Recycled RRset-list buffers for the answer path: cache hits take a
+    /// vector here instead of allocating one per query, and
+    /// [`RecursiveResolver::resolve`] gives the vector back once the
+    /// records have been copied out.
+    pub(crate) rrset_scratch: Scratch<SharedRrSet>,
     /// Counters the experiments inspect.
     pub counters: Counters,
 }
@@ -330,6 +351,7 @@ impl RecursiveResolver {
             hardening: Hardening::off(),
             bad: BadCache::new(),
             trust: None,
+            rrset_scratch: Scratch::new(),
             counters: Counters::default(),
         }
     }
@@ -444,6 +466,32 @@ impl RecursiveResolver {
         qname: &Name,
         qtype: RrType,
     ) -> Result<Resolution, ResolveError> {
+        let mut out = Resolution::placeholder();
+        self.resolve_into(net, qname, qtype, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`RecursiveResolver::resolve`] with buffer reuse: the result is
+    /// written into `out`, whose `answers` vector keeps its capacity from
+    /// query to query. Every field of `out` is overwritten (a prior result
+    /// cannot leak through), so driving a warm cache through one reused
+    /// [`Resolution`] makes the steady-state query path allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`RecursiveResolver::resolve`]; on error `out` holds no
+    /// meaningful result (its answers are cleared).
+    pub fn resolve_into(
+        &mut self,
+        net: &mut Network,
+        qname: &Name,
+        qtype: RrType,
+        out: &mut Resolution,
+    ) -> Result<(), ResolveError> {
+        out.answers.clear();
+        out.qname.clone_from(qname);
+        out.qtype = qtype;
+        out.secured_via_dlv = false;
         self.counters.resolutions += 1;
         let now = net.now_ns();
         // RFC 4035 §4.7: data that already failed validation is answered
@@ -452,14 +500,9 @@ impl RecursiveResolver {
         if self.hardening.bad_cache && self.bad.contains(qname, qtype, now) {
             self.counters.bad_cache_hits += 1;
             self.counters.bogus += 1;
-            return Ok(Resolution {
-                qname: qname.clone(),
-                qtype,
-                rcode: Rcode::ServFail,
-                answers: Vec::new(),
-                status: SecurityStatus::Bogus,
-                secured_via_dlv: false,
-            });
+            out.rcode = Rcode::ServFail;
+            out.status = SecurityStatus::Bogus;
+            return Ok(());
         }
         let from_cache = self.answers.get(qname, qtype, now).is_some()
             || self.answers.get_negative(qname, qtype, now).is_some();
@@ -474,8 +517,8 @@ impl RecursiveResolver {
                     let stale = self
                         .answers
                         .get_stale(qname, qtype, now)
-                        .map(|s| (s.rrset.to_records(), s.rrsig.clone()));
-                    if let Some((answers, rrsig)) = stale {
+                        .map(|s| (Arc::clone(&s.rrset), s.rrsig.clone()));
+                    if let Some((rrset, rrsig)) = stale {
                         // RFC 8767 §4: stale data must still be
                         // DNSSEC-acceptable. An entry whose RRSIG window
                         // has lapsed would fail validation if it were
@@ -497,25 +540,16 @@ impl RecursiveResolver {
                             self.counters.stale_rejected_expired_sig += 1;
                             self.counters.bogus += 1;
                             self.answers.remove(qname, qtype);
-                            return Ok(Resolution {
-                                qname: qname.clone(),
-                                qtype,
-                                rcode: Rcode::ServFail,
-                                answers: Vec::new(),
-                                status: SecurityStatus::Bogus,
-                                secured_via_dlv: false,
-                            });
+                            out.rcode = Rcode::ServFail;
+                            out.status = SecurityStatus::Bogus;
+                            return Ok(());
                         }
                         net.note_stale_serve();
                         self.counters.stale_answers += 1;
-                        return Ok(Resolution {
-                            qname: qname.clone(),
-                            qtype,
-                            rcode: Rcode::NoError,
-                            answers,
-                            status: SecurityStatus::Indeterminate,
-                            secured_via_dlv: false,
-                        });
+                        rrset.append_records_into(&mut out.answers);
+                        out.rcode = Rcode::NoError;
+                        out.status = SecurityStatus::Indeterminate;
+                        return Ok(());
                     }
                 }
                 return Err(err);
@@ -539,15 +573,14 @@ impl RecursiveResolver {
             }
         }
 
-        let (rcode, answers) = match &outcome {
+        let rcode = match &outcome {
             IterOutcome::Answer { rrsets, .. } => {
-                let mut records = Vec::new();
                 for (set, _) in rrsets {
-                    records.extend(set.to_records());
+                    set.append_records_into(&mut out.answers);
                 }
-                (Rcode::NoError, records)
+                Rcode::NoError
             }
-            IterOutcome::Negative { rcode, .. } => (*rcode, Vec::new()),
+            IterOutcome::Negative { rcode, .. } => *rcode,
         };
         let rcode = if status == SecurityStatus::Bogus {
             self.counters.bogus += 1;
@@ -568,14 +601,15 @@ impl RecursiveResolver {
         } else {
             rcode
         };
-        Ok(Resolution {
-            qname: qname.clone(),
-            qtype,
-            rcode,
-            answers,
-            status,
-            secured_via_dlv: via_dlv,
-        })
+        // The records are copied out; recycle the RRset list so the next
+        // cache hit takes it back instead of allocating.
+        if let IterOutcome::Answer { rrsets, .. } = outcome {
+            self.rrset_scratch.give(rrsets);
+        }
+        out.rcode = rcode;
+        out.status = status;
+        out.secured_via_dlv = via_dlv;
+        Ok(())
     }
 
     /// One upstream query to a specific zone's servers, with timeout
@@ -741,7 +775,11 @@ impl RecursiveResolver {
         }
         let now = net.now_ns();
         if let Some(cached) = self.answers.get(qname, qtype, now) {
-            let rrsets = vec![(Arc::clone(&cached.rrset), cached.rrsig.clone())];
+            let hit = (Arc::clone(&cached.rrset), cached.rrsig.clone());
+            // Recycled list: `resolve` gives this vector back once the
+            // answer records are copied out, so warm hits stay off the heap.
+            let mut rrsets = self.rrset_scratch.take();
+            rrsets.push(hit);
             let zone = self.zones.deepest_for(qname).0;
             return Ok(IterOutcome::Answer { rrsets, zone });
         }

@@ -189,6 +189,39 @@ fn secure_chain_validates_without_dlv() {
 }
 
 #[test]
+fn resolve_into_matches_resolve_and_overwrites_reused_buffers() {
+    let mut w = build_world(RemedyMode::None);
+    let mut r = correct_resolver(&w);
+    let mut reused = lookaside_resolver::Resolution::placeholder();
+    // Repeated warm and cold queries through ONE reused Resolution must
+    // be field-for-field identical to the by-value API, including after
+    // a wide answer (island) precedes a narrow one (NXDOMAIN) — stale
+    // records from the previous query must never leak through.
+    let queries = [
+        ("www.example.com", RrType::A),
+        ("www.island.com", RrType::A),
+        ("www.example.com", RrType::A), // warm repeat: cache-hit path
+        ("nope.example.com", RrType::A),
+        ("www.example.com", RrType::Aaaa),
+    ];
+    for (name, qtype) in queries {
+        let mut oracle = correct_resolver(&w);
+        // Replay the oracle's cache state by re-issuing the prior queries.
+        for (p, pt) in queries.iter().take_while(|(p, pt)| !(*p == name && *pt == qtype)) {
+            let _ = oracle.resolve(&mut w.net, &n(p), *pt);
+        }
+        let by_value = oracle.resolve(&mut w.net, &n(name), qtype).unwrap();
+        r.resolve_into(&mut w.net, &n(name), qtype, &mut reused).unwrap();
+        assert_eq!(reused.qname, by_value.qname, "{name}");
+        assert_eq!(reused.qtype, by_value.qtype, "{name}");
+        assert_eq!(reused.rcode, by_value.rcode, "{name}");
+        assert_eq!(reused.answers, by_value.answers, "{name}");
+        assert_eq!(reused.status, by_value.status, "{name}");
+        assert_eq!(reused.secured_via_dlv, by_value.secured_via_dlv, "{name}");
+    }
+}
+
+#[test]
 fn island_of_security_secures_via_dlv() {
     let mut w = build_world(RemedyMode::None);
     let mut r = correct_resolver(&w);

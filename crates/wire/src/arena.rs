@@ -61,6 +61,72 @@ impl RenderArena {
     }
 }
 
+/// A recycling pool of cleared `Vec<T>` scratch buffers.
+///
+/// The streaming steady state hands short-lived `Vec`s across API
+/// boundaries (a cache hit's RRset list, for instance). Allocating a fresh
+/// `Vec` per query is exactly the churn [`RenderArena`] retires for message
+/// rendering; `Scratch` does the same for those vectors: [`Scratch::take`]
+/// pops a previously [`Scratch::give`]n buffer — empty but with its
+/// capacity intact — so once the workload's high-water shapes have been
+/// seen, the take/give cycle stops touching the heap.
+///
+/// The pool is bounded ([`Scratch::POOL_CAP`]): buffers given back beyond
+/// the cap are simply dropped, so a burst of cold-path vectors cannot pin
+/// memory forever.
+#[derive(Debug)]
+pub struct Scratch<T> {
+    pool: Vec<Vec<T>>,
+    takes: u64,
+    misses: u64,
+}
+
+impl<T> Default for Scratch<T> {
+    fn default() -> Self {
+        Scratch { pool: Vec::with_capacity(Self::POOL_CAP), takes: 0, misses: 0 }
+    }
+}
+
+impl<T> Scratch<T> {
+    /// Most buffers retained at once; `give` drops the excess.
+    pub const POOL_CAP: usize = 4;
+
+    /// An empty pool (first takes miss and allocate; steady state reuses).
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+
+    /// Takes an empty buffer, reusing the capacity of a previously
+    /// returned one when available.
+    pub fn take(&mut self) -> Vec<T> {
+        self.takes += 1;
+        self.pool.pop().unwrap_or_else(|| {
+            self.misses += 1;
+            Vec::with_capacity(0)
+        })
+    }
+
+    /// Returns a buffer to the pool for reuse. The buffer is cleared here;
+    /// if the pool is already at [`Scratch::POOL_CAP`], it is dropped.
+    pub fn give(&mut self, mut buf: Vec<T>) {
+        if self.pool.len() < Self::POOL_CAP {
+            buf.clear();
+            self.pool.push(buf);
+        }
+    }
+
+    /// Buffers handed out since construction.
+    pub fn takes(&self) -> u64 {
+        self.takes
+    }
+
+    /// Takes that found the pool empty and had to allocate. In a warmed
+    /// steady state this stops growing.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -78,6 +144,32 @@ mod tests {
         }
         assert_eq!(arena.renders(), 3);
         assert!(arena.high_water() >= 12);
+    }
+
+    #[test]
+    fn scratch_recycles_capacity_and_bounds_the_pool() {
+        let mut scratch: Scratch<u64> = Scratch::new();
+        let mut v = scratch.take();
+        assert_eq!(scratch.misses(), 1);
+        v.extend(0..100);
+        let cap = v.capacity();
+        scratch.give(v);
+        let v = scratch.take();
+        assert!(v.is_empty());
+        assert_eq!(v.capacity(), cap, "give/take must preserve capacity");
+        assert_eq!(scratch.misses(), 1, "second take must hit the pool");
+        assert_eq!(scratch.takes(), 2);
+        scratch.give(v);
+        // The pool refuses to hoard: beyond POOL_CAP, buffers are dropped.
+        for _ in 0..(Scratch::<u64>::POOL_CAP * 2) {
+            scratch.give(Vec::with_capacity(8));
+        }
+        let drained = std::iter::from_fn(|| {
+            let b = scratch.take();
+            b.capacity().gt(&0).then_some(b)
+        })
+        .count();
+        assert!(drained <= Scratch::<u64>::POOL_CAP);
     }
 
     #[test]

@@ -42,7 +42,7 @@ mod rrtype;
 pub mod codec;
 pub mod ext;
 
-pub use arena::RenderArena;
+pub use arena::{RenderArena, Scratch};
 pub use error::WireError;
 pub use header::{Flags, Header, Opcode, Rcode};
 pub use message::{Message, MessageBuilder, Question, Section};

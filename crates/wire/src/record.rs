@@ -139,16 +139,25 @@ impl RrSet {
 
     /// Expands the set into individual [`Record`]s.
     pub fn to_records(&self) -> Vec<Record> {
-        self.rdatas
-            .iter()
-            .map(|rd| Record {
+        let mut out = Vec::with_capacity(self.rdatas.len());
+        self.append_records_into(&mut out);
+        out
+    }
+
+    /// Appends the set's members to `out` as individual [`Record`]s — the
+    /// buffer-reusing form of [`RrSet::to_records`], for callers that hold
+    /// a scratch `Vec` across queries (the streaming steady state).
+    pub fn append_records_into(&self, out: &mut Vec<Record>) {
+        out.reserve(self.rdatas.len());
+        for rd in &self.rdatas {
+            out.push(Record {
                 name: self.name.clone(),
                 rrtype: self.rrtype,
                 class: RrClass::In,
                 ttl: self.ttl,
                 rdata: rd.clone(),
-            })
-            .collect()
+            });
+        }
     }
 
     /// The canonical signing input for this RRset (RFC 4034 §3.1.8.1):
