@@ -178,23 +178,59 @@ cargo clippy -p lookaside-engine -- -D warnings -D clippy::panic -D clippy::unwr
 cargo clippy -p lookaside-resolver -- -D warnings -D clippy::panic -D clippy::unwrap_used
 
 # Static-invariant gate: the workspace lint (crates/lint) walks every .rs
-# file and denies hash-ordered collections, wall-clock reads, ambient
-# entropy, env reads outside the sanctioned seed path, panics on hot
-# paths, and any unsafe code. Zero unsuppressed findings required; the
-# deterministic JSON report is archived with the other CI artifacts.
-./target/release/lookaside-lint --json target/ci/lint_report.json
-
-# Canary: prove the gate actually bites. Drop a known-bad fixture into a
-# result-bearing crate, expect the lint to fail, then remove it. The trap
-# guarantees cleanup even if the expectation itself fails.
-CANARY=crates/core/src/__lint_canary.rs
-trap 'rm -f "${CANARY}"' EXIT
-cp crates/lint/tests/fixtures/bad_hashmap.rs "${CANARY}"
-if ./target/release/lookaside-lint --no-json --quiet; then
-    echo "ci: FAIL — lint canary not detected; the static-invariant gate is toothless" >&2
+# file, runs the lexical rules (hash-ordered collections, wall-clock
+# reads, ambient entropy, env reads outside the sanctioned seed path,
+# panics on hot paths, unsafe code), then builds the workspace call graph
+# and runs the three semantic dataflow passes: panic-reachability from
+# tagged hot-path entries, determinism taint into tagged sinks, and the
+# std::{fs,io,net} purity wall. Zero unsuppressed findings and zero stale
+# allows required; the byte-stable JSON report and the call-graph DOT are
+# archived with the other CI artifacts. The run is also held to a
+# wall-time budget so the semantic passes can't quietly turn into the
+# slowest stage of CI.
+LINT_BUDGET_SECS=30
+LINT_START=$(date +%s)
+./target/release/lookaside-lint \
+    --json target/ci/lint_report.json --dot target/ci/call_graph.dot
+LINT_ELAPSED=$(( $(date +%s) - LINT_START ))
+if [ "${LINT_ELAPSED}" -gt "${LINT_BUDGET_SECS}" ]; then
+    echo "ci: FAIL — lint took ${LINT_ELAPSED}s (budget ${LINT_BUDGET_SECS}s)" >&2
     exit 1
 fi
-rm -f "${CANARY}"
+
+# Canaries: prove each gate actually bites. Drop a known-bad fixture into
+# a scanned crate, expect the lint to fail *on the expected rule*, then
+# remove it. One canary per semantic pass (the panic one places its
+# unwrap two calls below the tagged entry, so only a transitive pass can
+# see it) plus the original lexical one. The trap guarantees cleanup even
+# if an expectation itself fails.
+CANARIES="crates/core/src/__lint_canary.rs \
+    crates/workload/src/__lint_canary_panic.rs \
+    crates/wire/src/__lint_canary_taint.rs \
+    crates/netsim/src/__lint_canary_purity.rs"
+# shellcheck disable=SC2064
+trap "rm -f ${CANARIES}" EXIT
+lint_canary() {
+    fixture="crates/lint/tests/fixtures/$1"
+    dest=$2
+    rule=$3
+    cp "${fixture}" "${dest}"
+    out=""
+    if out=$(./target/release/lookaside-lint --no-json --no-dot 2>&1); then
+        echo "ci: FAIL — canary $1 not detected; the ${rule} gate is toothless" >&2
+        exit 1
+    fi
+    if ! printf '%s' "${out}" | grep -q "${rule}"; then
+        echo "ci: FAIL — canary $1 tripped, but not via ${rule}:" >&2
+        printf '%s\n' "${out}" >&2
+        exit 1
+    fi
+    rm -f "${dest}"
+}
+lint_canary bad_hashmap.rs crates/core/src/__lint_canary.rs determinism::hash-collection
+lint_canary sem_panic_bad.rs crates/workload/src/__lint_canary_panic.rs semantic::panic-reachable
+lint_canary sem_taint_bad.rs crates/wire/src/__lint_canary_taint.rs semantic::taint-flow
+lint_canary sem_purity_bad.rs crates/netsim/src/__lint_canary_purity.rs semantic::purity-wall
 trap - EXIT
 
 echo "ci: all green"

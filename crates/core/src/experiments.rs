@@ -144,6 +144,7 @@ pub struct StatusTally {
 
 impl StatusTally {
     /// Adds another shard's tallies — all fields are additive counts.
+    // lint:sink(determinism)
     pub fn merge(&mut self, other: &StatusTally) {
         self.secure += other.secure;
         self.secure_via_dlv += other.secure_via_dlv;

@@ -454,6 +454,7 @@ impl Farm {
     }
 
     /// Classifies the registry's view of the merged cohort tally.
+    // lint:sink(determinism)
     fn reduce(
         &self,
         topology: FarmTopology,

@@ -56,6 +56,7 @@ impl LeakageReport {
     /// independently and `leaked_names` is an order-insensitive set,
     /// merging per-shard reports equals classifying the shards' merged
     /// capture — a property the engine determinism tests pin down.
+    // lint:sink(determinism)
     pub fn merge(&mut self, other: &LeakageReport) {
         self.dlv_queries += other.dlv_queries;
         self.dlv_responses += other.dlv_responses;

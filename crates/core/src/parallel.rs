@@ -93,14 +93,14 @@ pub fn supervisor() -> Supervisor {
 pub fn accept<A>(outcome: SweepOutcome<A>) -> A {
     let allow_partial = lookaside_engine::allow_partial_requested();
     if !outcome.coverage.is_complete() {
-        eprintln!("{}", outcome.coverage.table());
+        lookaside_engine::diag::note(&outcome.coverage.table());
         assert!(
             allow_partial,
             "sweep degraded: {} (rerun with --allow-partial to accept partial coverage)",
             outcome.coverage.summary()
         );
     } else if allow_partial {
-        eprintln!("{}", outcome.coverage.summary());
+        lookaside_engine::diag::note(&outcome.coverage.summary());
     }
     outcome.value
 }
@@ -276,6 +276,7 @@ pub fn run_sharded(config: &RunConfig, shards: usize, exec: &Executor) -> RunOut
 
 /// Deterministic reduction: captures merge in ascending shard id, the
 /// additive counters sum, elapsed time is the fleet maximum.
+// lint:sink(determinism)
 fn reduce(shards: Vec<ShardOutcome>) -> RunOutcome {
     let mut capture = Capture::default();
     let mut stats = TrafficStats::new();

@@ -74,7 +74,9 @@ pub fn hashed_dlv_label(domain: &Name) -> String {
     let mut wire = Vec::with_capacity(domain.wire_len());
     domain.encode_uncompressed(&mut wire);
     let digest = sha256(&wire);
-    to_hex(&digest[..16])
+    let mut label = to_hex(&digest);
+    label.truncate(32);
+    label
 }
 
 #[cfg(test)]

@@ -71,8 +71,9 @@ impl PublicKey {
 
     /// Serialises the public key material (padded to 32 octets).
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = vec![0u8; PUBLIC_KEY_LEN];
-        out[0..8].copy_from_slice(&self.y.to_be_bytes());
+        let mut out = Vec::with_capacity(PUBLIC_KEY_LEN);
+        out.extend_from_slice(&self.y.to_be_bytes());
+        out.resize(PUBLIC_KEY_LEN, 0);
         out
     }
 
@@ -84,7 +85,7 @@ impl PublicKey {
         if key_bytes.len() < 8 {
             return None;
         }
-        let y = u64::from_be_bytes(key_bytes[0..8].try_into().ok()?);
+        let y = crate::be_u64_head(key_bytes)?;
         let role = if flags & FLAG_SEP != 0 {
             KeyRole::Ksk
         } else if flags & FLAG_ZONE_KEY != 0 {

@@ -36,6 +36,22 @@ pub mod keys;
 pub mod schnorr;
 pub mod sha256;
 
+/// Reads a big-endian `u64` from the front of `bytes` without indexing.
+///
+/// Returns `None` when fewer than eight bytes are available, so callers on
+/// the resolver hot path stay panic-free on truncated key or signature
+/// material.
+pub(crate) fn be_u64_head(bytes: &[u8]) -> Option<u64> {
+    if bytes.len() < 8 {
+        return None;
+    }
+    let mut word = [0u8; 8];
+    for (dst, src) in word.iter_mut().zip(bytes) {
+        *dst = *src;
+    }
+    Some(u64::from_be_bytes(word))
+}
+
 pub use digest::{
     digest_matches, dlv_rdata, ds_digest, ds_rdata, hashed_dlv_label, DIGEST_TYPE_SIM_SHA256,
 };

@@ -33,9 +33,10 @@ pub struct Signature {
 impl Signature {
     /// Serialises to the padded 64-byte wire form.
     pub fn to_bytes(self) -> Vec<u8> {
-        let mut out = vec![0u8; SIGNATURE_LEN];
-        out[0..8].copy_from_slice(&self.e.to_be_bytes());
-        out[8..16].copy_from_slice(&self.s.to_be_bytes());
+        let mut out = Vec::with_capacity(SIGNATURE_LEN);
+        out.extend_from_slice(&self.e.to_be_bytes());
+        out.extend_from_slice(&self.s.to_be_bytes());
+        out.resize(SIGNATURE_LEN, 0);
         out
     }
 
@@ -45,8 +46,8 @@ impl Signature {
         if bytes.len() < 16 {
             return None;
         }
-        let e = u64::from_be_bytes(bytes[0..8].try_into().ok()?);
-        let s = u64::from_be_bytes(bytes[8..16].try_into().ok()?);
+        let e = crate::be_u64_head(bytes)?;
+        let s = crate::be_u64_head(bytes.get(8..)?)?;
         if e >= Q || s >= Q {
             return None;
         }
@@ -60,7 +61,7 @@ pub(crate) fn secret_from_seed(seed: u64) -> u64 {
     h.update(b"lookaside-secret-key");
     h.update(&seed.to_be_bytes());
     let d = h.finalize();
-    let v = u64::from_be_bytes(d[..8].try_into().expect("8 bytes"));
+    let v = crate::be_u64_head(&d).unwrap_or(0);
     1 + v % (Q - 1)
 }
 
@@ -75,7 +76,7 @@ fn challenge(r: u64, msg: &[u8]) -> u64 {
     h.update(&r.to_be_bytes());
     h.update(msg);
     let d = h.finalize();
-    u64::from_be_bytes(d[..8].try_into().expect("8 bytes")) % Q
+    crate::be_u64_head(&d).unwrap_or(0) % Q
 }
 
 fn nonce(x: u64, msg: &[u8]) -> u64 {
@@ -84,7 +85,7 @@ fn nonce(x: u64, msg: &[u8]) -> u64 {
     h.update(&x.to_be_bytes());
     h.update(msg);
     let d = h.finalize();
-    1 + u64::from_be_bytes(d[..8].try_into().expect("8 bytes")) % (Q - 1)
+    1 + crate::be_u64_head(&d).unwrap_or(0) % (Q - 1)
 }
 
 /// Signs `msg` with secret scalar `x`.

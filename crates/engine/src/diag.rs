@@ -1,0 +1,36 @@
+//! The sanctioned stderr diagnostics sink.
+//!
+//! The workspace purity wall (`lookaside-lint`, DESIGN.md §15) confines
+//! `std::{fs,io,net}` effects — including the `eprint!` family — to
+//! `engine::checkpoint`, this module, and the bench/lint/daemon crates,
+//! so the sim crates stay transitively effect-free ahead of the
+//! daemon-ize split. Anything in the orchestration layer that needs to
+//! talk to a human (degraded-coverage tables, partial-result banners)
+//! routes through here instead of calling `eprintln!` directly: one
+//! module to redirect when diagnostics move onto the daemon's control
+//! socket, and one place the analyzer has to trust.
+//!
+//! stderr only — stdout is reserved for byte-diffable experiment tables
+//! and never written from here.
+
+/// Writes one diagnostic line to stderr.
+///
+/// Deliberately line-oriented rather than `fmt::Arguments`-generic: the
+/// call sites this sink exists for (coverage tables, degradation
+/// summaries) already build their text, and a `&str` boundary keeps the
+/// future daemon IPC framing trivial.
+pub fn note(msg: &str) {
+    eprintln!("{msg}");
+}
+
+#[cfg(test)]
+mod tests {
+    // `note` writes to the process stderr; asserting on that stream from
+    // inside the process would require capturing it (an I/O effect the
+    // rest of the crate must not grow). The smoke test just proves the
+    // call compiles and returns.
+    #[test]
+    fn note_is_callable() {
+        super::note("engine::diag self-test line");
+    }
+}

@@ -38,6 +38,7 @@ impl Executor {
     /// # Errors
     ///
     /// Returns the smallest-shard-id [`ShardError`] if any shard panicked.
+    // lint:entry(hot-path)
     pub fn run_fold<I, T, A, F, G>(
         &self,
         shards: &[Shard<I>],

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 mod checkpoint;
+pub mod diag;
 mod executor;
 mod fold;
 mod plan;

@@ -255,9 +255,16 @@ impl<'a> Lexer<'a> {
     }
 
     /// Identifier, or one of the literal prefixes `r"`, `r#"`, `b"`,
-    /// `br#"`, `c"`, `cr#"`, or a raw identifier `r#ident`.
+    /// `b'`, `br#"`, `c"`, `cr#"`, or a raw identifier `r#ident`.
     fn ident_or_prefixed(&mut self, line: u32) {
         let b0 = self.peek(0).unwrap_or(0);
+        // Byte-char literal `b'x'` / `b'\n'`: consume the prefix and lex
+        // the quoted part like a char (it can never be a lifetime).
+        if b0 == b'b' && self.peek(1) == Some(b'\'') {
+            self.bump();
+            self.char_or_lifetime(line);
+            return;
+        }
         if matches!(b0, b'r' | b'b' | b'c') {
             if let Some(kind) = self.literal_prefix() {
                 match kind {
@@ -475,6 +482,16 @@ mod tests {
     #[test]
     fn raw_identifiers_lose_their_fence() {
         assert_eq!(idents("let r#type = 1;"), vec!["let", "type"]);
+    }
+
+    #[test]
+    fn byte_char_literals_are_one_literal_not_an_ident() {
+        // `b'x'` used to lex as Ident("b") + char literal; the spurious
+        // ident could fool the item parser and the call extractor.
+        let lexed = lex("let x = b'a'; let y = b'\\n'; m[b'.']");
+        assert_eq!(idents("let x = b'a';"), vec!["let", "x"]);
+        let lits = lexed.tokens.iter().filter(|t| t.tok == Tok::Literal).count();
+        assert_eq!(lits, 3);
     }
 
     #[test]

@@ -10,13 +10,18 @@
 //!
 //! It is deliberately dependency-free (the build environment has no
 //! crates.io, so no `syn`): a small hand-rolled lexer ([`lexer`]) strips
-//! comments and literals and tokenizes, a rule engine ([`rules`]) checks
-//! repo invariants against the token stream, and [`report`] renders
-//! findings as human text plus a byte-stable JSON document archived by
-//! CI.
+//! comments and literals and tokenizes, an item parser ([`parse`])
+//! recovers functions/impls/`use` graphs from the token stream, a
+//! workspace symbol table and call graph ([`graph`]) resolves call sites
+//! across crates, a rule engine ([`rules`]) checks per-file lexical
+//! invariants, three transitive dataflow passes ([`semantic`]) check
+//! panic-reachability, determinism taint, and the I/O purity wall over
+//! the whole graph, and [`report`] renders findings (with call-chain
+//! evidence) as human text plus a byte-stable JSON document archived by
+//! CI. [`workspace::analyze`] ties all of it together.
 //!
 //! The rule families, their scope, and the suppression grammar are
-//! documented in DESIGN.md §10 and on [`rules`].
+//! documented in DESIGN.md §10 and §15 and on [`rules`] / [`semantic`].
 //!
 //! # Example
 //!
@@ -32,9 +37,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod graph;
 pub mod lexer;
+pub mod parse;
 pub mod report;
 pub mod rules;
+pub mod semantic;
+pub mod workspace;
 
-pub use report::{Finding, Report, Suppressed};
+pub use report::{ChainStep, Finding, Report, Suppressed};
 pub use rules::{scan_source, FileClass, Role, ScanOutcome, ALL_RULES};
+pub use workspace::{analyze, Analysis, SourceFile};

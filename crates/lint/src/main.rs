@@ -1,9 +1,11 @@
-//! CLI entry point: walk the workspace, scan every classified `.rs`
-//! file, print findings + the per-rule summary, write the JSON report,
-//! and exit non-zero when any unsuppressed finding remains.
+//! CLI entry point: walk the workspace, run the full analysis (lexical
+//! rules + call graph + semantic passes) over every classified `.rs`
+//! file, print findings + the per-rule summary, write the JSON report
+//! and the DOT call-graph dump, and exit non-zero when any unsuppressed
+//! finding remains.
 //!
 //! ```text
-//! lookaside-lint [--root DIR] [--json PATH] [--quiet]
+//! lookaside-lint [--root DIR] [--json PATH] [--dot PATH] [--quiet]
 //! ```
 //!
 //! Exit codes: 0 clean, 1 findings, 2 usage/IO error.
@@ -14,7 +16,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use lookaside_lint::{scan_source, FileClass, Report};
+use lookaside_lint::{analyze, FileClass, SourceFile};
 
 /// Top-level directories scanned relative to the workspace root.
 const SCAN_DIRS: &[&str] = &["crates", "tests", "examples"];
@@ -25,6 +27,7 @@ const SKIP_DIRS: &[&str] = &["target", "shims", ".git", "fixtures"];
 struct Args {
     root: PathBuf,
     json: Option<PathBuf>,
+    dot: Option<PathBuf>,
     quiet: bool,
 }
 
@@ -32,6 +35,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         root: PathBuf::from("."),
         json: Some(PathBuf::from("target/ci/lint_report.json")),
+        dot: Some(PathBuf::from("target/ci/call_graph.dot")),
         quiet: false,
     };
     let mut it = std::env::args().skip(1);
@@ -40,6 +44,8 @@ fn parse_args() -> Result<Args, String> {
             "--root" => args.root = PathBuf::from(it.next().ok_or("--root needs a value")?),
             "--json" => args.json = Some(PathBuf::from(it.next().ok_or("--json needs a value")?)),
             "--no-json" => args.json = None,
+            "--dot" => args.dot = Some(PathBuf::from(it.next().ok_or("--dot needs a value")?)),
+            "--no-dot" => args.dot = None,
             "--quiet" => args.quiet = true,
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -69,7 +75,7 @@ fn main() -> ExitCode {
     }
     files.sort();
 
-    let mut report = Report::default();
+    let mut sources = Vec::new();
     for path in &files {
         let rel = relative_slash(path, &args.root);
         let Some(class) = FileClass::classify(&rel) else { continue };
@@ -80,24 +86,26 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        let outcome = scan_source(&class, &src);
-        report.findings.extend(outcome.findings);
-        report.suppressed.extend(outcome.suppressed);
-        report.files_scanned += 1;
+        sources.push(SourceFile { class, src });
     }
-    report.canonicalize();
+    let analysis = analyze(sources);
+    let report = analysis.report;
 
-    if let Some(json_path) = &args.json {
+    for (what, path, contents) in [
+        ("report", &args.json, report.render_json()),
+        ("call graph", &args.dot, analysis.graph.render_dot()),
+    ] {
+        let Some(out_path) = path else { continue };
         let target =
-            if json_path.is_absolute() { json_path.clone() } else { args.root.join(json_path) };
+            if out_path.is_absolute() { out_path.clone() } else { args.root.join(out_path) };
         if let Some(parent) = target.parent() {
             if let Err(e) = fs::create_dir_all(parent) {
                 eprintln!("lookaside-lint: creating {}: {e}", parent.display());
                 return ExitCode::from(2);
             }
         }
-        if let Err(e) = fs::write(&target, report.render_json()) {
-            eprintln!("lookaside-lint: writing {}: {e}", target.display());
+        if let Err(e) = fs::write(&target, contents) {
+            eprintln!("lookaside-lint: writing {what} {}: {e}", target.display());
             return ExitCode::from(2);
         }
     }

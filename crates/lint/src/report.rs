@@ -9,6 +9,19 @@
 
 use crate::rules::ALL_RULES;
 
+/// One step of a call-chain evidence trail attached to a semantic
+/// finding: `qual` was entered from `file:line` (the call site in the
+/// caller, or the definition site for the chain's root).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ChainStep {
+    /// Qualified function name, e.g. `resolver::RecursiveResolver::resolve_into`.
+    pub qual: String,
+    /// File of the call site reaching this function.
+    pub file: String,
+    /// 1-indexed line of that call site.
+    pub line: u32,
+}
+
 /// One unsuppressed rule violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
@@ -20,6 +33,16 @@ pub struct Finding {
     pub line: u32,
     /// Human-readable explanation.
     pub message: String,
+    /// For `semantic::*` rules: the call chain from the pass's root to
+    /// the violating site. Empty for lexical findings.
+    pub chain: Vec<ChainStep>,
+}
+
+impl Finding {
+    /// A chain-less (lexical) finding.
+    pub fn new(rule: &'static str, file: String, line: u32, message: String) -> Finding {
+        Finding { rule, file, line, message, chain: Vec::new() }
+    }
 }
 
 /// A violation silenced by a justified `lint:allow`.
@@ -50,7 +73,8 @@ impl Report {
     /// Sorts both lists into canonical order; call before rendering.
     pub fn canonicalize(&mut self) {
         self.findings.sort_by(|a, b| {
-            (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+            (&a.file, a.line, a.rule, &a.message, &a.chain)
+                .cmp(&(&b.file, b.line, b.rule, &b.message, &b.chain))
         });
         self.suppressed.sort_by(|a, b| {
             (&a.file, a.line, a.rule, &a.justification).cmp(&(
@@ -74,11 +98,15 @@ impl Report {
             .collect()
     }
 
-    /// Human-readable rendering: one line per finding plus the summary.
+    /// Human-readable rendering: one line per finding (plus its call
+    /// chain, innermost last) and the summary.
     pub fn render_text(&self) -> String {
         let mut out = String::new();
         for f in &self.findings {
             out.push_str(&format!("{}:{}: [{}] {}\n", f.file, f.line, f.rule, f.message));
+            for step in &f.chain {
+                out.push_str(&format!("    via {} ({}:{})\n", step.qual, step.file, step.line));
+            }
         }
         out.push_str(&self.render_summary());
         out
@@ -107,7 +135,7 @@ impl Report {
     pub fn render_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
-        out.push_str("  \"schema\": \"lookaside-lint/1\",\n");
+        out.push_str("  \"schema\": \"lookaside-lint/2\",\n");
         out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
 
         out.push_str("  \"rule_summary\": [\n");
@@ -123,12 +151,26 @@ impl Report {
 
         out.push_str("  \"findings\": [\n");
         for (i, f) in self.findings.iter().enumerate() {
+            let chain = f
+                .chain
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{{\"fn\": {}, \"file\": {}, \"line\": {}}}",
+                        json_str(&s.qual),
+                        json_str(&s.file),
+                        s.line
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
             out.push_str(&format!(
-                "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}{}\n",
+                "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"chain\": [{}]}}{}\n",
                 json_str(f.rule),
                 json_str(&f.file),
                 f.line,
                 json_str(&f.message),
+                chain,
                 comma(i, self.findings.len()),
             ));
         }
@@ -190,13 +232,18 @@ mod tests {
                     file: "crates/b/src/x.rs".into(),
                     line: 9,
                     message: "b".into(),
+                    chain: vec![ChainStep {
+                        qual: "b::entry".into(),
+                        file: "crates/b/src/x.rs".into(),
+                        line: 2,
+                    }],
                 },
-                Finding {
-                    rule: "determinism::hash-collection",
-                    file: "crates/a/src/x.rs".into(),
-                    line: 3,
-                    message: "a \"quoted\"".into(),
-                },
+                Finding::new(
+                    "determinism::hash-collection",
+                    "crates/a/src/x.rs".into(),
+                    3,
+                    "a \"quoted\"".into(),
+                ),
             ],
             suppressed: vec![Suppressed {
                 rule: "panic::slice-index",

@@ -49,7 +49,7 @@ pub const RESULT_BEARING: &[&str] =
 pub const HOT_PATH: &[&str] = &["wire", "engine", "resolver"];
 
 /// Files allowed to read the environment (the seed/jobs plumbing).
-const ENV_SANCTIONED_FILES: &[&str] = &["crates/engine/src/seed.rs"];
+pub(crate) const ENV_SANCTIONED_FILES: &[&str] = &["crates/engine/src/seed.rs"];
 
 /// All rule identifiers, in report order.
 pub const ALL_RULES: &[&str] = &[
@@ -65,10 +65,19 @@ pub const ALL_RULES: &[&str] = &[
     "unsafe::missing-forbid",
     "stream::hot-path",
     "checkpoint::codec",
+    "semantic::panic-reachable",
+    "semantic::taint-flow",
+    "semantic::purity-wall",
+    "tag::unknown",
     "allow::missing-justification",
     "allow::unknown-rule",
     "allow::unused",
 ];
+
+/// The transitive call-graph rules (see [`crate::semantic`]); their
+/// suppressions are resolved at workspace scope, per edge or per site.
+pub const SEMANTIC_RULES: &[&str] =
+    &["semantic::panic-reachable", "semantic::taint-flow", "semantic::purity-wall"];
 
 /// How a file participates in the rule set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -135,10 +144,32 @@ pub struct ScanOutcome {
     pub suppressed: Vec<Suppressed>,
 }
 
-/// Scans one file's source text under its classification.
+/// Scans one file's source text under its classification — the lexical
+/// rules only. The transitive `semantic::*` passes need the whole
+/// workspace; use [`crate::workspace::analyze`] for those. Allows naming
+/// only semantic rules are ignored by this function's unused-allow check
+/// (workspace analysis resolves them).
 pub fn scan_source(class: &FileClass, src: &str) -> ScanOutcome {
     let lexed = lex(src);
-    let mut allows = parse_allows(&lexed.comments);
+    let (raw, mut allows) = scan_file(class, &lexed);
+    let mut out = ScanOutcome::default();
+    out.findings.extend(allow_problem_findings(class, &allows));
+    let (findings, suppressed) = apply_allows(raw, &mut allows);
+    out.findings.extend(findings);
+    out.suppressed = suppressed;
+    out.findings.extend(unused_allow_findings(class, &allows, false));
+    out.findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out.suppressed.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+/// Lexical detection plus suppression parsing for one file: returns the
+/// raw (pre-suppression) findings and the parsed allow list.
+pub(crate) fn scan_file(
+    class: &FileClass,
+    lexed: &crate::lexer::Lexed,
+) -> (Vec<Finding>, Vec<Allow>) {
+    let allows = parse_allows(&lexed.comments);
     // A module opts into the streaming allocation rules with a bare
     // `// lint:stream-hot-path` comment (conventionally line 1).
     let stream_tagged = class.role == Role::Src
@@ -149,59 +180,82 @@ pub fn scan_source(class: &FileClass, src: &str) -> ScanOutcome {
     // collections, wall clocks, and native-endian conversions are banned.
     let ckpt_tagged = class.role == Role::Src
         && lexed.comments.iter().any(|c| !c.doc && c.text.trim() == "lint:checkpoint-codec");
-    let mut out = ScanOutcome::default();
+    let raw = detect(class, &lexed.tokens, stream_tagged, ckpt_tagged);
+    (raw, allows)
+}
 
-    // Grammar findings first: they are never suppressible.
-    for a in &allows {
+/// The never-suppressible grammar findings for a file's allow list.
+pub(crate) fn allow_problem_findings(class: &FileClass, allows: &[Allow]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for a in allows {
         match &a.problem {
-            Some(AllowProblem::MissingJustification) => out.findings.push(Finding {
-                rule: "allow::missing-justification",
-                file: class.rel_path.clone(),
-                line: a.line,
-                message: "lint:allow requires ` -- <justification>` after the rule list".into(),
-            }),
-            Some(AllowProblem::UnknownRule(r)) => out.findings.push(Finding {
-                rule: "allow::unknown-rule",
-                file: class.rel_path.clone(),
-                line: a.line,
-                message: format!("unknown rule `{r}` in lint:allow"),
-            }),
+            Some(AllowProblem::MissingJustification) => out.push(Finding::new(
+                "allow::missing-justification",
+                class.rel_path.clone(),
+                a.line,
+                "lint:allow requires ` -- <justification>` after the rule list".into(),
+            )),
+            Some(AllowProblem::UnknownRule(r)) => out.push(Finding::new(
+                "allow::unknown-rule",
+                class.rel_path.clone(),
+                a.line,
+                format!("unknown rule `{r}` in lint:allow"),
+            )),
             None => {}
         }
     }
+    out
+}
 
-    let raw = detect(class, &lexed.tokens, src, stream_tagged, ckpt_tagged);
+/// Matches raw findings against the file's allows, splitting them into
+/// surviving findings and suppressed records.
+pub(crate) fn apply_allows(
+    raw: Vec<Finding>,
+    allows: &mut [Allow],
+) -> (Vec<Finding>, Vec<Suppressed>) {
+    let mut findings = Vec::new();
+    let mut suppressed = Vec::new();
     for f in raw {
         match allows.iter_mut().find(|a| a.matches(f.rule, f.line)) {
             Some(a) => {
                 a.used = true;
-                out.suppressed.push(Suppressed {
+                suppressed.push(Suppressed {
                     rule: f.rule,
                     file: f.file,
                     line: f.line,
                     justification: a.justification.clone().unwrap_or_default(),
                 });
             }
-            None => out.findings.push(f),
+            None => findings.push(f),
         }
     }
+    (findings, suppressed)
+}
 
-    for a in &allows {
-        if a.problem.is_none() && !a.used {
-            out.findings.push(Finding {
-                rule: "allow::unused",
-                file: class.rel_path.clone(),
-                line: a.line,
-                message: format!(
-                    "lint:allow({}) suppresses nothing — delete it",
-                    a.rules.join(", ")
-                ),
-            });
+/// Flags well-formed allows that suppressed nothing. With
+/// `include_semantic` false (single-file scans), allows naming only
+/// `semantic::*` rules are exempt — their fate is decided by the
+/// workspace passes.
+pub(crate) fn unused_allow_findings(
+    class: &FileClass,
+    allows: &[Allow],
+    include_semantic: bool,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for a in allows {
+        if a.problem.is_some() || a.used {
+            continue;
         }
+        if !include_semantic && a.rules.iter().all(|r| SEMANTIC_RULES.contains(&r.as_str())) {
+            continue;
+        }
+        out.push(Finding::new(
+            "allow::unused",
+            class.rel_path.clone(),
+            a.line,
+            format!("lint:allow({}) suppresses nothing — delete it", a.rules.join(", ")),
+        ));
     }
-
-    out.findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
-    out.suppressed.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     out
 }
 
@@ -210,23 +264,23 @@ pub fn scan_source(class: &FileClass, src: &str) -> ScanOutcome {
 // ---------------------------------------------------------------------------
 
 #[derive(Debug)]
-enum AllowProblem {
+pub(crate) enum AllowProblem {
     MissingJustification,
     UnknownRule(String),
 }
 
 #[derive(Debug)]
-struct Allow {
-    line: u32,
-    rules: Vec<String>,
-    file_scope: bool,
-    justification: Option<String>,
-    problem: Option<AllowProblem>,
-    used: bool,
+pub(crate) struct Allow {
+    pub(crate) line: u32,
+    pub(crate) rules: Vec<String>,
+    pub(crate) file_scope: bool,
+    pub(crate) justification: Option<String>,
+    pub(crate) problem: Option<AllowProblem>,
+    pub(crate) used: bool,
 }
 
 impl Allow {
-    fn matches(&self, rule: &str, line: u32) -> bool {
+    pub(crate) fn matches(&self, rule: &str, line: u32) -> bool {
         if self.problem.is_some() || rule.starts_with("allow::") {
             return false;
         }
@@ -237,7 +291,7 @@ impl Allow {
     }
 }
 
-fn parse_allows(comments: &[Comment]) -> Vec<Allow> {
+pub(crate) fn parse_allows(comments: &[Comment]) -> Vec<Allow> {
     let mut allows = Vec::new();
     for c in comments {
         if c.doc {
@@ -298,10 +352,10 @@ fn parse_allows(comments: &[Comment]) -> Vec<Allow> {
 /// Identifiers naming hash-ordered collections (iteration order is
 /// seeded per process via `RandomState` — the canonical way a `--jobs`
 /// diff gate passes on one run and fails on the next).
-const HASH_IDENTS: &[&str] = &["HashMap", "HashSet", "hash_map", "hash_set"];
+pub(crate) const HASH_IDENTS: &[&str] = &["HashMap", "HashSet", "hash_map", "hash_set"];
 
 /// Identifiers reaching for ambient entropy or unspecified hashing.
-const ENTROPY_IDENTS: &[&str] = &[
+pub(crate) const ENTROPY_IDENTS: &[&str] = &[
     "thread_rng",
     "from_entropy",
     "OsRng",
@@ -313,7 +367,7 @@ const ENTROPY_IDENTS: &[&str] = &[
 ];
 
 /// Keywords that may precede `[` without forming an index expression.
-const NON_INDEX_KEYWORDS: &[&str] = &[
+pub(crate) const NON_INDEX_KEYWORDS: &[&str] = &[
     "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
     "extern", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
     "ref", "return", "static", "struct", "trait", "type", "unsafe", "use", "where", "while",
@@ -323,7 +377,6 @@ const NON_INDEX_KEYWORDS: &[&str] = &[
 fn detect(
     class: &FileClass,
     tokens: &[Token],
-    src: &str,
     stream_tagged: bool,
     ckpt_tagged: bool,
 ) -> Vec<Finding> {
@@ -332,11 +385,8 @@ fn detect(
     let panic_rules = class.in_crate(HOT_PATH);
     let unsafe_rules = !class.is_bench_crate();
 
-    let finding = |rule: &'static str, line: u32, message: String| Finding {
-        rule,
-        file: class.rel_path.clone(),
-        line,
-        message,
+    let finding = |rule: &'static str, line: u32, message: String| {
+        Finding::new(rule, class.rel_path.clone(), line, message)
     };
 
     if unsafe_rules && class.is_crate_root() && !has_forbid_unsafe(tokens) {
@@ -516,13 +566,12 @@ fn detect(
         detect_slice_index(class, tokens, &mut f, crate_name);
     }
 
-    let _ = src;
     f
 }
 
 /// `tokens[i]` then `::` then `Ident(seg)` then `(` — a path call like
 /// `Instant::now(` or `env::var(`.
-fn path_call(tokens: &[Token], i: usize, seg: &str) -> bool {
+pub(crate) fn path_call(tokens: &[Token], i: usize, seg: &str) -> bool {
     matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::ColonColon))
         && matches!(tokens.get(i + 2).map(|t| &t.tok), Some(Tok::Ident(s)) if s == seg)
         && matches!(tokens.get(i + 3).map(|t| &t.tok), Some(Tok::Punct(b'(')))
@@ -533,7 +582,7 @@ fn path_call(tokens: &[Token], i: usize, seg: &str) -> bool {
 /// `Option::unwrap` used as fn items, which cannot panic by themselves
 /// until called — those appear as `:: unwrap` and are still caught when
 /// followed by `(`).
-fn method_call(tokens: &[Token], i: usize) -> bool {
+pub(crate) fn method_call(tokens: &[Token], i: usize) -> bool {
     let prev_dot = i > 0 && matches!(tokens[i - 1].tok, Tok::Punct(b'.') | Tok::ColonColon);
     prev_dot && matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Punct(b'(')))
 }
@@ -554,15 +603,15 @@ fn detect_slice_index(class: &FileClass, tokens: &[Token], f: &mut Vec<Finding>,
             _ => false,
         };
         if indexes {
-            f.push(Finding {
-                rule: "panic::slice-index",
-                file: class.rel_path.clone(),
-                line: tokens[i].line,
-                message: format!(
+            f.push(Finding::new(
+                "panic::slice-index",
+                class.rel_path.clone(),
+                tokens[i].line,
+                format!(
                     "slice/array indexing on the hot path of `{crate_name}` — use `get` or \
                      prove bounds and add a justified allow"
                 ),
-            });
+            ));
         }
     }
 }

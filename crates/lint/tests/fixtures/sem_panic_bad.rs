@@ -1,0 +1,18 @@
+//! Semantic-pass fixture: a panic two calls below a hot-path entry.
+//! The `.unwrap()` sits in a helper the lexical `panic::*` rules never
+//! see when this file is classified outside the HOT_PATH crates — only
+//! the transitive panic-reachability pass can connect entry → mid →
+//! deep and flag it.
+
+// lint:entry(hot-path)
+pub fn canary_entry(q: &[u8]) -> u8 {
+    canary_mid(q)
+}
+
+fn canary_mid(q: &[u8]) -> u8 {
+    canary_deep(q.first().copied())
+}
+
+fn canary_deep(b: Option<u8>) -> u8 {
+    b.unwrap()
+}

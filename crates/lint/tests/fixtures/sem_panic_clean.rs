@@ -1,0 +1,16 @@
+//! Semantic-pass fixture: the same entry → mid → deep call shape as
+//! `sem_panic_bad.rs` with the panic replaced by a defaulted value —
+//! the panic-reachability pass must stay silent.
+
+// lint:entry(hot-path)
+pub fn canary_entry(q: &[u8]) -> u8 {
+    canary_mid(q)
+}
+
+fn canary_mid(q: &[u8]) -> u8 {
+    canary_deep(q.first().copied())
+}
+
+fn canary_deep(b: Option<u8>) -> u8 {
+    b.unwrap_or(0)
+}

@@ -1,0 +1,7 @@
+//! Semantic-pass fixture: a sim-crate function that stays pure (no
+//! filesystem, socket, or stdio reach) — the purity wall must stay
+//! silent.
+
+pub fn canary_snapshot(bytes: &[u8]) -> usize {
+    bytes.iter().filter(|b| **b != 0).count()
+}

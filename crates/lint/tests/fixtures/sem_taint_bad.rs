@@ -1,0 +1,14 @@
+//! Semantic-pass fixture: a wall-clock read one call below a
+//! result-bearing sink. Classified outside the RESULT_BEARING crates the
+//! lexical `determinism::*` rules stay out of the way; only the taint
+//! pass connects merge → stamp.
+
+// lint:sink(determinism)
+pub fn canary_merge(acc: &mut u64) {
+    *acc += canary_stamp();
+}
+
+fn canary_stamp() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_micros() as u64
+}

@@ -1,0 +1,12 @@
+//! Semantic-pass fixture: the same sink → helper shape as
+//! `sem_taint_bad.rs` with the wall clock replaced by a pure counter —
+//! the determinism-taint pass must stay silent.
+
+// lint:sink(determinism)
+pub fn canary_merge(acc: &mut u64) {
+    *acc += canary_stamp(7);
+}
+
+fn canary_stamp(tick: u64) -> u64 {
+    tick.wrapping_mul(0x9e37)
+}

@@ -1,0 +1,145 @@
+//! Property test: the lexer's token shapes survive a render → re-lex
+//! round trip for arbitrary streams of edge-case fragments.
+//!
+//! Each vocabulary fragment is a snippet whose token shapes are known by
+//! construction — raw strings, nested block comments, lifetime-vs-char
+//! ambiguity, byte chars, raw identifiers. A generated source is the
+//! space-joined concatenation of fragments, so its expected shape stream
+//! is the concatenation of the fragments' shapes. The lexed stream must
+//! match, and rendering those tokens back to canonical text and lexing
+//! again must reproduce the same shapes (comments drop out by design).
+
+use lookaside_lint::lexer::{lex, Tok};
+use proptest::prelude::*;
+
+/// The shape of a token: everything the rule engine matches on.
+/// Identifier spelling is carried so the round trip checks it too.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Shape {
+    Ident(String),
+    Lifetime,
+    Literal,
+    ColonColon,
+    Punct(u8),
+}
+
+fn shape(tok: &Tok) -> Shape {
+    match tok {
+        Tok::Ident(s) => Shape::Ident(s.clone()),
+        Tok::Lifetime => Shape::Lifetime,
+        Tok::Literal => Shape::Literal,
+        Tok::ColonColon => Shape::ColonColon,
+        Tok::Punct(b) => Shape::Punct(*b),
+    }
+}
+
+/// What one vocabulary fragment lexes to: at most one token (plus any
+/// number of comments, which carry no token).
+#[derive(Debug, Clone, Copy)]
+enum Kind {
+    /// An identifier spelled as the fragment text minus any `r#` sigil.
+    Ident,
+    Lifetime,
+    Literal,
+    ColonColon,
+    Punct(u8),
+    /// A comment: no token, one comment record.
+    Comment,
+}
+
+const VOCAB: &[(&str, Kind)] = &[
+    ("foo", Kind::Ident),
+    ("r#type", Kind::Ident),
+    ("'a", Kind::Lifetime),
+    ("'_", Kind::Lifetime),
+    ("'static", Kind::Lifetime),
+    ("'x'", Kind::Literal),
+    ("'\\n'", Kind::Literal),
+    ("'\\''", Kind::Literal),
+    ("b'q'", Kind::Literal),
+    ("b'\\\\'", Kind::Literal),
+    ("\"plain string\"", Kind::Literal),
+    ("\"esc \\\" quote\"", Kind::Literal),
+    ("r\"raw\"", Kind::Literal),
+    ("r#\"raw with \"quotes\" inside\"#", Kind::Literal),
+    ("r##\"nested \"# hash\"##", Kind::Literal),
+    ("b\"bytes\"", Kind::Literal),
+    ("br\"raw bytes\"", Kind::Literal),
+    ("42", Kind::Literal),
+    ("0xff_u64", Kind::Literal),
+    ("1_000", Kind::Literal),
+    ("3.25", Kind::Literal),
+    ("::", Kind::ColonColon),
+    ("(", Kind::Punct(b'(')),
+    (")", Kind::Punct(b')')),
+    ("[", Kind::Punct(b'[')),
+    ("]", Kind::Punct(b']')),
+    ("{", Kind::Punct(b'{')),
+    ("}", Kind::Punct(b'}')),
+    (".", Kind::Punct(b'.')),
+    (",", Kind::Punct(b',')),
+    (";", Kind::Punct(b';')),
+    ("&", Kind::Punct(b'&')),
+    ("#", Kind::Punct(b'#')),
+    ("/", Kind::Punct(b'/')),
+    ("<", Kind::Punct(b'<')),
+    (">", Kind::Punct(b'>')),
+    ("// line comment\n", Kind::Comment),
+    ("/* block */", Kind::Comment),
+    ("/* outer /* nested */ tail */", Kind::Comment),
+];
+
+/// Canonical rendering of a shape stream: spelled idents, `'a` for
+/// lifetimes, `0` for literals, the punctuation byte itself. Tokens are
+/// space-joined, so adjacent renders can never fuse into a comment or a
+/// wider token.
+fn render(shapes: &[Shape]) -> String {
+    let mut out = String::new();
+    for s in shapes {
+        match s {
+            Shape::Ident(name) => out.push_str(name),
+            Shape::Lifetime => out.push_str("'a"),
+            Shape::Literal => out.push('0'),
+            Shape::ColonColon => out.push_str("::"),
+            Shape::Punct(b) => out.push(char::from(*b)),
+        }
+        out.push(' ');
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn token_shapes_survive_render_and_relex(
+        picks in proptest::collection::vec(0usize..39, 0..48),
+    ) {
+        let mut src = String::new();
+        let mut expected: Vec<Shape> = Vec::new();
+        let mut expected_comments = 0usize;
+        for &p in &picks {
+            let (text, kind) = VOCAB[p % VOCAB.len()];
+            src.push_str(text);
+            src.push(' ');
+            match kind {
+                Kind::Ident => expected.push(Shape::Ident(
+                    text.strip_prefix("r#").unwrap_or(text).to_string(),
+                )),
+                Kind::Lifetime => expected.push(Shape::Lifetime),
+                Kind::Literal => expected.push(Shape::Literal),
+                Kind::ColonColon => expected.push(Shape::ColonColon),
+                Kind::Punct(b) => expected.push(Shape::Punct(b)),
+                Kind::Comment => expected_comments += 1,
+            }
+        }
+
+        let lexed = lex(&src);
+        let got: Vec<Shape> = lexed.tokens.iter().map(|t| shape(&t.tok)).collect();
+        prop_assert_eq!(&got, &expected, "first lex of {:?}", src);
+        prop_assert_eq!(lexed.comments.len(), expected_comments);
+
+        let relexed = lex(&render(&got));
+        let again: Vec<Shape> = relexed.tokens.iter().map(|t| shape(&t.tok)).collect();
+        prop_assert_eq!(&again, &expected, "re-lex of render");
+        prop_assert_eq!(relexed.comments.len(), 0, "canonical render has no comments");
+    }
+}

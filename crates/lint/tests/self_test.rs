@@ -1,14 +1,28 @@
 //! Fixture-based self-tests: one known-bad snippet per rule asserting
 //! the exact rule IDs that fire, a known-good snippet asserting zero
-//! findings, and a byte-stability check on the JSON report.
+//! findings, a bad + clean fixture per transitive semantic pass, and a
+//! byte-stability check on the JSON report.
 
-use lookaside_lint::{scan_source, FileClass, Report};
+use lookaside_lint::{analyze, scan_source, FileClass, Report, SourceFile};
 
 /// Scans a fixture as if it lived at `virtual_path` inside the
 /// workspace.
 fn scan_fixture(virtual_path: &str, src: &str) -> lookaside_lint::ScanOutcome {
     let class = FileClass::classify(virtual_path).expect("fixture path must classify");
     scan_source(&class, src)
+}
+
+/// Runs the full workspace analysis over fixtures at virtual paths.
+fn analyze_fixtures(files: &[(&str, &str)]) -> lookaside_lint::Analysis {
+    analyze(
+        files
+            .iter()
+            .map(|(path, src)| SourceFile {
+                class: FileClass::classify(path).expect("fixture path must classify"),
+                src: (*src).to_string(),
+            })
+            .collect(),
+    )
 }
 
 fn rules_of(outcome: &lookaside_lint::ScanOutcome) -> Vec<&'static str> {
@@ -148,7 +162,111 @@ fn json_report_is_byte_stable_across_runs() {
     let first = render();
     let second = render();
     assert_eq!(first, second, "JSON report must be byte-identical across runs");
-    assert!(first.contains("\"schema\": \"lookaside-lint/1\""));
+    assert!(first.contains("\"schema\": \"lookaside-lint/2\""));
+}
+
+// ---------------------------------------------------------------------------
+// Semantic passes (call-graph fixtures)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sem_panic_bad_fires_two_calls_deep() {
+    // `workload` is outside HOT_PATH, so the lexical panic rules are
+    // blind here; only the transitive pass connects entry → mid → deep.
+    let analysis = analyze_fixtures(&[(
+        "crates/workload/src/sem_panic_bad.rs",
+        include_str!("fixtures/sem_panic_bad.rs"),
+    )]);
+    let f = &analysis.report.findings;
+    assert_eq!(f.len(), 1, "{f:#?}");
+    assert_eq!(f[0].rule, "semantic::panic-reachable");
+    let quals: Vec<&str> = f[0].chain.iter().map(|s| s.qual.as_str()).collect();
+    assert_eq!(
+        quals,
+        vec!["workload::canary_entry", "workload::canary_mid", "workload::canary_deep"],
+        "chain evidence must walk the full two-call-deep path"
+    );
+}
+
+#[test]
+fn sem_panic_clean_is_silent() {
+    let analysis = analyze_fixtures(&[(
+        "crates/workload/src/sem_panic_clean.rs",
+        include_str!("fixtures/sem_panic_clean.rs"),
+    )]);
+    assert!(analysis.report.findings.is_empty(), "{:#?}", analysis.report.findings);
+}
+
+#[test]
+fn sem_taint_bad_fires_through_the_helper() {
+    let analysis = analyze_fixtures(&[(
+        "crates/wire/src/sem_taint_bad.rs",
+        include_str!("fixtures/sem_taint_bad.rs"),
+    )]);
+    let f = &analysis.report.findings;
+    assert_eq!(f.len(), 1, "{f:#?}");
+    assert_eq!(f[0].rule, "semantic::taint-flow");
+    assert!(f[0].message.contains("canary_merge"), "{}", f[0].message);
+}
+
+#[test]
+fn sem_taint_clean_is_silent() {
+    let analysis = analyze_fixtures(&[(
+        "crates/wire/src/sem_taint_clean.rs",
+        include_str!("fixtures/sem_taint_clean.rs"),
+    )]);
+    assert!(analysis.report.findings.is_empty(), "{:#?}", analysis.report.findings);
+}
+
+#[test]
+fn sem_purity_bad_fires_at_the_io_site() {
+    let analysis = analyze_fixtures(&[(
+        "crates/netsim/src/sem_purity_bad.rs",
+        include_str!("fixtures/sem_purity_bad.rs"),
+    )]);
+    let f = &analysis.report.findings;
+    assert_eq!(f.len(), 1, "{f:#?}");
+    assert_eq!(f[0].rule, "semantic::purity-wall");
+}
+
+#[test]
+fn sem_purity_clean_is_silent() {
+    let analysis = analyze_fixtures(&[(
+        "crates/netsim/src/sem_purity_clean.rs",
+        include_str!("fixtures/sem_purity_clean.rs"),
+    )]);
+    assert!(analysis.report.findings.is_empty(), "{:#?}", analysis.report.findings);
+}
+
+#[test]
+fn sem_panic_crosses_crate_boundaries() {
+    // Entry in resolver, panic in a workload helper reached through a
+    // cross-crate `use` — the pass must follow the import.
+    let analysis = analyze_fixtures(&[
+        (
+            "crates/resolver/src/entry.rs",
+            "// lint:entry(hot-path)\npub fn resolve_canary() { \
+             lookaside_workload::canary_entry(&[]); }",
+        ),
+        ("crates/workload/src/sem_panic_bad.rs", include_str!("fixtures/sem_panic_bad.rs")),
+    ]);
+    let chains: Vec<usize> = analysis.report.findings.iter().map(|f| f.chain.len()).collect();
+    // Both entries root a path to the same unwrap; the multi-source BFS
+    // reports it once with the shortest chain.
+    assert_eq!(analysis.report.findings.len(), 1, "{:#?}", analysis.report.findings);
+    assert!(chains[0] >= 3, "{chains:?}");
+}
+
+#[test]
+fn semantic_findings_serialize_chains_into_json() {
+    let analysis = analyze_fixtures(&[(
+        "crates/workload/src/sem_panic_bad.rs",
+        include_str!("fixtures/sem_panic_bad.rs"),
+    )]);
+    let json = analysis.report.render_json();
+    assert!(json.contains("\"chain\": [{\"fn\": \"workload::canary_entry\""), "{json}");
+    let dot = analysis.graph.render_dot();
+    assert!(dot.contains("doublecircle"), "entry must be marked in the DOT dump:\n{dot}");
 }
 
 #[test]

@@ -158,6 +158,7 @@ impl Capture {
     ///
     /// `other`'s packets were already filtered by its own filter at
     /// record time; they are appended verbatim, not re-filtered.
+    // lint:sink(determinism)
     pub fn merge(&mut self, other: &Capture) {
         let intern = capture_interning();
         for p in &other.packets {

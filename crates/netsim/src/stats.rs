@@ -194,6 +194,7 @@ impl TrafficStats {
     /// merge order; shard reductions still merge in ascending shard id for
     /// uniformity with [`crate::Capture::merge`], where order *does*
     /// matter.
+    // lint:sink(determinism)
     pub fn merge(&mut self, other: &TrafficStats) {
         for (t, n) in &other.queries_by_type {
             *self.queries_by_type.entry(*t).or_insert(0) += n;

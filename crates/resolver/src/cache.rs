@@ -202,7 +202,10 @@ impl ZoneServerCache {
                 return (candidate, addrs.as_slice());
             }
         }
-        unreachable!("root hint always present")
+        // The root hint is inserted at construction; if the cache is
+        // somehow empty anyway, degrade to "no servers known" and let the
+        // resolver surface a typed error instead of aborting the run.
+        (Name::root(), &[])
     }
 
     /// Whether a cut is known.

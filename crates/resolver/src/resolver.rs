@@ -176,6 +176,7 @@ impl Counters {
     /// Adds another resolver's counters into this one — every field is a
     /// primary additive count, so a fleet of per-shard resolvers reduces
     /// to exactly the totals one resolver doing all the work would show.
+    // lint:sink(determinism)
     pub fn merge(&mut self, other: &Counters) {
         self.resolutions += other.resolutions;
         self.dlv_queries_sent += other.dlv_queries_sent;
@@ -481,6 +482,7 @@ impl RecursiveResolver {
     ///
     /// Exactly as [`RecursiveResolver::resolve`]; on error `out` holds no
     /// meaningful result (its answers are cleared).
+    // lint:entry(hot-path)
     pub fn resolve_into(
         &mut self,
         net: &mut Network,
